@@ -1,0 +1,45 @@
+package bench_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"next700"
+	"next700/bench"
+)
+
+func TestRunYCSB(t *testing.T) {
+	wl := bench.NewYCSB(bench.YCSBConfig{Records: 1024, OpsPerTxn: 4})
+	res, err := bench.Run(bench.EngineConfig{Protocol: "SILO", Threads: 2}, wl,
+		bench.RunOptions{Threads: 2, TxnsPerWorker: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 100 || res.Tps <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestRunWithLogPath(t *testing.T) {
+	wl := bench.NewYCSB(bench.YCSBConfig{Records: 512, OpsPerTxn: 2})
+	res, err := bench.Run(bench.EngineConfig{
+		Protocol: "NO_WAIT", Threads: 1,
+		LogMode: next700.LogValue,
+		LogPath: filepath.Join(t.TempDir(), "w.log"),
+	}, wl, bench.RunOptions{Threads: 1, TxnsPerWorker: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 20 {
+		t.Fatalf("commits %d", res.Commits)
+	}
+}
+
+func TestNewWorkloadNames(t *testing.T) {
+	for _, name := range []string{"ycsb", "tpcc", "smallbank"} {
+		wl, err := bench.NewWorkload(name)
+		if err != nil || wl.Name() != name {
+			t.Fatalf("NewWorkload(%q): %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package bench
+
+import "os"
+
+// openLog opens (creating/truncating) a WAL file for a benchmark run.
+func openLog(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}

@@ -1,0 +1,161 @@
+// next700-bench runs a single (protocol × workload) measurement on the real
+// engine and prints throughput, abort rate, and latency percentiles.
+//
+// Usage:
+//
+//	next700-bench -workload ycsb -protocol SILO -threads 8 -theta 0.8 -duration 2s
+//	next700-bench -workload tpcc -protocol NO_WAIT -warehouses 4 -threads 4
+//	next700-bench -workload smallbank -protocol MVCC -isolation snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"next700/internal/core"
+	"next700/internal/harness"
+	"next700/internal/wal"
+	"next700/internal/workload"
+)
+
+func main() {
+	var (
+		wlName     = flag.String("workload", "ycsb", "workload: ycsb | tpcc | smallbank")
+		protocol   = flag.String("protocol", "SILO", "concurrency control protocol")
+		threads    = flag.Int("threads", 4, "worker threads")
+		partitions = flag.Int("partitions", 0, "partitions (default threads)")
+		isolation  = flag.String("isolation", "", "MVCC isolation: serializable|snapshot|read-committed")
+		duration   = flag.Duration("duration", 2*time.Second, "measurement duration")
+		warmup     = flag.Int("warmup", 200, "warmup transactions per worker")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		logMode    = flag.String("log", "none", "durability: none | value | command")
+		logPath    = flag.String("logpath", "", "WAL file path (required for -log != none)")
+		gcWindow   = flag.Duration("groupcommit", time.Millisecond, "group commit window")
+
+		// YCSB knobs.
+		records = flag.Uint64("records", 262144, "ycsb: table size")
+		theta   = flag.Float64("theta", 0, "ycsb: zipf skew [0,1)")
+		ops     = flag.Int("ops", 16, "ycsb: accesses per txn")
+		reads   = flag.Float64("reads", 0.5, "ycsb: read fraction")
+		multiP  = flag.Float64("multipartition", 0, "ycsb: multi-partition txn fraction")
+
+		// TPC-C knobs.
+		warehouses = flag.Int("warehouses", 4, "tpcc: warehouse count")
+		items      = flag.Int("items", 100000, "tpcc: item count")
+		customers  = flag.Int("customers", 3000, "tpcc: customers per district")
+
+		// SmallBank knobs.
+		accounts = flag.Uint64("accounts", 100000, "smallbank: account count")
+		hotspot  = flag.Float64("hotspot", 0.25, "smallbank: hotspot access probability")
+
+		verify = flag.Bool("verify", false, "run workload consistency checks after the measurement")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Protocol:          *protocol,
+		Threads:           *threads,
+		Partitions:        *partitions,
+		Isolation:         *isolation,
+		GroupCommitWindow: *gcWindow,
+	}
+	switch *logMode {
+	case "none":
+	case "value":
+		cfg.LogMode = wal.ModeValue
+	case "command":
+		cfg.LogMode = wal.ModeCommand
+	default:
+		fatal("unknown -log %q", *logMode)
+	}
+	if cfg.LogMode != wal.ModeNone {
+		if *logPath == "" {
+			fatal("-log %s requires -logpath", *logMode)
+		}
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			fatal("open log: %v", err)
+		}
+		defer f.Close()
+		cfg.LogDevice = f
+	}
+
+	var wl workload.Workload
+	switch *wlName {
+	case "ycsb":
+		wl = workload.NewYCSB(workload.YCSBConfig{
+			Records: *records, Theta: *theta, OpsPerTxn: *ops,
+			ReadRatio: *reads, MultiPartitionFraction: *multiP,
+		})
+	case "tpcc":
+		wl = workload.NewTPCC(workload.TPCCConfig{
+			Warehouses: *warehouses, Items: *items, CustomersPerDistrict: *customers,
+		})
+	case "smallbank":
+		wl = workload.NewSmallBank(workload.SmallBankConfig{
+			Customers: *accounts, HotspotProb: *hotspot,
+		})
+	default:
+		fatal("unknown -workload %q", *wlName)
+	}
+
+	fmt.Printf("next700-bench: %s on %s, %d threads, %v\n",
+		*wlName, *protocol, *threads, *duration)
+	res, err := harness.Run(cfg, wl, harness.RunOptions{
+		Threads: *threads, Duration: *duration, WarmupTxns: *warmup, Seed: *seed,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println(res)
+	fmt.Printf("  commits=%d aborts=%d waits=%d\n", res.Commits, res.Aborts, res.Waits)
+	fmt.Printf("  latency: %s\n", res.Latency)
+
+	if *verify {
+		// The measured engine is closed by harness.Run; verification runs
+		// the workload briefly on a fresh engine and checks invariants.
+		fresh := freshWorkload(wl)
+		e, err := core.Open(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer e.Close()
+		if err := fresh.Setup(e); err != nil {
+			fatal("verify setup: %v", err)
+		}
+		tx := e.NewTx(0, 1)
+		for i := 0; i < 500; i++ {
+			if err := fresh.RunOne(tx); err != nil {
+				fatal("verify run: %v", err)
+			}
+		}
+		if ver, ok := fresh.(workload.Verifier); ok {
+			if err := ver.Verify(e); err != nil {
+				fatal("verify: %v", err)
+			}
+		}
+		fmt.Println("  verify: ok")
+	}
+}
+
+// freshWorkload clones a workload's configuration into an unused instance
+// (workloads are single-Setup).
+func freshWorkload(template workload.Workload) workload.Workload {
+	switch w := template.(type) {
+	case *workload.YCSB:
+		return workload.NewYCSB(w.Config())
+	case *workload.TPCC:
+		return workload.NewTPCC(w.Config())
+	case *workload.SmallBank:
+		return workload.NewSmallBank(w.Config())
+	default:
+		return template
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "next700-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

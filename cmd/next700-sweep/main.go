@@ -1,0 +1,66 @@
+// next700-sweep regenerates the evaluation suite: every experiment table in
+// EXPERIMENTS.md, by id or all of them.
+//
+// Usage:
+//
+//	next700-sweep                 # run the full suite at full scale
+//	next700-sweep -exp E2,E7      # selected experiments
+//	next700-sweep -quick          # reduced scale (~seconds per experiment)
+//	next700-sweep -list           # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"next700/internal/harness"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quick = flag.Bool("quick", false, "reduced scale")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %-55s %s\n", e.ID, e.Title, e.Bench)
+		}
+		return
+	}
+
+	var selected []harness.Experiment
+	if *exp == "" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e := harness.ByID(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "next700-sweep: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	scale := "full"
+	if *quick {
+		scale = "quick"
+	}
+	fmt.Printf("next700-sweep: %d experiment(s), %s scale\n\n", len(selected), scale)
+	for _, e := range selected {
+		t0 := time.Now()
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "next700-sweep: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,81 @@
+// Designspace: the keynote's thesis in one program. Sweep the simulated
+// many-core design space — every concurrency-control protocol from 1 to
+// 1024 cores — and watch each design's characteristic failure mode appear:
+// DL_DETECT thrashes on its shared waits-for graph, TIMESTAMP and MVCC
+// saturate on the central allocator, SILO pays abort storms under skew,
+// TICTOC degrades most gracefully, HSTORE is unbeatable until transactions
+// cross partitions.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"next700"
+	"next700/simulate"
+)
+
+func main() {
+	cores := []int{1, 4, 16, 64, 256, 1024}
+
+	for _, theta := range []float64{0.0, 0.8} {
+		fmt.Printf("\nsimulated throughput (txns per million cycles), theta=%.1f:\n", theta)
+		fmt.Printf("%-10s", "protocol")
+		for _, n := range cores {
+			fmt.Printf("%10d", n)
+		}
+		fmt.Println()
+		for _, protocol := range next700.Protocols() {
+			fmt.Printf("%-10s", protocol)
+			for _, n := range cores {
+				r, err := simulate.Run(simulate.Config{
+					Protocol:   protocol,
+					Cores:      n,
+					Records:    1 << 16,
+					Theta:      theta,
+					OpsPerTxn:  16,
+					WriteRatio: 0.5,
+					Horizon:    500_000,
+					Partitions: n,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%10.0f", r.Throughput)
+			}
+			fmt.Println()
+		}
+	}
+
+	// The H-Store cliff: partition-level locking wins overwhelmingly at 0%
+	// multi-partition transactions and collapses as the fraction grows.
+	fmt.Println("\nHSTORE vs SILO, 64 cores, by multi-partition fraction:")
+	fmt.Printf("%-10s", "protocol")
+	fracs := []float64{0, 0.05, 0.1, 0.2, 0.5}
+	for _, f := range fracs {
+		fmt.Printf("%10.0f%%", f*100)
+	}
+	fmt.Println()
+	for _, protocol := range []string{next700.HStore, next700.Silo} {
+		fmt.Printf("%-10s", protocol)
+		for _, f := range fracs {
+			r, err := simulate.Run(simulate.Config{
+				Protocol:               protocol,
+				Cores:                  64,
+				Records:                1 << 16,
+				OpsPerTxn:              16,
+				WriteRatio:             0.5,
+				Horizon:                500_000,
+				Partitions:             64,
+				MultiPartitionFraction: f,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%11.0f", r.Throughput)
+		}
+		fmt.Println()
+	}
+}

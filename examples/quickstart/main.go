@@ -1,0 +1,70 @@
+// Quickstart: open an engine, create a table, run transactions, read back.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"next700"
+)
+
+func main() {
+	// A point in the design space: Silo-style OCC, 4 worker slots.
+	db, err := next700.Open(next700.Options{Protocol: next700.Silo, Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Tables have typed, fixed-width schemas.
+	schema := next700.MustSchema("greetings",
+		next700.I64("hits"),
+		next700.Str("text", 32),
+	)
+	table, err := db.CreateTable(schema, next700.IndexBTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bulk-load initial data (single-threaded, bypasses concurrency
+	// control).
+	row := schema.NewRow()
+	for k := uint64(0); k < 5; k++ {
+		schema.SetInt64(row, 0, 0)
+		schema.SetString(row, 1, []byte(fmt.Sprintf("hello #%d", k)))
+		if err := db.Load(table, k, row); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Transactions run through a worker-bound context with automatic
+	// retry on serialization conflicts.
+	tx := db.NewTx(0, 1)
+	for i := 0; i < 10; i++ {
+		err := tx.Run(func(tx *next700.Tx) error {
+			r, err := tx.Update(table, uint64(i%5))
+			if err != nil {
+				return err
+			}
+			schema.SetInt64(r, 0, schema.GetInt64(r, 0)+1)
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Range scans via the B+ tree primary index.
+	err = tx.Run(func(tx *next700.Tx) error {
+		return tx.Scan(table, 0, 10, func(key uint64, r next700.Row) bool {
+			fmt.Printf("key=%d hits=%d text=%q\n",
+				key, schema.GetInt64(r, 0), schema.GetString(r, 1))
+			return true
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// TPC-C: run the full five-transaction order-entry mix and then check the
+// spec's consistency conditions.
+//
+//	go run ./examples/tpcc
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"next700/bench"
+	"next700/internal/core"
+	"next700/internal/workload"
+)
+
+func main() {
+	// Small-scale TPC-C so the example runs in seconds; bump Warehouses /
+	// Items / CustomersPerDistrict toward spec scale for real runs.
+	cfg := bench.TPCCConfig{
+		Warehouses:            2,
+		DistrictsPerWarehouse: 10,
+		CustomersPerDistrict:  300,
+		Items:                 1000,
+	}
+
+	for _, protocol := range []string{"NO_WAIT", "SILO", "MVCC", "HSTORE"} {
+		wl := bench.NewTPCC(cfg)
+		res, err := bench.Run(bench.EngineConfig{
+			Protocol:   protocol,
+			Threads:    4,
+			Partitions: cfg.Warehouses,
+		}, wl, bench.RunOptions{
+			Threads:  4,
+			Duration: 400 * time.Millisecond,
+			Seed:     7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := wl.Committed()
+		fmt.Printf("%-8s tps=%-9.0f abort=%-7.4f mix: NewOrder=%d Payment=%d OrderStatus=%d Delivery=%d StockLevel=%d\n",
+			protocol, res.Tps, res.AbortRate, c[0], c[1], c[2], c[3], c[4])
+	}
+
+	// Consistency: run a fresh instance we keep open, then verify the
+	// TPC-C invariants (warehouse/district YTD agreement, order id
+	// continuity, order-line counts).
+	fmt.Println("\nrunning consistency checks (TPC-C clause 3.3.2 subset)...")
+	e, err := core.Open(core.Config{Protocol: "SILO", Threads: 4, Partitions: cfg.Warehouses})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer e.Close()
+	wl := workload.NewTPCC(workload.TPCCConfig(cfg))
+	if err := wl.Setup(e); err != nil {
+		log.Fatal(err)
+	}
+	tx := e.NewTx(0, 1)
+	for i := 0; i < 2000; i++ {
+		if err := wl.RunOne(tx); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := wl.Verify(e); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consistency: ok")
+}

@@ -1,0 +1,40 @@
+// YCSB: compare every concurrency-control protocol on the same skewed
+// key-value workload — a miniature of the E2 contention experiment.
+//
+//	go run ./examples/ycsb
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"next700"
+	"next700/bench"
+)
+
+func main() {
+	fmt.Println("YCSB, 4 threads, 16 ops/txn, 50/50 read/write, theta=0.9")
+	fmt.Printf("%-10s %12s %10s %12s\n", "protocol", "tps", "abort", "p99")
+	for _, protocol := range next700.Protocols() {
+		wl := bench.NewYCSB(bench.YCSBConfig{
+			Records:   64 * 1024,
+			OpsPerTxn: 16,
+			ReadRatio: 0.5,
+			Theta:     0.9,
+		})
+		res, err := bench.Run(bench.EngineConfig{
+			Protocol: protocol,
+			Threads:  4,
+		}, wl, bench.RunOptions{
+			Threads:  4,
+			Duration: 300 * time.Millisecond,
+			Seed:     42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.0f %10.4f %12v\n",
+			protocol, res.Tps, res.AbortRate, time.Duration(res.Latency.P99))
+	}
+}

@@ -1,0 +1,280 @@
+package cc
+
+import (
+	"sync"
+
+	"next700/internal/storage"
+	"next700/internal/txn"
+)
+
+// Isolation levels supported by the MVCC protocol (E14 ablation).
+const (
+	// IsoSerializable is multi-version timestamp ordering: reads stamp rts,
+	// writes validate against rts and newer versions.
+	IsoSerializable = "serializable"
+	// IsoSnapshot reads a begin-time snapshot and enforces
+	// first-committer-wins on write-write conflicts only (write skew is
+	// permitted).
+	IsoSnapshot = "snapshot"
+	// IsoReadCommitted reads the newest committed version with no read
+	// tracking at all.
+	IsoReadCommitted = "read-committed"
+)
+
+// mvVersion is one entry of a record's newest-first version chain. Versions
+// are immutable once installed, so readers may hold their data without
+// copies or latches.
+type mvVersion struct {
+	begin   uint64 // timestamp from which this version is visible
+	deleted bool
+	data    []byte
+	next    *mvVersion
+}
+
+// mvMeta is the per-record state: the chain head, the largest read
+// timestamp (serializable only), and the write-intent marker.
+type mvMeta struct {
+	mu      sync.Mutex
+	rts     uint64
+	pending uint64 // timestamp of the transaction holding write intent
+	head    *mvVersion
+}
+
+// mvcc is multi-version concurrency control with timestamp ordering,
+// version-chain storage and active-transaction-watermark garbage
+// collection. Table rows are never read directly — all data lives in
+// version chains seeded by LoadRecord.
+type mvcc struct {
+	env   *Env
+	level string
+	meta  tableMetas[mvMeta]
+}
+
+func newMVCC(env *Env) *mvcc {
+	level := env.IsolationLevel
+	if level == "" {
+		level = IsoSerializable
+	}
+	return &mvcc{env: env, level: level}
+}
+
+// Name implements Protocol.
+func (p *mvcc) Name() string { return "MVCC" }
+
+// Begin implements Protocol: draw the begin timestamp and register it for
+// GC visibility.
+func (p *mvcc) Begin(tx *txn.Txn) {
+	tx.ID = p.env.TS.Next()
+	if tx.Priority == 0 {
+		tx.Priority = tx.ID
+	}
+	p.env.Active.Enter(tx.ThreadID, tx.ID)
+}
+
+// LoadRecord implements the engine's bulk-load hook: install the initial
+// version, visible to every transaction.
+func (p *mvcc) LoadRecord(tbl *storage.Table, rid storage.RecordID, key uint64, data []byte) {
+	m := p.meta.get(tbl, rid)
+	m.mu.Lock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.head = &mvVersion{begin: 0, data: cp}
+	m.mu.Unlock()
+}
+
+// visible returns the newest version with begin <= ts (nil if none).
+func visibleVersion(head *mvVersion, ts uint64) *mvVersion {
+	for v := head; v != nil; v = v.next {
+		if v.begin <= ts {
+			return v
+		}
+	}
+	return nil
+}
+
+// Read implements Protocol.
+func (p *mvcc) Read(tx *txn.Txn, tbl *storage.Table, rid storage.RecordID) ([]byte, error) {
+	m := p.meta.get(tbl, rid)
+	m.mu.Lock()
+	var v *mvVersion
+	switch p.level {
+	case IsoReadCommitted:
+		v = m.head
+	default:
+		// A pending writer with a smaller timestamp may commit a version
+		// this read should have observed: abort rather than read around it.
+		if m.pending != 0 && m.pending != tx.ID && m.pending < tx.ID {
+			m.mu.Unlock()
+			return nil, txn.ErrConflict
+		}
+		v = visibleVersion(m.head, tx.ID)
+		if p.level == IsoSerializable && tx.ID > m.rts {
+			m.rts = tx.ID
+		}
+	}
+	m.mu.Unlock()
+	tx.AddAccess(txn.Access{Table: tbl, RID: rid, Kind: txn.KindRead})
+	if v == nil || v.deleted {
+		return nil, txn.ErrNotFound
+	}
+	return v.data, nil
+}
+
+// preWrite validates and takes the write intent per the isolation level.
+// Caller holds m.mu.
+func (p *mvcc) preWrite(tx *txn.Txn, m *mvMeta) error {
+	if m.pending != 0 && m.pending != tx.ID {
+		return txn.ErrConflict
+	}
+	switch p.level {
+	case IsoSerializable:
+		if tx.ID < m.rts {
+			return txn.ErrConflict
+		}
+		if m.head != nil && m.head.begin > tx.ID {
+			return txn.ErrConflict
+		}
+	case IsoSnapshot:
+		// First-committer-wins: a version committed after our snapshot
+		// began means a concurrent writer beat us.
+		if m.head != nil && m.head.begin > tx.ID {
+			return txn.ErrConflict
+		}
+	}
+	m.pending = tx.ID
+	return nil
+}
+
+// ReadForUpdate implements Protocol.
+func (p *mvcc) ReadForUpdate(tx *txn.Txn, tbl *storage.Table, rid storage.RecordID) ([]byte, error) {
+	m := p.meta.get(tbl, rid)
+	m.mu.Lock()
+	if err := p.preWrite(tx, m); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	var v *mvVersion
+	if p.level == IsoReadCommitted {
+		v = m.head
+	} else {
+		v = visibleVersion(m.head, tx.ID)
+	}
+	if v == nil || v.deleted {
+		m.pending = 0
+		m.mu.Unlock()
+		return nil, txn.ErrNotFound
+	}
+	buf := tx.Buf(len(v.data))
+	copy(buf, v.data)
+	m.mu.Unlock()
+	tx.AddAccess(txn.Access{Table: tbl, RID: rid, Kind: txn.KindWrite, Data: buf})
+	return buf, nil
+}
+
+// RegisterInsert implements Protocol: write intent on a chain with no
+// committed versions keeps the record invisible until commit.
+func (p *mvcc) RegisterInsert(tx *txn.Txn, tbl *storage.Table, rid storage.RecordID, key uint64, data []byte) error {
+	m := p.meta.get(tbl, rid)
+	m.mu.Lock()
+	err := p.preWrite(tx, m)
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	tx.AddAccess(txn.Access{Table: tbl, RID: rid, Kind: txn.KindInsert, Key: key, Data: data})
+	return nil
+}
+
+// RegisterDelete implements Protocol: a delete is a tombstone version.
+func (p *mvcc) RegisterDelete(tx *txn.Txn, tbl *storage.Table, rid storage.RecordID, key uint64) error {
+	m := p.meta.get(tbl, rid)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := p.preWrite(tx, m); err != nil {
+		return err
+	}
+	v := visibleVersion(m.head, tx.ID)
+	if v == nil || v.deleted {
+		m.pending = 0
+		return txn.ErrNotFound
+	}
+	tx.AddAccess(txn.Access{Table: tbl, RID: rid, Kind: txn.KindDelete, Key: key})
+	return nil
+}
+
+// Commit implements Protocol: install versions and prune garbage.
+func (p *mvcc) Commit(tx *txn.Txn) error {
+	if !tx.HasWrites() {
+		p.env.Active.Leave(tx.ThreadID)
+		return nil
+	}
+	// Serializable MV-TO installs at the begin timestamp; snapshot and
+	// read-committed stamp a fresh commit timestamp so that versions appear
+	// in commit order.
+	installTS := tx.ID
+	if p.level != IsoSerializable {
+		installTS = p.env.TS.Next()
+	}
+	watermark := p.env.Active.Min()
+
+	for i := range tx.Accesses {
+		a := &tx.Accesses[i]
+		if a.Kind == txn.KindRead {
+			continue
+		}
+		m := p.meta.get(a.Table, a.RID)
+		m.mu.Lock()
+		if p.level == IsoSnapshot && m.head != nil && m.head.begin > tx.ID && m.pending != tx.ID {
+			// Should not happen (pending guards us), defensive only.
+			m.mu.Unlock()
+			p.Abort(tx)
+			return txn.ErrConflict
+		}
+		v := &mvVersion{begin: installTS, next: m.head}
+		switch a.Kind {
+		case txn.KindDelete:
+			v.deleted = true
+		default:
+			cp := make([]byte, len(a.Data))
+			copy(cp, a.Data)
+			v.data = cp
+		}
+		m.head = v
+		m.pending = 0
+		pruneVersions(m, watermark)
+		m.mu.Unlock()
+	}
+	// Expose the version timestamp so value-log replay can order entries.
+	tx.ID = installTS
+	p.env.Active.Leave(tx.ThreadID)
+	return nil
+}
+
+// pruneVersions drops chain entries that no active transaction can reach:
+// everything past the newest version with begin <= watermark. Caller holds
+// m.mu.
+func pruneVersions(m *mvMeta, watermark uint64) {
+	for v := m.head; v != nil; v = v.next {
+		if v.begin <= watermark {
+			v.next = nil
+			return
+		}
+	}
+}
+
+// Abort implements Protocol: release write intents.
+func (p *mvcc) Abort(tx *txn.Txn) {
+	for i := range tx.Accesses {
+		a := &tx.Accesses[i]
+		if a.Kind == txn.KindRead {
+			continue
+		}
+		m := p.meta.get(a.Table, a.RID)
+		m.mu.Lock()
+		if m.pending == tx.ID {
+			m.pending = 0
+		}
+		m.mu.Unlock()
+	}
+	p.env.Active.Leave(tx.ThreadID)
+}

@@ -1,0 +1,317 @@
+// Package cc implements the engine's pluggable concurrency-control
+// protocols — the axis of the design space the keynote spends most of its
+// time on. Eight protocols are provided behind one interface:
+//
+//	NO_WAIT    two-phase locking, abort immediately on conflict
+//	WAIT_DIE   two-phase locking, age-based wait/abort
+//	DL_DETECT  two-phase locking, waits-for graph deadlock detection
+//	TIMESTAMP  basic timestamp ordering (T/O)
+//	MVCC       multi-version T/O with version chains and GC
+//	SILO       OCC with epoch-based TIDs and Silo's commit validation
+//	TICTOC     timestamp computation with read-timestamp extension
+//	HSTORE     partition-level locking, single-threaded partition semantics
+//
+// All protocols provide serializability (MVCC can optionally run at weaker
+// isolation for the isolation-ablation experiment). Writes are buffered in
+// the transaction write set and applied at commit; reads return images that
+// remain valid until the transaction ends.
+package cc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"next700/internal/storage"
+	"next700/internal/txn"
+)
+
+// Protocol is the concurrency-control interface the engine composes over.
+// Implementations must be safe for concurrent use by the configured number
+// of worker threads.
+type Protocol interface {
+	// Name returns the canonical scheme name (e.g. "SILO").
+	Name() string
+
+	// Begin initializes protocol state for a transaction attempt. The
+	// descriptor has been Reset by the caller.
+	Begin(tx *txn.Txn)
+
+	// Read returns a stable image of the record, recording the access. The
+	// returned slice must remain valid until Commit/Abort. The caller has
+	// already resolved own-writes; Read only sees committed state plus
+	// protocol-internal pending state.
+	Read(tx *txn.Txn, tbl *storage.Table, rid storage.RecordID) ([]byte, error)
+
+	// ReadForUpdate returns a writable after-image buffer seeded with the
+	// record's current value and records a write-set entry. Mutations to
+	// the buffer become visible atomically at commit.
+	ReadForUpdate(tx *txn.Txn, tbl *storage.Table, rid storage.RecordID) ([]byte, error)
+
+	// RegisterInsert takes ownership of a freshly allocated record (still
+	// tombstoned by the engine) so that it becomes visible to others only
+	// at commit, when data is installed and the tombstone cleared. The
+	// engine publishes the index entry after RegisterInsert returns;
+	// concurrent readers that chase it must be handled per protocol
+	// (blocked, aborted, or shown an invisible record).
+	RegisterInsert(tx *txn.Txn, tbl *storage.Table, rid storage.RecordID, key uint64, data []byte) error
+
+	// RegisterDelete records intent to delete the record at commit.
+	RegisterDelete(tx *txn.Txn, tbl *storage.Table, rid storage.RecordID, key uint64) error
+
+	// Commit validates and installs the transaction. On success all writes
+	// are visible; on txn.ErrConflict the transaction has been fully rolled
+	// back (as if Abort ran) and may be retried by the caller.
+	Commit(tx *txn.Txn) error
+
+	// Abort rolls back the attempt, releasing all protocol state. The
+	// engine retracts index entries for the transaction's inserts after
+	// Abort returns.
+	Abort(tx *txn.Txn)
+}
+
+// PartitionAware is implemented by protocols (H-Store) that need the
+// transaction's partition set declared before any access.
+type PartitionAware interface {
+	// DeclarePartitions acquires whatever partition-level protection the
+	// protocol uses. Must be called after Begin and before any access.
+	DeclarePartitions(tx *txn.Txn, parts []int) error
+}
+
+// HookedCommitter is implemented by lock-based protocols whose commit has a
+// point where every write is installed but still protected. The engine uses
+// the hook to draw a commit sequence number that reflects the serialization
+// order of conflicting transactions, which value-log replay relies on.
+// Version-stamped protocols (SILO, TICTOC, TIMESTAMP, MVCC) do not need it:
+// their tx.ID after commit is already per-record monotone.
+type HookedCommitter interface {
+	CommitHooked(tx *txn.Txn, beforeRelease func()) error
+}
+
+// Loader is implemented by protocols that must observe bulk-loaded records
+// (MVCC seeds version chains; HSTORE tags partitions). The engine calls it
+// once per record during the single-threaded load phase, before any
+// transactions run.
+type Loader interface {
+	LoadRecord(tbl *storage.Table, rid storage.RecordID, key uint64, data []byte)
+}
+
+// Env carries the shared runtime services protocols draw on.
+type Env struct {
+	// TS is the central timestamp allocator (TO, MVCC, WAIT_DIE priorities).
+	TS *txn.TimestampSource
+	// Epoch is the Silo epoch source, advanced by the engine.
+	Epoch *txn.Epoch
+	// Active tracks per-thread active begin-timestamps for MVCC garbage
+	// collection.
+	Active *ActiveTable
+	// NumThreads is the worker count the engine was configured with.
+	NumThreads int
+	// NumPartitions is the partition count for HSTORE (>= 1). Records are
+	// assigned to partitions by primary key (key mod NumPartitions) unless
+	// PartitionOf overrides the mapping.
+	NumPartitions int
+	// PartitionOf, when non-nil, maps (table, primary key) to a partition
+	// for HSTORE. Workloads install it to partition by their own notion of
+	// locality (e.g. TPC-C warehouses).
+	PartitionOf func(tbl *storage.Table, key uint64) int
+	// IsolationLevel tunes MVCC: "serializable" (default), "snapshot",
+	// "read-committed".
+	IsolationLevel string
+}
+
+// NewEnv builds an Env with fresh sources.
+func NewEnv(numThreads int) *Env {
+	if numThreads <= 0 {
+		numThreads = 1
+	}
+	return &Env{
+		TS:            &txn.TimestampSource{},
+		Epoch:         txn.NewEpoch(),
+		Active:        NewActiveTable(numThreads),
+		NumThreads:    numThreads,
+		NumPartitions: 1,
+	}
+}
+
+// New constructs the named protocol. Names are case-sensitive canonical
+// identifiers; see Names.
+func New(name string, env *Env) (Protocol, error) {
+	switch name {
+	case "NO_WAIT":
+		return newTwoPL(env, variantNoWait), nil
+	case "WAIT_DIE":
+		return newTwoPL(env, variantWaitDie), nil
+	case "DL_DETECT":
+		return newTwoPL(env, variantDLDetect), nil
+	case "TIMESTAMP":
+		return newTO(env), nil
+	case "MVCC":
+		return newMVCC(env), nil
+	case "SILO":
+		return newSilo(env), nil
+	case "TICTOC":
+		return newTicToc(env), nil
+	case "HSTORE":
+		return newHStore(env), nil
+	default:
+		return nil, fmt.Errorf("cc: unknown protocol %q", name)
+	}
+}
+
+// Names lists the canonical protocol names in presentation order.
+func Names() []string {
+	return []string{"NO_WAIT", "WAIT_DIE", "DL_DETECT", "TIMESTAMP", "MVCC", "SILO", "TICTOC", "HSTORE"}
+}
+
+// ActiveTable tracks the begin-timestamp of the transaction currently
+// running on each worker thread (MaxUint64 when idle). MVCC GC prunes
+// versions no active transaction can reach.
+type ActiveTable struct {
+	slots []atomic.Uint64
+}
+
+// NewActiveTable creates a table for n threads.
+func NewActiveTable(n int) *ActiveTable {
+	at := &ActiveTable{slots: make([]atomic.Uint64, n)}
+	for i := range at.slots {
+		at.slots[i].Store(^uint64(0))
+	}
+	return at
+}
+
+// Enter marks thread as running a transaction with the given begin-ts.
+func (at *ActiveTable) Enter(thread int, ts uint64) {
+	if thread < len(at.slots) {
+		at.slots[thread].Store(ts)
+	}
+}
+
+// Leave marks thread idle.
+func (at *ActiveTable) Leave(thread int) {
+	if thread < len(at.slots) {
+		at.slots[thread].Store(^uint64(0))
+	}
+}
+
+// Min returns the smallest active begin-ts, or MaxUint64 if none.
+func (at *ActiveTable) Min() uint64 {
+	min := ^uint64(0)
+	for i := range at.slots {
+		if v := at.slots[i].Load(); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// metaChunkBits matches the storage chunk geometry so metadata chunks grow
+// in step with table chunks.
+const metaChunkBits = 16
+
+const metaChunkSize = 1 << metaChunkBits
+
+// metaTable is a growable parallel array of per-record protocol metadata,
+// indexed by RecordID. Reads are wait-free once a chunk exists; growth is
+// serialized.
+type metaTable[T any] struct {
+	mu     sync.Mutex
+	chunks atomic.Pointer[[]*[metaChunkSize]T]
+}
+
+func newMetaTable[T any]() *metaTable[T] {
+	mt := &metaTable[T]{}
+	empty := make([]*[metaChunkSize]T, 0, 16)
+	mt.chunks.Store(&empty)
+	return mt
+}
+
+// get returns the metadata slot for rid, growing the directory as needed.
+func (mt *metaTable[T]) get(rid storage.RecordID) *T {
+	idx := int(rid >> metaChunkBits)
+	chunks := *mt.chunks.Load()
+	if idx >= len(chunks) {
+		mt.grow(idx)
+		chunks = *mt.chunks.Load()
+	}
+	return &chunks[idx][rid&(metaChunkSize-1)]
+}
+
+func (mt *metaTable[T]) grow(idx int) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	chunks := *mt.chunks.Load()
+	for idx >= len(chunks) {
+		grown := append(chunks, new([metaChunkSize]T))
+		mt.chunks.Store(&grown)
+		chunks = grown
+	}
+}
+
+// tableMetas maps table id -> metaTable for protocols that keep per-record
+// state. Table ids are small and dense.
+type tableMetas[T any] struct {
+	mu   sync.RWMutex
+	byID []*metaTable[T]
+}
+
+func (tm *tableMetas[T]) forTable(tbl *storage.Table) *metaTable[T] {
+	id := tbl.ID()
+	tm.mu.RLock()
+	if id < len(tm.byID) && tm.byID[id] != nil {
+		mt := tm.byID[id]
+		tm.mu.RUnlock()
+		return mt
+	}
+	tm.mu.RUnlock()
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	for id >= len(tm.byID) {
+		tm.byID = append(tm.byID, nil)
+	}
+	if tm.byID[id] == nil {
+		tm.byID[id] = newMetaTable[T]()
+	}
+	return tm.byID[id]
+}
+
+// get resolves the metadata slot for (tbl, rid).
+func (tm *tableMetas[T]) get(tbl *storage.Table, rid storage.RecordID) *T {
+	return tm.forTable(tbl).get(rid)
+}
+
+// sortWriteIndices returns the indices of write-kind accesses sorted by
+// (table id, rid) — the canonical deadlock-free lock acquisition order used
+// by the commit phases of SILO and TICTOC.
+func sortWriteIndices(tx *txn.Txn) []int {
+	idxs := make([]int, 0, 8)
+	for i := range tx.Accesses {
+		if tx.Accesses[i].Kind != txn.KindRead {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Slice(idxs, func(a, b int) bool {
+		x, y := &tx.Accesses[idxs[a]], &tx.Accesses[idxs[b]]
+		if x.Table.ID() != y.Table.ID() {
+			return x.Table.ID() < y.Table.ID()
+		}
+		return x.RID < y.RID
+	})
+	return idxs
+}
+
+// applyWrite installs an access's after-image into the table, honoring
+// delete tombstones. Caller must hold whatever write protection the
+// protocol requires.
+func applyWrite(a *txn.Access) {
+	switch a.Kind {
+	case txn.KindWrite, txn.KindInsert:
+		copy(a.Table.Row(a.RID), a.Data)
+		if a.Kind == txn.KindInsert {
+			a.Table.SetTombstone(a.RID, false)
+		}
+	case txn.KindDelete:
+		a.Table.SetTombstone(a.RID, true)
+	}
+}

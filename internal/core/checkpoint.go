@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"next700/internal/storage"
+)
+
+// Checkpoint format:
+//
+//	magic "N7CK" | version u32 | tableCount u32
+//	per table: nameLen u32 | name | rowSize u32 | entryCount u64
+//	  per entry: key u64 | rid u64 | row bytes (rowSize)
+//	crc32 (IEEE) over everything before it
+//
+// Entries are written in ascending key order so checkpoints of equal state
+// are byte-identical.
+
+var checkpointMagic = [4]byte{'N', '7', 'C', 'K'}
+
+const checkpointVersion = 1
+
+// ErrBadCheckpoint reports a malformed or corrupt checkpoint stream.
+var ErrBadCheckpoint = errors.New("core: bad checkpoint")
+
+// crcWriter tees writes into a running CRC.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+// Checkpoint serializes a transactionally consistent snapshot of every
+// table to w. The engine must be quiesced (no in-flight transactions);
+// combined with starting a fresh WAL right after, it bounds recovery to
+// checkpoint load plus the log tail.
+//
+// Only index-reachable, live records are written; aborted or deleted
+// residue is not. Record ids are preserved so a value-log tail written
+// after the checkpoint replays against the restored state.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	var scratch [20]byte
+
+	tables := e.snapshotTables()
+	if _, err := cw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[0:], checkpointVersion)
+	binary.LittleEndian.PutUint32(scratch[4:], uint32(len(tables)))
+	if _, err := cw.Write(scratch[:8]); err != nil {
+		return err
+	}
+
+	for _, t := range tables {
+		type entry struct {
+			key uint64
+			rid storage.RecordID
+		}
+		entries := make([]entry, 0, t.primary.Len())
+		t.primary.Iterate(func(key uint64, rid storage.RecordID) bool {
+			entries = append(entries, entry{key, rid})
+			return true
+		})
+		sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+
+		name := t.Name()
+		binary.LittleEndian.PutUint32(scratch[0:], uint32(len(name)))
+		if _, err := cw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(cw, name); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[0:], uint32(t.sch.RowSize()))
+		binary.LittleEndian.PutUint64(scratch[4:], uint64(len(entries)))
+		if _, err := cw.Write(scratch[:12]); err != nil {
+			return err
+		}
+		for _, en := range entries {
+			binary.LittleEndian.PutUint64(scratch[0:], en.key)
+			binary.LittleEndian.PutUint64(scratch[8:], uint64(en.rid))
+			if _, err := cw.Write(scratch[:16]); err != nil {
+				return err
+			}
+			row := e.checkpointRow(t, en.rid)
+			if _, err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+
+	binary.LittleEndian.PutUint32(scratch[0:], cw.crc)
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// checkpointRow returns the committed image of a live record. For
+// version-storing protocols (MVCC, SILO) the table row can be stale, so
+// the committed image is fetched through a throwaway read.
+func (e *Engine) checkpointRow(t *Table, rid storage.RecordID) []byte {
+	tx := e.checkpointTx()
+	tx.inner.Reset()
+	e.proto.Begin(tx.inner)
+	data, err := e.proto.Read(tx.inner, t.tbl, rid)
+	if err != nil {
+		// Tombstoned or invisible residue: emit the raw row (it will be
+		// superseded by log replay if it matters).
+		data = t.tbl.Row(rid)
+	}
+	e.proto.Abort(tx.inner)
+	return data
+}
+
+// checkpointTx lazily creates the dedicated quiesced-phase context.
+func (e *Engine) checkpointTx() *Tx {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ckptTx == nil {
+		e.ckptTx = e.NewTx(0, 0xC4EC)
+	}
+	return e.ckptTx
+}
+
+// LoadCheckpoint restores a checkpoint into a freshly created engine whose
+// tables have already been created with matching schemas (the same
+// contract as Recover). Must not run concurrently with transactions.
+//
+// The stream is read fully and CRC-verified before anything is applied, so
+// a corrupt checkpoint never partially mutates the engine.
+func (e *Engine) LoadCheckpoint(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("%w: read: %v", ErrBadCheckpoint, err)
+	}
+	if len(data) < 4+8+4 {
+		return fmt.Errorf("%w: too short", ErrBadCheckpoint)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return fmt.Errorf("%w: crc mismatch", ErrBadCheckpoint)
+	}
+
+	take := func(n int) ([]byte, error) {
+		if n < 0 || len(body) < n {
+			return nil, fmt.Errorf("%w: truncated body", ErrBadCheckpoint)
+		}
+		out := body[:n]
+		body = body[n:]
+		return out, nil
+	}
+
+	hdr, err := take(4 + 8)
+	if err != nil {
+		return err
+	}
+	if [4]byte(hdr[:4]) != checkpointMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != checkpointVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
+	}
+	tableCount := int(binary.LittleEndian.Uint32(hdr[8:]))
+
+	for ti := 0; ti < tableCount; ti++ {
+		b, err := take(4)
+		if err != nil {
+			return err
+		}
+		nameLen := int(binary.LittleEndian.Uint32(b))
+		if nameLen > 1<<16 {
+			return fmt.Errorf("%w: absurd name length", ErrBadCheckpoint)
+		}
+		nameBytes, err := take(nameLen)
+		if err != nil {
+			return err
+		}
+		t := e.Table(string(nameBytes))
+		if t == nil {
+			return fmt.Errorf("%w: unknown table %q", ErrBadCheckpoint, nameBytes)
+		}
+		b, err = take(12)
+		if err != nil {
+			return err
+		}
+		rowSize := int(binary.LittleEndian.Uint32(b))
+		if rowSize != t.sch.RowSize() {
+			return fmt.Errorf("%w: table %q row size %d != schema %d",
+				ErrBadCheckpoint, t.Name(), rowSize, t.sch.RowSize())
+		}
+		count := binary.LittleEndian.Uint64(b[4:])
+		// Every rid in a valid checkpoint is below the source table's
+		// allocation count, which is at most the entry count of all tables
+		// combined plus pre-existing rows; the body length bounds that.
+		maxRID := uint64(len(data))/16 + t.tbl.NumRows() + 1
+		for i := uint64(0); i < count; i++ {
+			b, err = take(16 + rowSize)
+			if err != nil {
+				return err
+			}
+			key := binary.LittleEndian.Uint64(b)
+			rid := storage.RecordID(binary.LittleEndian.Uint64(b[8:]))
+			if uint64(rid) > maxRID {
+				return fmt.Errorf("%w: record id %d out of range", ErrBadCheckpoint, rid)
+			}
+			row := b[16:]
+			for t.tbl.NumRows() <= uint64(rid) {
+				t.tbl.Alloc()
+			}
+			copy(t.tbl.Row(rid), row)
+			t.tbl.SetTombstone(rid, false)
+			if _, ok := t.primary.Insert(key, rid); !ok {
+				return fmt.Errorf("%w: duplicate key %d in %q", ErrBadCheckpoint, key, t.Name())
+			}
+			for j := range t.secondaries {
+				s := &t.secondaries[j]
+				s.idx.Insert(s.extract(t.sch, row, key), rid)
+			}
+			e.reloadRecord(t, rid, key, row)
+		}
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(body))
+	}
+	return nil
+}
+
+// snapshotTables returns the table handles in id order.
+func (e *Engine) snapshotTables() []*Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*Table, 0, len(e.byID))
+	for _, t := range e.byID {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

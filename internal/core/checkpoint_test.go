@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"next700/internal/storage"
+	"next700/internal/txn"
+	"next700/internal/wal"
+)
+
+// populate runs a deterministic mutation workload: updates, inserts, and a
+// delete.
+func populateForCheckpoint(t *testing.T, e *Engine, tbl *Table) {
+	t.Helper()
+	tx := e.NewTx(0, 5)
+	for i := 0; i < 8; i++ {
+		if err := tx.Run(func(tx *Tx) error {
+			row, err := tx.Update(tbl, uint64(i))
+			if err != nil {
+				return err
+			}
+			setV(tbl, row, int64(500+i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Run(func(tx *Tx) error {
+		row := tbl.Schema().NewRow()
+		setV(tbl, row, 777)
+		return tx.Insert(tbl, 40, row)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Run(func(tx *Tx) error { return tx.Delete(tbl, 9) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkRestored(t *testing.T, e *Engine, tbl *Table) {
+	t.Helper()
+	tx := e.NewTx(0, 6)
+	if err := tx.Run(func(tx *Tx) error {
+		for i := 0; i < 8; i++ {
+			row, err := tx.Read(tbl, uint64(i))
+			if err != nil {
+				return err
+			}
+			if getV(tbl, row) != int64(500+i) {
+				t.Fatalf("key %d = %d", i, getV(tbl, row))
+			}
+		}
+		row, err := tx.Read(tbl, 40)
+		if err != nil {
+			return err
+		}
+		if getV(tbl, row) != 777 {
+			t.Fatalf("insert lost: %d", getV(tbl, row))
+		}
+		if _, err := tx.Read(tbl, 9); !errors.Is(err, txn.ErrNotFound) {
+			t.Fatalf("delete lost: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, protocol := range []string{"NO_WAIT", "SILO", "MVCC", "TICTOC"} {
+		t.Run(protocol, func(t *testing.T) {
+			e := openEngine(t, Config{Protocol: protocol, Threads: 1})
+			tbl := kvTable(t, e, "kv", IndexHash, 10)
+			populateForCheckpoint(t, e, tbl)
+
+			var buf bytes.Buffer
+			if err := e.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+
+			e2 := openEngine(t, Config{Protocol: protocol, Threads: 1})
+			tbl2 := kvTable(t, e2, "kv", IndexHash, 0) // empty: restored below
+			if err := e2.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			checkRestored(t, e2, tbl2)
+		})
+	}
+}
+
+func TestCheckpointDeterministic(t *testing.T) {
+	mk := func() []byte {
+		e := openEngine(t, Config{Protocol: "NO_WAIT", Threads: 1})
+		tbl := kvTable(t, e, "kv", IndexHash, 10)
+		populateForCheckpoint(t, e, tbl)
+		var buf bytes.Buffer
+		if err := e.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Fatal("checkpoints of identical state differ")
+	}
+}
+
+func TestCheckpointPlusLogTail(t *testing.T) {
+	// checkpoint, continue mutating with value logging, crash, restore
+	// checkpoint + replay tail.
+	dev := &memDevice{}
+	e := openEngine(t, Config{Protocol: "SILO", Threads: 1, LogMode: wal.ModeValue, LogDevice: dev})
+	tbl := kvTable(t, e, "kv", IndexHash, 10)
+	populateForCheckpoint(t, e, tbl) // these mutations are logged too
+
+	var ckpt bytes.Buffer
+	if err := e.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	tailStart := len(dev.bytes())
+
+	// Post-checkpoint tail: more updates.
+	tx := e.NewTx(0, 9)
+	for i := 0; i < 5; i++ {
+		if err := tx.Run(func(tx *Tx) error {
+			row, err := tx.Update(tbl, uint64(i))
+			if err != nil {
+				return err
+			}
+			setV(tbl, row, int64(9000+i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+
+	// Recover: fresh engine + checkpoint + tail replay.
+	e2 := openEngine(t, Config{Protocol: "SILO", Threads: 1, LogMode: wal.ModeValue, LogDevice: &memDevice{}})
+	tbl2 := kvTable(t, e2, "kv", IndexHash, 0)
+	if err := e2.LoadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	tail := dev.bytes()[tailStart:]
+	if _, err := e2.Recover(bytes.NewReader(tail)); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := e2.NewTx(0, 10)
+	if err := tx2.Run(func(tx *Tx) error {
+		for i := 0; i < 5; i++ {
+			row, err := tx.Read(tbl2, uint64(i))
+			if err != nil {
+				return err
+			}
+			if getV(tbl2, row) != int64(9000+i) {
+				t.Fatalf("tail update lost at %d: %d", i, getV(tbl2, row))
+			}
+		}
+		// Pre-checkpoint state beyond the tail must also be intact.
+		row, err := tx.Read(tbl2, 40)
+		if err != nil {
+			return err
+		}
+		if getV(tbl2, row) != 777 {
+			t.Fatalf("checkpoint state lost: %d", getV(tbl2, row))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCheckpointRejectsCorruption(t *testing.T) {
+	e := openEngine(t, Config{Protocol: "NO_WAIT", Threads: 1})
+	tbl := kvTable(t, e, "kv", IndexHash, 10)
+	populateForCheckpoint(t, e, tbl)
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"flipped byte":    flip(good, len(good)/2),
+		"truncated":       good[:len(good)-10],
+		"bad magic":       flip(good, 0),
+		"flipped content": flip(good, 30),
+	}
+	for name, data := range cases {
+		e2 := openEngine(t, Config{Protocol: "NO_WAIT", Threads: 1})
+		kvTable(t, e2, "kv", IndexHash, 0)
+		if err := e2.LoadCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("%s: got %v", name, err)
+		}
+	}
+	// Unknown table.
+	e3 := openEngine(t, Config{Protocol: "NO_WAIT", Threads: 1})
+	kvTable(t, e3, "different", IndexHash, 0)
+	if err := e3.LoadCheckpoint(bytes.NewReader(good)); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("unknown table: got %v", err)
+	}
+}
+
+func flip(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xFF
+	return out
+}
+
+func TestCheckpointSecondaryIndexes(t *testing.T) {
+	e := openEngine(t, Config{Protocol: "SILO", Threads: 1})
+	tbl := kvTable(t, e, "kv", IndexHash, 0)
+	if err := e.AddIndex(tbl, "by_v", IndexBTree,
+		func(s *storage.Schema, row storage.Row, pk uint64) uint64 {
+			return uint64(s.GetInt64(row, 0))<<20 | pk
+		}); err != nil {
+		t.Fatal(err)
+	}
+	sch := tbl.Schema()
+	row := sch.NewRow()
+	for i := 0; i < 10; i++ {
+		sch.SetInt64(row, 0, int64(i%3))
+		if err := e.Load(tbl, uint64(i), row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openEngine(t, Config{Protocol: "SILO", Threads: 1})
+	tbl2 := kvTable(t, e2, "kv", IndexHash, 0)
+	if err := e2.AddIndex(tbl2, "by_v", IndexBTree,
+		func(s *storage.Schema, row storage.Row, pk uint64) uint64 {
+			return uint64(s.GetInt64(row, 0))<<20 | pk
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	tx := e2.NewTx(0, 1)
+	if err := tx.Run(func(tx *Tx) error {
+		n := 0
+		err := tx.ScanIndex(tbl2, "by_v", 1<<20, 2<<20-1, false,
+			func(uint64, storage.Row) bool {
+				n++
+				return true
+			})
+		if n != 3 { // values 1 at pks 1,4,7
+			t.Fatalf("secondary index restored %d entries", n)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"next700/internal/cc"
+	"next700/internal/storage"
+	"next700/internal/txn"
+	"next700/internal/wal"
+)
+
+// TestPairedWriteConsistency: writers always set records k and k+pairBase
+// to the same value inside one transaction; concurrent readers must never
+// observe a torn pair under any serializable protocol (and under MVCC
+// snapshot isolation, whose reads are point-in-time).
+func TestPairedWriteConsistency(t *testing.T) {
+	const pairs = 8
+	const pairBase = 1000
+	configs := make([]Config, 0, len(cc.Names())+1)
+	for _, p := range cc.Names() {
+		configs = append(configs, Config{Protocol: p, Threads: 4, Partitions: 2})
+	}
+	configs = append(configs, Config{Protocol: "MVCC", Threads: 4, Isolation: cc.IsoSnapshot})
+
+	for _, cfg := range configs {
+		name := cfg.Protocol + "/" + cfg.Isolation
+		t.Run(name, func(t *testing.T) {
+			e := openEngine(t, cfg)
+			tbl := kvTable(t, e, "kv", IndexHash, 0)
+			sch := tbl.Schema()
+			row := sch.NewRow()
+			for k := 0; k < pairs; k++ {
+				if err := e.Load(tbl, uint64(k), row); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.Load(tbl, uint64(k+pairBase), row); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var wg sync.WaitGroup
+			// Writers.
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					tx := e.NewTx(w, uint64(w+1))
+					for i := 0; i < 400; i++ {
+						k := tx.RNG().Uint64n(pairs)
+						v := int64(tx.RNG().Uint64n(1 << 30))
+						if err := tx.Run(func(tx *Tx) error {
+							a, err := tx.Update(tbl, k)
+							if err != nil {
+								return err
+							}
+							b, err := tx.Update(tbl, k+pairBase)
+							if err != nil {
+								return err
+							}
+							setV(tbl, a, v)
+							setV(tbl, b, v)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			// Readers: check pair agreement.
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					tx := e.NewTx(2+r, uint64(100+r))
+					for i := 0; i < 400; i++ {
+						k := tx.RNG().Uint64n(pairs)
+						var va, vb int64
+						if err := tx.Run(func(tx *Tx) error {
+							a, err := tx.Read(tbl, k)
+							if err != nil {
+								return err
+							}
+							va = getV(tbl, a)
+							b, err := tx.Read(tbl, k+pairBase)
+							if err != nil {
+								return err
+							}
+							vb = getV(tbl, b)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+						if va != vb {
+							t.Errorf("torn pair at %d: %d != %d", k, va, vb)
+							return
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// failingDevice writes successfully until the byte budget runs out, then
+// fails — simulating a disk that dies mid-run.
+type failingDevice struct {
+	mu     sync.Mutex
+	data   []byte
+	budget int
+}
+
+func (d *failingDevice) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.data)+len(p) > d.budget {
+		// Take a partial prefix (torn write), then fail.
+		room := d.budget - len(d.data)
+		if room > 0 {
+			d.data = append(d.data, p[:room]...)
+		}
+		return room, errors.New("disk died")
+	}
+	d.data = append(d.data, p...)
+	return len(p), nil
+}
+
+func (d *failingDevice) Sync() error { return nil }
+
+// TestCrashMidRunRecoverPrefix: the log device dies mid-run; recovery must
+// replay the durable prefix with every commit record applied atomically
+// (paired entries inside one record never tear).
+func TestCrashMidRunRecoverPrefix(t *testing.T) {
+	const pairBase = 100
+	dev := &failingDevice{budget: 4096}
+	e, err := Open(Config{Protocol: "NO_WAIT", Threads: 1, LogMode: wal.ModeValue, LogDevice: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := kvTable(t, e, "kv", IndexHash, 0)
+	sch := tbl.Schema()
+	row := sch.NewRow()
+	for k := 0; k < 4; k++ {
+		e.Load(tbl, uint64(k), row)
+		e.Load(tbl, uint64(k+pairBase), row)
+	}
+	tx := e.NewTx(0, 3)
+	sawFailure := false
+	for i := 0; i < 500 && !sawFailure; i++ {
+		k := uint64(i % 4)
+		v := int64(i + 1)
+		err := tx.Run(func(tx *Tx) error {
+			a, err := tx.Update(tbl, k)
+			if err != nil {
+				return err
+			}
+			b, err := tx.Update(tbl, k+pairBase)
+			if err != nil {
+				return err
+			}
+			setV(tbl, a, v)
+			setV(tbl, b, v)
+			return nil
+		})
+		if err != nil {
+			sawFailure = true // the disk died; stop issuing work
+		}
+	}
+	e.Close()
+	if !sawFailure {
+		t.Fatal("device never failed; raise the workload or lower the budget")
+	}
+
+	// Recover from the durable prefix.
+	e2 := openEngine(t, Config{Protocol: "NO_WAIT", Threads: 1, LogMode: wal.ModeValue, LogDevice: &memDevice{}})
+	tbl2 := kvTable(t, e2, "kv", IndexHash, 0)
+	sch2 := tbl2.Schema()
+	row2 := sch2.NewRow()
+	for k := 0; k < 4; k++ {
+		e2.Load(tbl2, uint64(k), row2)
+		e2.Load(tbl2, uint64(k+pairBase), row2)
+	}
+	st, err := e2.Recover(bytes.NewReader(dev.data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records == 0 {
+		t.Fatal("nothing recovered from durable prefix")
+	}
+	// Every pair must agree (atomic per-record replay).
+	tx2 := e2.NewTx(0, 4)
+	if err := tx2.Run(func(tx *Tx) error {
+		for k := uint64(0); k < 4; k++ {
+			a, err := tx.Read(tbl2, k)
+			if err != nil {
+				return err
+			}
+			b, err := tx.Read(tbl2, k+pairBase)
+			if err != nil {
+				return err
+			}
+			if getV(tbl2, a) != getV(tbl2, b) {
+				t.Fatalf("recovered torn pair at %d: %d != %d",
+					k, getV(tbl2, a), getV(tbl2, b))
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInsertDeleteStress: index and tombstone bookkeeping stays
+// coherent under concurrent inserts, deletes, and re-inserts of
+// overlapping keys.
+func TestConcurrentInsertDeleteStress(t *testing.T) {
+	for _, protocol := range []string{"NO_WAIT", "SILO", "MVCC"} {
+		t.Run(protocol, func(t *testing.T) {
+			const workers = 4
+			e := openEngine(t, Config{Protocol: protocol, Threads: workers})
+			tbl := kvTable(t, e, "kv", IndexHash, 0)
+			sch := tbl.Schema()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					tx := e.NewTx(w, uint64(w+1))
+					row := sch.NewRow()
+					for i := 0; i < 300; i++ {
+						key := tx.RNG().Uint64n(64)
+						switch tx.RNG().Intn(3) {
+						case 0:
+							tx.Run(func(tx *Tx) error {
+								setV2(sch, row, int64(key))
+								err := tx.Insert(tbl, key, row)
+								if errors.Is(err, txn.ErrDuplicate) {
+									return nil // someone else holds the key
+								}
+								return err
+							})
+						case 1:
+							tx.Run(func(tx *Tx) error {
+								err := tx.Delete(tbl, key)
+								if errors.Is(err, txn.ErrNotFound) {
+									return nil
+								}
+								return err
+							})
+						default:
+							tx.Run(func(tx *Tx) error {
+								row, err := tx.Read(tbl, key)
+								if errors.Is(err, txn.ErrNotFound) {
+									return nil
+								}
+								if err != nil {
+									return err
+								}
+								if got := sch.GetInt64(row, 0); got != int64(key) {
+									t.Errorf("key %d has value %d", key, got)
+								}
+								return nil
+							})
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Post-condition: every present key reads back its own value,
+			// index length matches reachable records.
+			tx := e.NewTx(0, 99)
+			present := 0
+			if err := tx.Run(func(tx *Tx) error {
+				present = 0
+				for key := uint64(0); key < 64; key++ {
+					row, err := tx.Read(tbl, key)
+					if errors.Is(err, txn.ErrNotFound) {
+						continue
+					}
+					if err != nil {
+						return err
+					}
+					present++
+					if got := sch.GetInt64(row, 0); got != int64(key) {
+						t.Fatalf("final: key %d has value %d", key, got)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if tbl.PrimaryLen() != present {
+				t.Fatalf("index len %d but %d readable keys", tbl.PrimaryLen(), present)
+			}
+		})
+	}
+}
+
+func setV2(sch *storage.Schema, row storage.Row, v int64) { sch.SetInt64(row, 0, v) }

@@ -1,0 +1,343 @@
+// Package core is the engine kernel: it composes a storage catalog, index
+// structures, a pluggable concurrency-control protocol, and an optional
+// write-ahead log into a runnable transaction processing engine — the
+// "composable engine" the keynote argues the next 700 designs should be
+// instances of.
+//
+// The public façade package (next700) wraps this kernel with a stable API;
+// workloads and benchmarks drive it directly.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"next700/internal/cc"
+	"next700/internal/index"
+	"next700/internal/storage"
+	"next700/internal/wal"
+)
+
+// IndexKind selects the index family for a table's primary or secondary
+// index.
+type IndexKind int
+
+const (
+	// IndexHash is a partitioned hash index: point lookups only.
+	IndexHash IndexKind = iota
+	// IndexBTree is a concurrent B+ tree: point lookups and range scans.
+	IndexBTree
+)
+
+// Config selects a point in the engine design space.
+type Config struct {
+	// Protocol is the concurrency-control scheme (see cc.Names).
+	Protocol string
+	// Threads is the number of worker slots; ThreadIDs passed to NewTx must
+	// be < Threads.
+	Threads int
+	// Partitions is the partition count (HSTORE; also used by workloads).
+	Partitions int
+	// Isolation tunes MVCC ("serializable" default, "snapshot",
+	// "read-committed").
+	Isolation string
+	// LogMode selects durability: none, value, or command logging.
+	LogMode wal.Mode
+	// LogDevice is the durable sink when LogMode != ModeNone.
+	LogDevice wal.Device
+	// GroupCommitWindow is the group-commit batching window (0 = flush on
+	// every commit).
+	GroupCommitWindow time.Duration
+	// EpochInterval is the Silo epoch advance period (default 10ms).
+	EpochInterval time.Duration
+}
+
+// normalize fills defaults and validates.
+func (c *Config) normalize() error {
+	if c.Protocol == "" {
+		c.Protocol = "SILO"
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = c.Threads
+	}
+	if c.EpochInterval <= 0 {
+		c.EpochInterval = 10 * time.Millisecond
+	}
+	if c.LogMode != wal.ModeNone && c.LogDevice == nil {
+		return fmt.Errorf("core: LogMode %v requires a LogDevice", c.LogMode)
+	}
+	return nil
+}
+
+// secondary is a non-primary index with a key extractor.
+type secondary struct {
+	name    string
+	idx     index.Index
+	extract func(sch *storage.Schema, row storage.Row, pk uint64) uint64
+}
+
+// Table is the engine-level table handle: storage plus its indexes.
+type Table struct {
+	tbl         *storage.Table
+	sch         *storage.Schema
+	primary     index.Index
+	secondaries []secondary
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *storage.Schema { return t.sch }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.sch.Name() }
+
+// NumRows returns the number of allocated row slots.
+func (t *Table) NumRows() uint64 { return t.tbl.NumRows() }
+
+// PrimaryLen returns the number of live keys in the primary index.
+func (t *Table) PrimaryLen() int { return t.primary.Len() }
+
+// Ranger returns the primary index as a Ranger if it supports scans.
+func (t *Table) ranger() (index.Ranger, bool) {
+	r, ok := t.primary.(index.Ranger)
+	return r, ok
+}
+
+// Proc is a registered stored procedure for command logging: it must be
+// deterministic given its parameter blob.
+type Proc func(tx *Tx, params []byte) error
+
+// Engine is the composed transaction processing engine.
+type Engine struct {
+	cfg     Config
+	catalog *storage.Catalog
+	env     *cc.Env
+	proto   cc.Protocol
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+	byID   []*Table
+	procs  map[int32]Proc
+
+	logw     *wal.Writer
+	stopTick chan struct{}
+	tickDone chan struct{}
+	closed   bool
+
+	// ckptTx is the lazily created context used by quiesced-phase reads
+	// (checkpointing).
+	ckptTx *Tx
+}
+
+// Open builds an engine for the given configuration.
+func Open(cfg Config) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	env := cc.NewEnv(cfg.Threads)
+	env.NumPartitions = cfg.Partitions
+	env.IsolationLevel = cfg.Isolation
+	proto, err := cc.New(cfg.Protocol, env)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		catalog:  storage.NewCatalog(),
+		env:      env,
+		proto:    proto,
+		tables:   make(map[string]*Table),
+		procs:    make(map[int32]Proc),
+		stopTick: make(chan struct{}),
+		tickDone: make(chan struct{}),
+	}
+	if cfg.LogMode != wal.ModeNone {
+		e.logw = wal.NewWriter(cfg.LogDevice, cfg.GroupCommitWindow)
+	}
+	go e.epochTicker()
+	return e, nil
+}
+
+// epochTicker advances the Silo epoch periodically.
+func (e *Engine) epochTicker() {
+	defer close(e.tickDone)
+	t := time.NewTicker(e.cfg.EpochInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stopTick:
+			return
+		case <-t.C:
+			e.env.Epoch.Advance()
+		}
+	}
+}
+
+// Close stops background work and flushes the log.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stopTick)
+	<-e.tickDone
+	if e.logw != nil {
+		return e.logw.Close()
+	}
+	return nil
+}
+
+// Protocol returns the active protocol's name.
+func (e *Engine) Protocol() string { return e.proto.Name() }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// CreateTable registers a table with a primary index of the given kind.
+// Primary keys are caller-supplied uint64s (composite keys are bit-packed
+// by the workload layer).
+func (e *Engine) CreateTable(sch *storage.Schema, primary IndexKind) (*Table, error) {
+	tbl, err := e.catalog.CreateTable(sch)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{tbl: tbl, sch: sch}
+	switch primary {
+	case IndexHash:
+		t.primary = index.NewHash(sch.Name()+".pk", 0)
+	case IndexBTree:
+		t.primary = index.NewBTree(sch.Name() + ".pk")
+	default:
+		return nil, fmt.Errorf("core: unknown index kind %d", primary)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tables[sch.Name()] = t
+	for tbl.ID() >= len(e.byID) {
+		e.byID = append(e.byID, nil)
+	}
+	e.byID[tbl.ID()] = t
+	return t, nil
+}
+
+// AddIndex attaches a secondary index. extract derives the (unique) index
+// key from a row image and its primary key; non-unique indexes are modeled
+// by folding a uniquifier (e.g. the primary key) into the low bits.
+// Secondary indexes are maintained on insert and delete; updates must not
+// change indexed columns (the standard research-engine restriction).
+func (e *Engine) AddIndex(t *Table, name string, kind IndexKind,
+	extract func(sch *storage.Schema, row storage.Row, pk uint64) uint64) error {
+	var idx index.Index
+	switch kind {
+	case IndexHash:
+		idx = index.NewHash(t.Name()+"."+name, 0)
+	case IndexBTree:
+		idx = index.NewBTree(t.Name() + "." + name)
+	default:
+		return fmt.Errorf("core: unknown index kind %d", kind)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t.secondaries = append(t.secondaries, secondary{name: name, idx: idx, extract: extract})
+	return nil
+}
+
+// Table returns the named table handle, or nil.
+func (e *Engine) Table(name string) *Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tables[name]
+}
+
+// tableByID resolves a storage table id to the engine handle.
+func (e *Engine) tableByID(id int) *Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if id < 0 || id >= len(e.byID) {
+		return nil
+	}
+	return e.byID[id]
+}
+
+// findSecondary returns the named secondary index of t, or nil.
+func (t *Table) findSecondary(name string) *secondary {
+	for i := range t.secondaries {
+		if t.secondaries[i].name == name {
+			return &t.secondaries[i]
+		}
+	}
+	return nil
+}
+
+// Load inserts a row during the single-threaded load phase, bypassing
+// concurrency control (but informing protocols that track record state).
+// It must not run concurrently with transactions.
+func (e *Engine) Load(t *Table, key uint64, row storage.Row) error {
+	if len(row) != t.sch.RowSize() {
+		return fmt.Errorf("core: row size %d != schema %d for %q", len(row), t.sch.RowSize(), t.Name())
+	}
+	rid := t.tbl.Alloc()
+	copy(t.tbl.Row(rid), row)
+	if _, ok := t.primary.Insert(key, rid); !ok {
+		return fmt.Errorf("core: duplicate key %d loading %q", key, t.Name())
+	}
+	for i := range t.secondaries {
+		s := &t.secondaries[i]
+		s.idx.Insert(s.extract(t.sch, row, key), rid)
+	}
+	if loader, ok := e.proto.(cc.Loader); ok {
+		loader.LoadRecord(t.tbl, rid, key, row)
+	}
+	return nil
+}
+
+// SetPartitioner installs a (table, key) -> partition mapping used by
+// HSTORE. Must be called before Load and before transactions run.
+func (e *Engine) SetPartitioner(fn func(tbl *Table, key uint64) int) {
+	e.env.PartitionOf = func(st *storage.Table, key uint64) int {
+		th := e.tableByID(st.ID())
+		if th == nil {
+			return -1
+		}
+		return fn(th, key)
+	}
+}
+
+// RegisterProc registers a stored procedure for command logging and
+// recovery. IDs must be stable across restarts.
+func (e *Engine) RegisterProc(id int32, fn Proc) error {
+	if id == 0 {
+		return fmt.Errorf("core: proc id 0 is reserved")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.procs[id]; dup {
+		return fmt.Errorf("core: proc %d already registered", id)
+	}
+	e.procs[id] = fn
+	return nil
+}
+
+// proc returns the registered procedure, or nil.
+func (e *Engine) proc(id int32) Proc {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.procs[id]
+}
+
+// DurableLSN returns the log writer's durable LSN (0 when logging is off).
+func (e *Engine) DurableLSN() uint64 {
+	if e.logw == nil {
+		return 0
+	}
+	return e.logw.Durable()
+}
+
+// AdvanceEpoch manually advances the Silo epoch (tests and benchmarks).
+func (e *Engine) AdvanceEpoch() { e.env.Epoch.Advance() }

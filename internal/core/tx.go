@@ -1,0 +1,443 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"time"
+
+	"next700/internal/cc"
+	"next700/internal/index"
+	"next700/internal/stats"
+	"next700/internal/storage"
+	"next700/internal/txn"
+	"next700/internal/wal"
+	"next700/internal/xrand"
+)
+
+// Tx is the transaction context handed to transaction bodies. It wraps the
+// descriptor with engine-level semantics: index resolution, own-write
+// visibility, and secondary-index maintenance.
+type Tx struct {
+	eng   *Engine
+	inner *txn.Txn
+	// scratch for scan rid collection, reused across scans.
+	scanKeys []uint64
+	scanRIDs []storage.RecordID
+	// encode buffer for WAL records, reused across transactions.
+	logBuf []byte
+}
+
+// NewTx creates a reusable transaction context bound to a worker slot.
+// threadID must be < Config.Threads. Each context may be used by one
+// goroutine at a time.
+func (e *Engine) NewTx(threadID int, seed uint64) *Tx {
+	return &Tx{
+		eng:   e,
+		inner: txn.NewTxn(threadID, xrand.New(seed), &stats.Counter{}),
+	}
+}
+
+// RNG returns the worker-local random source.
+func (t *Tx) RNG() *xrand.RNG { return t.inner.RNG }
+
+// Counter returns the per-worker statistics counter.
+func (t *Tx) Counter() *stats.Counter { return t.inner.Counter }
+
+// ThreadID returns the worker slot.
+func (t *Tx) ThreadID() int { return t.inner.ThreadID }
+
+// Schema is a convenience accessor for a table's schema.
+func (t *Tx) Schema(tbl *Table) *storage.Schema { return tbl.sch }
+
+// DeclarePartitions pre-declares the partitions this transaction touches.
+// Required for HSTORE multi-partition transactions; a no-op elsewhere.
+func (t *Tx) DeclarePartitions(parts ...int) error {
+	if pa, ok := t.eng.proto.(cc.PartitionAware); ok {
+		return pa.DeclarePartitions(t.inner, parts)
+	}
+	return nil
+}
+
+// lookup resolves key in tbl's primary index.
+func (t *Tx) lookup(tbl *Table, key uint64) (storage.RecordID, bool) {
+	return tbl.primary.Lookup(key)
+}
+
+// Read returns the row image for key. The returned slice is read-only and
+// valid until the transaction ends.
+func (t *Tx) Read(tbl *Table, key uint64) (storage.Row, error) {
+	t.inner.Counter.Reads++
+	rid, ok := t.lookup(tbl, key)
+	if !ok {
+		return nil, txn.ErrNotFound
+	}
+	return t.readRID(tbl, rid)
+}
+
+// readRID reads a record by rid with own-write visibility.
+func (t *Tx) readRID(tbl *Table, rid storage.RecordID) (storage.Row, error) {
+	if w := t.inner.FindWrite(tbl.tbl, rid); w != nil {
+		if w.Kind == txn.KindDelete {
+			return nil, txn.ErrNotFound
+		}
+		return storage.Row(w.Data), nil
+	}
+	data, err := t.eng.proto.Read(t.inner, tbl.tbl, rid)
+	if err != nil {
+		return nil, err
+	}
+	return storage.Row(data), nil
+}
+
+// Update returns a writable after-image for key; mutations become visible
+// atomically at commit.
+func (t *Tx) Update(tbl *Table, key uint64) (storage.Row, error) {
+	t.inner.Counter.Writes++
+	rid, ok := t.lookup(tbl, key)
+	if !ok {
+		return nil, txn.ErrNotFound
+	}
+	if w := t.inner.FindWrite(tbl.tbl, rid); w != nil {
+		if w.Kind == txn.KindDelete {
+			return nil, txn.ErrNotFound
+		}
+		return storage.Row(w.Data), nil
+	}
+	buf, err := t.eng.proto.ReadForUpdate(t.inner, tbl.tbl, rid)
+	if err != nil {
+		return nil, err
+	}
+	return storage.Row(buf), nil
+}
+
+// Insert adds a new row under key. Fails with txn.ErrDuplicate if the key
+// exists (including uncommitted inserts by concurrent transactions).
+//
+// Ordering: the fresh record is tombstoned, the primary index entry is
+// published (reserving the key — the duplicate check), and only then is the
+// record registered with the protocol. A reader chasing the index entry in
+// the window sees an untouched, tombstoned record and reports not-found,
+// which protocols turn into a validation/lock dependency as appropriate.
+func (t *Tx) Insert(tbl *Table, key uint64, row storage.Row) error {
+	t.inner.Counter.Inserts++
+	if len(row) != tbl.sch.RowSize() {
+		return errors.New("core: insert row size mismatch")
+	}
+	rid := tbl.tbl.Alloc()
+	tbl.tbl.SetTombstone(rid, true)
+	data := t.inner.Buf(len(row))
+	copy(data, row)
+	if _, ok := tbl.primary.Insert(key, rid); !ok {
+		return txn.ErrDuplicate
+	}
+	if err := t.eng.proto.RegisterInsert(t.inner, tbl.tbl, rid, key, data); err != nil {
+		// No access entry was recorded; retract the published key so it
+		// does not orphan (the transaction as a whole is about to abort,
+		// but this insert is not in its access set).
+		tbl.primary.Delete(key)
+		return err
+	}
+	for i := range tbl.secondaries {
+		s := &tbl.secondaries[i]
+		s.idx.Insert(s.extract(tbl.sch, row, key), rid)
+	}
+	return nil
+}
+
+// Delete removes key's record at commit.
+func (t *Tx) Delete(tbl *Table, key uint64) error {
+	t.inner.Counter.Deletes++
+	rid, ok := t.lookup(tbl, key)
+	if !ok {
+		return txn.ErrNotFound
+	}
+	if w := t.inner.FindWrite(tbl.tbl, rid); w != nil && w.Kind == txn.KindDelete {
+		return txn.ErrNotFound
+	}
+	return t.eng.proto.RegisterDelete(t.inner, tbl.tbl, rid, key)
+}
+
+// Scan visits rows with primary keys in [lo, hi] ascending. The primary
+// index must be a B+ tree. fn receives the key and a read-only row image;
+// return false to stop. Deleted/invisible records are skipped.
+func (t *Tx) Scan(tbl *Table, lo, hi uint64, fn func(key uint64, row storage.Row) bool) error {
+	return t.scan(tbl, lo, hi, false, fn)
+}
+
+// ScanDesc is Scan in descending key order.
+func (t *Tx) ScanDesc(tbl *Table, lo, hi uint64, fn func(key uint64, row storage.Row) bool) error {
+	return t.scan(tbl, lo, hi, true, fn)
+}
+
+func (t *Tx) scan(tbl *Table, lo, hi uint64, desc bool, fn func(key uint64, row storage.Row) bool) error {
+	t.inner.Counter.Scans++
+	r, ok := tbl.ranger()
+	if !ok {
+		return errors.New("core: table " + tbl.Name() + " primary index does not support scans")
+	}
+	// Collect matches first so no index latches are held while protocol
+	// reads block or wait — mixing latch and lock ordering risks deadlock.
+	t.scanKeys = t.scanKeys[:0]
+	t.scanRIDs = t.scanRIDs[:0]
+	collect := func(key uint64, rid storage.RecordID) bool {
+		t.scanKeys = append(t.scanKeys, key)
+		t.scanRIDs = append(t.scanRIDs, rid)
+		return true
+	}
+	if desc {
+		r.ScanDesc(lo, hi, collect)
+	} else {
+		r.Scan(lo, hi, collect)
+	}
+	for i := range t.scanKeys {
+		row, err := t.readRID(tbl, t.scanRIDs[i])
+		if errors.Is(err, txn.ErrNotFound) {
+			continue // deleted or not yet visible
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(t.scanKeys[i], row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// LookupIndex resolves a key in a named secondary index and reads the row.
+func (t *Tx) LookupIndex(tbl *Table, indexName string, key uint64) (storage.Row, error) {
+	s := tbl.findSecondary(indexName)
+	if s == nil {
+		return nil, errors.New("core: no index " + indexName + " on " + tbl.Name())
+	}
+	rid, ok := s.idx.Lookup(key)
+	if !ok {
+		return nil, txn.ErrNotFound
+	}
+	return t.readRID(tbl, rid)
+}
+
+// ScanIndex range-scans a named secondary index (must be a B+ tree),
+// passing each index key and row image to fn.
+func (t *Tx) ScanIndex(tbl *Table, indexName string, lo, hi uint64, desc bool,
+	fn func(indexKey uint64, row storage.Row) bool) error {
+	s := tbl.findSecondary(indexName)
+	if s == nil {
+		return errors.New("core: no index " + indexName + " on " + tbl.Name())
+	}
+	r, ok := s.idx.(index.Ranger)
+	if !ok {
+		return errors.New("core: index " + indexName + " does not support scans")
+	}
+	t.scanKeys = t.scanKeys[:0]
+	t.scanRIDs = t.scanRIDs[:0]
+	collect := func(key uint64, rid storage.RecordID) bool {
+		t.scanKeys = append(t.scanKeys, key)
+		t.scanRIDs = append(t.scanRIDs, rid)
+		return true
+	}
+	if desc {
+		r.ScanDesc(lo, hi, collect)
+	} else {
+		r.Scan(lo, hi, collect)
+	}
+	for i := range t.scanKeys {
+		row, err := t.readRID(tbl, t.scanRIDs[i])
+		if errors.Is(err, txn.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(t.scanKeys[i], row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// maxAttempts bounds retries before Run reports a livelock.
+const maxAttempts = 1 << 20
+
+// Run executes body as a transaction, retrying on conflicts with
+// randomized backoff. Non-conflict errors from body abort without retry
+// and are returned.
+func (t *Tx) Run(body func(tx *Tx) error) error {
+	return t.run(body, 0, nil)
+}
+
+// RunProc executes a registered stored procedure; under command logging
+// its (id, params) pair is logged instead of the write set.
+func (t *Tx) RunProc(procID int32, params []byte) error {
+	fn := t.eng.proc(procID)
+	if fn == nil {
+		return errors.New("core: unknown proc")
+	}
+	return t.run(func(tx *Tx) error { return fn(tx, params) }, procID, params)
+}
+
+func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
+	e := t.eng
+	inner := t.inner
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			runtime.Gosched()
+			if attempt > 4 {
+				n := attempt
+				if n > 12 {
+					n = 12
+				}
+				backoff := inner.RNG.Intn(1 << uint(n))
+				time.Sleep(time.Duration(backoff) * time.Microsecond)
+			}
+			if attempt >= maxAttempts {
+				return errors.New("core: transaction livelocked")
+			}
+		}
+		inner.Reset()
+		e.proto.Begin(inner)
+
+		err := body(t)
+		if err == nil {
+			committed, cerr := t.commit(procID, params)
+			if cerr == nil {
+				inner.ClearPriority()
+				inner.Counter.Commits++
+				return nil
+			}
+			if committed {
+				// The transaction is durably committed in memory but
+				// logging failed: surface the error without rolling back.
+				inner.ClearPriority()
+				inner.Counter.Commits++
+				return cerr
+			}
+			// Protocol commit failed: state was rolled back inside commit.
+		} else if errors.Is(err, txn.ErrConflict) {
+			e.proto.Abort(inner)
+			t.retractInserts()
+		} else {
+			e.proto.Abort(inner)
+			t.retractInserts()
+			inner.ClearPriority()
+			if errors.Is(err, txn.ErrUserAbort) {
+				inner.Counter.UserAborts++
+			}
+			return err
+		}
+		inner.Counter.Aborts++
+	}
+}
+
+// commit drives the protocol commit, post-commit index maintenance, and
+// write-ahead logging. committed reports whether the protocol commit
+// succeeded (after which errors are logging failures, not rollbacks).
+func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
+	e := t.eng
+	inner := t.inner
+
+	if e.logw != nil {
+		if hooked, ok := e.proto.(cc.HookedCommitter); ok {
+			err = hooked.CommitHooked(inner, func() {
+				// Draw the commit sequence number while writes are still
+				// protected: log replay orders entries by it.
+				inner.ID = e.env.TS.Next()
+			})
+		} else {
+			err = e.proto.Commit(inner)
+		}
+	} else {
+		err = e.proto.Commit(inner)
+	}
+	if err != nil {
+		t.retractInserts()
+		return false, err
+	}
+
+	// Post-commit index maintenance: retract deleted keys.
+	for i := range inner.Accesses {
+		a := &inner.Accesses[i]
+		if a.Kind != txn.KindDelete {
+			continue
+		}
+		th := e.tableByID(a.Table.ID())
+		if th == nil {
+			continue
+		}
+		th.primary.Delete(a.Key)
+		if len(th.secondaries) > 0 {
+			row := a.Table.Row(a.RID)
+			for j := range th.secondaries {
+				s := &th.secondaries[j]
+				s.idx.Delete(s.extract(th.sch, row, a.Key))
+			}
+		}
+	}
+
+	if e.logw != nil && inner.HasWrites() {
+		return true, t.appendLog(procID, params)
+	}
+	return true, nil
+}
+
+// appendLog encodes and waits out the WAL record for a committed txn.
+func (t *Tx) appendLog(procID int32, params []byte) error {
+	e := t.eng
+	inner := t.inner
+	var cr wal.CommitRecord
+	cr.TxnID = inner.ID
+	if e.cfg.LogMode == wal.ModeCommand {
+		if procID == 0 {
+			return errors.New("core: command logging requires RunProc")
+		}
+		cr.Proc = procID
+		cr.Params = params
+	} else {
+		for i := range inner.Accesses {
+			a := &inner.Accesses[i]
+			if a.Kind == txn.KindRead {
+				continue
+			}
+			entry := wal.Entry{Table: int32(a.Table.ID()), RID: uint64(a.RID), Key: a.Key}
+			switch a.Kind {
+			case txn.KindInsert:
+				entry.Kind = wal.EntryInsert
+				entry.Data = a.Data
+			case txn.KindDelete:
+				entry.Kind = wal.EntryDelete
+			default:
+				entry.Kind = wal.EntryUpdate
+				entry.Data = a.Data
+			}
+			cr.Entries = append(cr.Entries, entry)
+		}
+	}
+	t.logBuf = cr.Encode(t.logBuf)
+	lsn, err := e.logw.Append(t.logBuf)
+	if err != nil {
+		return err
+	}
+	return e.logw.WaitDurable(lsn)
+}
+
+// retractInserts undoes index publication for the aborted transaction's
+// inserts. Protocol state was already released by Abort (or by the failed
+// Commit itself).
+func (t *Tx) retractInserts() {
+	inner := t.inner
+	for i := range inner.Accesses {
+		a := &inner.Accesses[i]
+		if a.Kind != txn.KindInsert {
+			continue
+		}
+		th := t.eng.tableByID(a.Table.ID())
+		if th == nil {
+			continue
+		}
+		th.primary.Delete(a.Key)
+		for j := range th.secondaries {
+			s := &th.secondaries[j]
+			s.idx.Delete(s.extract(th.sch, storage.Row(a.Data), a.Key))
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package harness runs (engine configuration × workload) combinations and
+// aggregates throughput, abort, and latency statistics — the machinery that
+// regenerates every experiment table in EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"next700/internal/core"
+	"next700/internal/stats"
+	"next700/internal/workload"
+)
+
+// RunOptions controls one measurement run.
+type RunOptions struct {
+	// Threads is the worker count (defaults to the engine's).
+	Threads int
+	// Duration bounds the run in wall-clock time (used when
+	// TxnsPerWorker is 0).
+	Duration time.Duration
+	// TxnsPerWorker, when > 0, runs a fixed transaction count instead of a
+	// fixed duration (deterministic; preferred in tests).
+	TxnsPerWorker int
+	// WarmupTxns per worker are executed before measurement starts.
+	WarmupTxns int
+	// Seed perturbs worker RNGs.
+	Seed uint64
+}
+
+// Result is one measurement row.
+type Result struct {
+	Protocol  string
+	Workload  string
+	Threads   int
+	Elapsed   time.Duration
+	Commits   uint64
+	Aborts    uint64
+	Waits     uint64
+	Tps       float64
+	AbortRate float64
+	Latency   stats.Summary
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s %-9s threads=%-3d tps=%-12.0f abort=%-7.4f p99=%v",
+		r.Protocol, r.Workload, r.Threads, r.Tps, r.AbortRate,
+		time.Duration(r.Latency.P99))
+}
+
+// Run opens an engine with cfg, sets up wl, and drives it with the given
+// options. The engine is closed before returning. Setup problems and the
+// first worker failure are both reported as errors.
+func Run(cfg core.Config, wl workload.Workload, opts RunOptions) (Result, error) {
+	if opts.Threads <= 0 {
+		opts.Threads = cfg.Threads
+	}
+	if cfg.Threads < opts.Threads {
+		cfg.Threads = opts.Threads
+	}
+	if opts.Duration <= 0 && opts.TxnsPerWorker <= 0 {
+		opts.Duration = time.Second
+	}
+	e, err := core.Open(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer e.Close()
+	if err := wl.Setup(e); err != nil {
+		return Result{}, err
+	}
+	res, err := drive(e, wl, opts)
+	res.Protocol = e.Protocol()
+	res.Workload = wl.Name()
+	return res, err
+}
+
+// drive executes the measurement against an already set-up engine.
+func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error) {
+	threads := opts.Threads
+	type workerOut struct {
+		counter stats.Counter
+		hist    *stats.Histogram
+		err     error
+	}
+	outs := make([]workerOut, threads)
+	var wg sync.WaitGroup
+	var stop chan struct{}
+	if opts.TxnsPerWorker <= 0 {
+		stop = make(chan struct{})
+	}
+
+	// Workers rendezvous after warmup so the measurement window (and its
+	// duration timer) begins only once every worker is warm — otherwise a
+	// slow-commit configuration can burn the whole window warming up.
+	var warm sync.WaitGroup
+	warm.Add(threads)
+	begin := make(chan struct{})
+
+	var start time.Time
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := e.NewTx(id, opts.Seed*1_000_003+uint64(id)+1)
+			hist := stats.NewHistogram()
+			for w := 0; w < opts.WarmupTxns; w++ {
+				if err := wl.RunOne(tx); err != nil {
+					outs[id].err = err
+					warm.Done()
+					return
+				}
+			}
+			warm.Done()
+			<-begin
+			// Snapshot counters after warmup so it is excluded.
+			base := *tx.Counter()
+			n := 0
+			for {
+				if opts.TxnsPerWorker > 0 {
+					if n >= opts.TxnsPerWorker {
+						break
+					}
+				} else if stopped(stop) {
+					break
+				}
+				t0 := time.Now()
+				if err := wl.RunOne(tx); err != nil {
+					outs[id].err = err
+					break
+				}
+				hist.RecordDuration(time.Since(t0))
+				n++
+			}
+			c := *tx.Counter()
+			c.Commits -= base.Commits
+			c.Aborts -= base.Aborts
+			c.UserAborts -= base.UserAborts
+			c.Reads -= base.Reads
+			c.Writes -= base.Writes
+			c.Inserts -= base.Inserts
+			c.Deletes -= base.Deletes
+			c.Scans -= base.Scans
+			c.Waits -= base.Waits
+			outs[id].counter = c
+			outs[id].hist = hist
+		}(i)
+	}
+	warm.Wait()
+	start = time.Now()
+	close(begin)
+	if stop != nil {
+		time.AfterFunc(opts.Duration, func() { close(stop) })
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total stats.Counter
+	hist := stats.NewHistogram()
+	var firstErr error
+	for i := range outs {
+		total.Add(&outs[i].counter)
+		hist.Merge(outs[i].hist)
+		if outs[i].err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("worker %d: %w", i, outs[i].err)
+		}
+	}
+	return Result{
+		Threads:   threads,
+		Elapsed:   elapsed,
+		Commits:   total.Commits,
+		Aborts:    total.Aborts,
+		Waits:     total.Waits,
+		Tps:       float64(total.Commits) / elapsed.Seconds(),
+		AbortRate: total.AbortRate(),
+		Latency:   hist.Summarize(),
+	}, firstErr
+}
+
+func stopped(stop chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}

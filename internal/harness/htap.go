@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"next700/internal/core"
+	"next700/internal/stats"
+	"next700/internal/storage"
+)
+
+// runE15 is the HTAP extension experiment: one analytical worker repeatedly
+// scans and aggregates the whole table while OLTP workers update hot rows.
+// The question the keynote raises — can fresh data be analyzed without
+// strangling the transactional side? — becomes a concrete comparison:
+// multi-version reads let scans run against a consistent snapshot without
+// blocking or aborting writers, single-version lock-based scans serialize
+// against them, and OCC scans abort when any scanned row moves.
+func runE15(w io.Writer, quick bool) error {
+	const oltpWorkers = 3
+	records := uint64(16 * 1024)
+	duration := 400 * time.Millisecond
+	if quick {
+		records = 4 * 1024
+		duration = 150 * time.Millisecond
+	}
+
+	tbl := stats.NewTable("protocol", "oltp_tps", "oltp_abort", "scans/s", "scan_p99", "scan_abort")
+	configs := []core.Config{
+		{Protocol: "MVCC", Isolation: "serializable"},
+		{Protocol: "MVCC", Isolation: "snapshot"},
+		{Protocol: "NO_WAIT"},
+		{Protocol: "WAIT_DIE"},
+		{Protocol: "SILO"},
+		{Protocol: "TICTOC"},
+	}
+	for _, cfg := range configs {
+		cfg.Threads = oltpWorkers + 1
+		name := cfg.Protocol
+		if cfg.Isolation != "" {
+			name += "/" + cfg.Isolation
+		}
+		row, err := runHTAPCell(cfg, records, duration, oltpWorkers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tbl.AddRow(name, row.oltpTps, row.oltpAbort, row.scansPerSec, row.scanP99.String(), row.scanAbort)
+	}
+	fmt.Fprintf(w, "E15: HTAP — full-table scans concurrent with OLTP updates (%d writers + 1 scanner)\n%s\n", oltpWorkers, tbl)
+	return nil
+}
+
+type htapRow struct {
+	oltpTps     float64
+	oltpAbort   float64
+	scansPerSec float64
+	scanP99     time.Duration
+	scanAbort   float64
+}
+
+func runHTAPCell(cfg core.Config, records uint64, duration time.Duration, oltpWorkers int) (htapRow, error) {
+	e, err := core.Open(cfg)
+	if err != nil {
+		return htapRow{}, err
+	}
+	defer e.Close()
+
+	sch := storage.MustSchema("facts", storage.I64("v"))
+	tbl, err := e.CreateTable(sch, core.IndexBTree)
+	if err != nil {
+		return htapRow{}, err
+	}
+	row := sch.NewRow()
+	for k := uint64(0); k < records; k++ {
+		sch.SetInt64(row, 0, 1)
+		if err := e.Load(tbl, k, row); err != nil {
+			return htapRow{}, err
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	counters := make([]stats.Counter, oltpWorkers)
+
+	for wkr := 0; wkr < oltpWorkers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			tx := e.NewTx(wkr, uint64(wkr+1))
+			for {
+				select {
+				case <-stop:
+					counters[wkr] = *tx.Counter()
+					return
+				default:
+				}
+				// Short RMW transactions over a hot prefix.
+				k := tx.RNG().Uint64n(records / 16)
+				tx.Run(func(tx *core.Tx) error {
+					r, err := tx.Update(tbl, k)
+					if err != nil {
+						return err
+					}
+					sch.SetInt64(r, 0, sch.GetInt64(r, 0)+1)
+					return nil
+				})
+			}
+		}(wkr)
+	}
+
+	// Analytical worker: full-table aggregation per transaction.
+	var scanHist *stats.Histogram
+	var scanCounter stats.Counter
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tx := e.NewTx(oltpWorkers, 99)
+		hist := stats.NewHistogram()
+		for {
+			select {
+			case <-stop:
+				scanHist = hist
+				scanCounter = *tx.Counter()
+				return
+			default:
+			}
+			t0 := time.Now()
+			tx.Run(func(tx *core.Tx) error {
+				var sum int64
+				return tx.Scan(tbl, 0, records, func(_ uint64, r storage.Row) bool {
+					sum += sch.GetInt64(r, 0)
+					return true
+				})
+			})
+			hist.RecordDuration(time.Since(t0))
+		}
+	}()
+
+	start := time.Now()
+	time.AfterFunc(duration, func() { close(stop) })
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var oltp stats.Counter
+	for i := range counters {
+		oltp.Add(&counters[i])
+	}
+	return htapRow{
+		oltpTps:     float64(oltp.Commits) / elapsed,
+		oltpAbort:   oltp.AbortRate(),
+		scansPerSec: float64(scanCounter.Commits) / elapsed,
+		scanP99:     time.Duration(scanHist.Percentile(99)),
+		scanAbort:   scanCounter.AbortRate(),
+	}, nil
+}

@@ -1,0 +1,383 @@
+package index
+
+import (
+	"sync"
+
+	"next700/internal/storage"
+)
+
+// btreeOrder is the maximum number of keys per node. 64 keys keeps nodes
+// around one cache-line-multiple and trees shallow for benchmark-scale data.
+const btreeOrder = 64
+
+// node is a B+ tree node. Internal nodes hold len(keys)+1 children where
+// keys[i] is the smallest key reachable under children[i+1]. Leaves hold
+// parallel keys/rids slices and a next pointer forming the leaf chain.
+type node struct {
+	mu       sync.RWMutex
+	leaf     bool
+	keys     []uint64
+	children []*node            // internal only
+	rids     []storage.RecordID // leaf only
+	next     *node              // leaf chain
+}
+
+func newLeaf() *node {
+	return &node{
+		leaf: true,
+		keys: make([]uint64, 0, btreeOrder),
+		rids: make([]storage.RecordID, 0, btreeOrder),
+	}
+}
+
+func newInternal() *node {
+	return &node{
+		keys:     make([]uint64, 0, btreeOrder),
+		children: make([]*node, 0, btreeOrder+1),
+	}
+}
+
+// full reports whether an insert into this node could require a split.
+func (n *node) full() bool { return len(n.keys) >= btreeOrder }
+
+// childIndex returns which child subtree covers key: the number of
+// separators <= key.
+func (n *node) childIndex(key uint64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// search returns the insertion position of key in a sorted key slice and
+// whether key is present at that position.
+func (n *node) search(key uint64) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == key
+}
+
+// BTree is a concurrent B+ tree with pessimistic latch crabbing: readers
+// crab read-latches root-to-leaf; writers crab write-latches, releasing all
+// held ancestors as soon as the current node cannot split. Deletes are lazy
+// (no rebalancing), the standard simplification in main-memory OLTP engines
+// where deletes are rare and space is reclaimed wholesale.
+type BTree struct {
+	name string
+	// meta guards the root pointer and acts as the root's parent in the
+	// crabbing protocol: holding meta prevents the root from changing.
+	meta sync.RWMutex
+	root *node
+	// count tracks Len, maintained under its own mutex.
+	countMu sync.Mutex
+	count   int
+}
+
+// NewBTree creates an empty tree.
+func NewBTree(name string) *BTree {
+	return &BTree{name: name, root: newLeaf()}
+}
+
+// Name implements Index.
+func (t *BTree) Name() string { return t.name }
+
+// Len implements Index.
+func (t *BTree) Len() int {
+	t.countMu.Lock()
+	defer t.countMu.Unlock()
+	return t.count
+}
+
+func (t *BTree) addCount(d int) {
+	t.countMu.Lock()
+	t.count += d
+	t.countMu.Unlock()
+}
+
+// descendRead crabs read latches from the root to the leaf covering key and
+// returns that leaf still read-latched.
+func (t *BTree) descendRead(key uint64) *node {
+	t.meta.RLock()
+	n := t.root
+	n.mu.RLock()
+	t.meta.RUnlock()
+	for !n.leaf {
+		child := n.children[n.childIndex(key)]
+		child.mu.RLock()
+		n.mu.RUnlock()
+		n = child
+	}
+	return n
+}
+
+// Lookup implements Index.
+func (t *BTree) Lookup(key uint64) (storage.RecordID, bool) {
+	n := t.descendRead(key)
+	defer n.mu.RUnlock()
+	if i, ok := n.search(key); ok {
+		return n.rids[i], true
+	}
+	return storage.InvalidRecordID, false
+}
+
+// Insert implements Index.
+//
+// Latching invariants during descent:
+//   - metaHeld is true iff t.meta is write-locked, which is the case exactly
+//     while the root may still be replaced by this insert (root split).
+//   - held contains the write-latched ancestors, highest first, each of
+//     which was full when its child was latched and may therefore need to
+//     absorb a separator from a propagating split.
+//   - whenever a non-full node is reached, every held ancestor (and meta)
+//     is released: the split cannot propagate past a non-full node.
+func (t *BTree) Insert(key uint64, rid storage.RecordID) (storage.RecordID, bool) {
+	t.meta.Lock()
+	metaHeld := true
+	n := t.root
+	n.mu.Lock()
+	var held []*node
+
+	release := func() {
+		for _, a := range held {
+			a.mu.Unlock()
+		}
+		held = held[:0]
+		if metaHeld {
+			t.meta.Unlock()
+			metaHeld = false
+		}
+	}
+
+	if !n.full() {
+		t.meta.Unlock()
+		metaHeld = false
+	}
+
+	for !n.leaf {
+		child := n.children[n.childIndex(key)]
+		child.mu.Lock()
+		if child.full() {
+			held = append(held, n)
+		} else {
+			n.mu.Unlock()
+			release()
+		}
+		n = child
+	}
+
+	i, found := n.search(key)
+	if found {
+		old := n.rids[i]
+		n.mu.Unlock()
+		release()
+		return old, false
+	}
+	n.keys = append(n.keys, 0)
+	n.rids = append(n.rids, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.rids[i+1:], n.rids[i:])
+	n.keys[i] = key
+	n.rids[i] = rid
+	t.addCount(1)
+
+	if len(n.keys) <= btreeOrder {
+		n.mu.Unlock()
+		release()
+		return rid, true
+	}
+
+	// Overflow: split the leaf, then push separators up through the held
+	// ancestors, bottom-up.
+	sepKey, right := n.splitLeaf()
+	n.mu.Unlock()
+
+	for idx := len(held) - 1; idx >= 0; idx-- {
+		parent := held[idx]
+		ci := parent.childIndex(sepKey)
+		parent.keys = append(parent.keys, 0)
+		copy(parent.keys[ci+1:], parent.keys[ci:])
+		parent.keys[ci] = sepKey
+		parent.children = append(parent.children, nil)
+		copy(parent.children[ci+2:], parent.children[ci+1:])
+		parent.children[ci+1] = right
+
+		if len(parent.keys) <= btreeOrder {
+			// Absorbed. A non-full held ancestor can only be held[0] (its
+			// own parent was released during descent because it was not
+			// full at that time — but it became over-full only transiently
+			// here if it was full; absorption means it was exactly at the
+			// boundary). Release everything still held.
+			held = held[:idx+1]
+			release()
+			return rid, true
+		}
+		sepKey, right = parent.splitInternal()
+		parent.mu.Unlock()
+	}
+	held = held[:0]
+
+	// The split propagated past every held ancestor, i.e. the root itself
+	// split (or the root was the leaf). meta must still be held.
+	if !metaHeld {
+		panic("index: root split without meta latch")
+	}
+	newRoot := newInternal()
+	newRoot.keys = append(newRoot.keys, sepKey)
+	newRoot.children = append(newRoot.children, t.root, right)
+	t.root = newRoot
+	t.meta.Unlock()
+	return rid, true
+}
+
+// splitLeaf moves the upper half of n into a new right sibling, links the
+// leaf chain, and returns the separator key (first key of the right node).
+// Caller holds n's write latch.
+func (n *node) splitLeaf() (uint64, *node) {
+	mid := len(n.keys) / 2
+	right := newLeaf()
+	right.keys = append(right.keys, n.keys[mid:]...)
+	right.rids = append(right.rids, n.rids[mid:]...)
+	n.keys = n.keys[:mid]
+	n.rids = n.rids[:mid]
+	right.next = n.next
+	n.next = right
+	return right.keys[0], right
+}
+
+// splitInternal moves the upper half of n into a new right sibling and
+// returns the separator pushed up. Caller holds n's write latch.
+func (n *node) splitInternal() (uint64, *node) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := newInternal()
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return sep, right
+}
+
+// Delete implements Index (lazy: no rebalancing). The read-to-write latch
+// upgrade at the leaf opens a window where a concurrent split can move the
+// key into a right sibling; the leaf chain is chased under lock coupling to
+// close it.
+func (t *BTree) Delete(key uint64) bool {
+	t.meta.RLock()
+	n := t.root
+	n.mu.RLock()
+	t.meta.RUnlock()
+	for !n.leaf {
+		child := n.children[n.childIndex(key)]
+		child.mu.RLock()
+		n.mu.RUnlock()
+		n = child
+	}
+	n.mu.RUnlock()
+	n.mu.Lock()
+
+	i, found := n.search(key)
+	for !found {
+		// The key is absent from this leaf. It can only live to the right
+		// if it is greater than everything here (or the leaf is empty,
+		// which a lazy delete can produce).
+		if len(n.keys) > 0 && key <= n.keys[len(n.keys)-1] {
+			n.mu.Unlock()
+			return false
+		}
+		nx := n.next
+		if nx == nil {
+			n.mu.Unlock()
+			return false
+		}
+		nx.mu.Lock()
+		n.mu.Unlock()
+		n = nx
+		i, found = n.search(key)
+	}
+
+	copy(n.keys[i:], n.keys[i+1:])
+	copy(n.rids[i:], n.rids[i+1:])
+	n.keys = n.keys[:len(n.keys)-1]
+	n.rids = n.rids[:len(n.rids)-1]
+	n.mu.Unlock()
+	t.addCount(-1)
+	return true
+}
+
+// Scan implements Ranger: ascending visit of [lo, hi] inclusive.
+func (t *BTree) Scan(lo, hi uint64, fn func(key uint64, rid storage.RecordID) bool) int {
+	if lo > hi {
+		return 0
+	}
+	n := t.descendRead(lo)
+	visited := 0
+	for {
+		start, _ := n.search(lo)
+		for i := start; i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				n.mu.RUnlock()
+				return visited
+			}
+			visited++
+			if !fn(n.keys[i], n.rids[i]) {
+				n.mu.RUnlock()
+				return visited
+			}
+		}
+		nx := n.next
+		if nx == nil {
+			n.mu.RUnlock()
+			return visited
+		}
+		nx.mu.RLock()
+		n.mu.RUnlock()
+		n = nx
+	}
+}
+
+// ScanDesc implements Ranger: descending visit of [lo, hi]. The leaf chain
+// is singly linked, so the range is first collected ascending into a buffer
+// and then visited in reverse; intended for the narrow descending ranges
+// OLTP workloads use (e.g. latest-order lookups).
+func (t *BTree) ScanDesc(lo, hi uint64, fn func(key uint64, rid storage.RecordID) bool) int {
+	type entry struct {
+		key uint64
+		rid storage.RecordID
+	}
+	var buf []entry
+	t.Scan(lo, hi, func(key uint64, rid storage.RecordID) bool {
+		buf = append(buf, entry{key, rid})
+		return true
+	})
+	visited := 0
+	for i := len(buf) - 1; i >= 0; i-- {
+		visited++
+		if !fn(buf[i].key, buf[i].rid) {
+			break
+		}
+	}
+	return visited
+}
+
+// Iterate implements Index: an ascending full scan.
+func (t *BTree) Iterate(fn func(key uint64, rid storage.RecordID) bool) {
+	t.Scan(0, ^uint64(0), fn)
+}
+
+var (
+	_ Index  = (*Hash)(nil)
+	_ Ranger = (*BTree)(nil)
+)

@@ -1,0 +1,161 @@
+package index
+
+import (
+	"testing"
+
+	"next700/internal/storage"
+	"next700/internal/xrand"
+)
+
+// TestBTreeModelFuzz runs long random op sequences against a map model and
+// checks full agreement, including scan results, after every batch.
+func TestBTreeModelFuzz(t *testing.T) {
+	const rounds = 40
+	const opsPerRound = 2500
+	rng := xrand.New(0xF022)
+	bt := NewBTree("fuzz")
+	model := make(map[uint64]storage.RecordID)
+
+	for round := 0; round < rounds; round++ {
+		for op := 0; op < opsPerRound; op++ {
+			key := rng.Uint64() % 4096
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				rid := storage.RecordID(rng.Uint64())
+				old, inserted := bt.Insert(key, rid)
+				if prev, ok := model[key]; ok {
+					if inserted || old != prev {
+						t.Fatalf("insert over existing key %d: got (%d,%v) want (%d,false)",
+							key, old, inserted, prev)
+					}
+				} else {
+					if !inserted {
+						t.Fatalf("insert of fresh key %d failed", key)
+					}
+					model[key] = rid
+				}
+			case 4, 5: // delete
+				got := bt.Delete(key)
+				_, want := model[key]
+				if got != want {
+					t.Fatalf("delete %d: got %v want %v", key, got, want)
+				}
+				delete(model, key)
+			default: // lookup
+				rid, ok := bt.Lookup(key)
+				want, wok := model[key]
+				if ok != wok || (ok && rid != want) {
+					t.Fatalf("lookup %d: got (%d,%v) want (%d,%v)", key, rid, ok, want, wok)
+				}
+			}
+		}
+		// Whole-tree agreement after each round.
+		if bt.Len() != len(model) {
+			t.Fatalf("round %d: len %d vs model %d", round, bt.Len(), len(model))
+		}
+		seen := 0
+		prev := int64(-1)
+		bt.Scan(0, ^uint64(0), func(k uint64, rid storage.RecordID) bool {
+			if int64(k) <= prev {
+				t.Fatalf("scan out of order at %d", k)
+			}
+			prev = int64(k)
+			want, ok := model[k]
+			if !ok || want != rid {
+				t.Fatalf("scan produced (%d,%d), model has (%d,%v)", k, rid, want, ok)
+			}
+			seen++
+			return true
+		})
+		if seen != len(model) {
+			t.Fatalf("scan visited %d of %d", seen, len(model))
+		}
+
+		// Random sub-range scans agree with a model filter.
+		lo := rng.Uint64() % 4096
+		hi := lo + rng.Uint64()%512
+		wantN := 0
+		for k := range model {
+			if k >= lo && k <= hi {
+				wantN++
+			}
+		}
+		gotN := bt.Scan(lo, hi, func(uint64, storage.RecordID) bool { return true })
+		if gotN != wantN {
+			t.Fatalf("range [%d,%d]: scanned %d want %d", lo, hi, gotN, wantN)
+		}
+		// Descending agrees with ascending reversed.
+		var asc, desc []uint64
+		bt.Scan(lo, hi, func(k uint64, _ storage.RecordID) bool {
+			asc = append(asc, k)
+			return true
+		})
+		bt.ScanDesc(lo, hi, func(k uint64, _ storage.RecordID) bool {
+			desc = append(desc, k)
+			return true
+		})
+		if len(asc) != len(desc) {
+			t.Fatalf("asc/desc length mismatch: %d vs %d", len(asc), len(desc))
+		}
+		for i := range asc {
+			if asc[i] != desc[len(desc)-1-i] {
+				t.Fatalf("desc not reverse of asc at %d", i)
+			}
+		}
+	}
+}
+
+// TestBTreeIterateMatchesScan checks Iterate agrees with a full scan.
+func TestBTreeIterateMatchesScan(t *testing.T) {
+	bt := NewBTree("it")
+	rng := xrand.New(5)
+	for i := 0; i < 10000; i++ {
+		bt.Insert(rng.Uint64()%100000, storage.RecordID(i))
+	}
+	var a, b []uint64
+	bt.Scan(0, ^uint64(0), func(k uint64, _ storage.RecordID) bool {
+		a = append(a, k)
+		return true
+	})
+	bt.Iterate(func(k uint64, _ storage.RecordID) bool {
+		b = append(b, k)
+		return true
+	})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+// TestHashIterate checks hash iteration coverage and early stop.
+func TestHashIterate(t *testing.T) {
+	h := NewHash("it", 0)
+	for i := uint64(0); i < 1000; i++ {
+		h.Insert(i, storage.RecordID(i*2))
+	}
+	seen := make(map[uint64]storage.RecordID)
+	h.Iterate(func(k uint64, rid storage.RecordID) bool {
+		seen[k] = rid
+		return true
+	})
+	if len(seen) != 1000 {
+		t.Fatalf("iterated %d entries", len(seen))
+	}
+	for k, rid := range seen {
+		if rid != storage.RecordID(k*2) {
+			t.Fatalf("key %d has rid %d", k, rid)
+		}
+	}
+	n := 0
+	h.Iterate(func(uint64, storage.RecordID) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}

@@ -1,0 +1,148 @@
+// Package index provides the two index families the engine composes over:
+// a partitioned concurrent hash index for point lookups and a concurrent
+// B+ tree (latch crabbing) for ordered access and range scans.
+//
+// Keys are uint64. Composite benchmark keys (warehouse, district, ...) are
+// packed into 64 bits by the workload layer; this keeps the hot lookup path
+// free of allocation and comparison indirection, matching the design of the
+// research engines the keynote surveys.
+package index
+
+import (
+	"sync"
+
+	"next700/internal/storage"
+)
+
+// Index is the interface the engine programs against. Implementations must
+// be safe for concurrent use.
+//
+// Insert is idempotent-on-conflict: inserting an existing key fails and
+// reports the incumbent record so unique-constraint handling is cheap.
+type Index interface {
+	// Name returns the index name.
+	Name() string
+	// Insert maps key to rid. If key is already present, Insert returns the
+	// existing record id and false and does not modify the index.
+	Insert(key uint64, rid storage.RecordID) (storage.RecordID, bool)
+	// Lookup returns the record mapped to key, or (InvalidRecordID, false).
+	Lookup(key uint64) (storage.RecordID, bool)
+	// Delete removes key; it reports whether the key was present.
+	Delete(key uint64) bool
+	// Len returns the number of keys currently indexed.
+	Len() int
+	// Iterate visits every entry until fn returns false. Visit order is
+	// implementation-defined. Not atomic with respect to concurrent
+	// writers; intended for quiesced phases (checkpointing, verification).
+	Iterate(fn func(key uint64, rid storage.RecordID) bool)
+}
+
+// Ranger is implemented by ordered indexes that support range scans.
+type Ranger interface {
+	Index
+	// Scan visits keys in [lo, hi] in ascending order until fn returns
+	// false. It returns the number of entries visited.
+	Scan(lo, hi uint64, fn func(key uint64, rid storage.RecordID) bool) int
+	// ScanDesc visits keys in [lo, hi] in descending order until fn returns
+	// false. It returns the number of entries visited.
+	ScanDesc(lo, hi uint64, fn func(key uint64, rid storage.RecordID) bool) int
+}
+
+// hashShards is the number of independently locked partitions in the hash
+// index; a power of two so shard selection is a mask.
+const hashShards = 64
+
+type hashShard struct {
+	mu sync.RWMutex
+	m  map[uint64]storage.RecordID
+}
+
+// Hash is a partitioned hash index. Each partition is an independently
+// RW-locked Go map: simple, correct, and fast enough that the concurrency
+// control protocol — not the index — dominates the transaction path.
+type Hash struct {
+	name   string
+	shards [hashShards]hashShard
+}
+
+// NewHash creates an empty hash index. sizeHint is a per-index expected key
+// count used to presize the shard maps (0 is fine).
+func NewHash(name string, sizeHint int) *Hash {
+	h := &Hash{name: name}
+	per := sizeHint / hashShards
+	for i := range h.shards {
+		h.shards[i].m = make(map[uint64]storage.RecordID, per)
+	}
+	return h
+}
+
+// Name implements Index.
+func (h *Hash) Name() string { return h.name }
+
+func (h *Hash) shard(key uint64) *hashShard {
+	// Multiplicative scramble so sequential keys spread across shards.
+	return &h.shards[(key*0x9e3779b97f4a7c15)>>(64-6)]
+}
+
+// Insert implements Index.
+func (h *Hash) Insert(key uint64, rid storage.RecordID) (storage.RecordID, bool) {
+	s := h.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[key]; ok {
+		return old, false
+	}
+	s.m[key] = rid
+	return rid, true
+}
+
+// Lookup implements Index.
+func (h *Hash) Lookup(key uint64) (storage.RecordID, bool) {
+	s := h.shard(key)
+	s.mu.RLock()
+	rid, ok := s.m[key]
+	s.mu.RUnlock()
+	if !ok {
+		return storage.InvalidRecordID, false
+	}
+	return rid, true
+}
+
+// Delete implements Index.
+func (h *Hash) Delete(key uint64) bool {
+	s := h.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok {
+		return false
+	}
+	delete(s.m, key)
+	return true
+}
+
+// Len implements Index.
+func (h *Hash) Len() int {
+	n := 0
+	for i := range h.shards {
+		h.shards[i].mu.RLock()
+		n += len(h.shards[i].m)
+		h.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Iterate implements Index: shard by shard, holding one shard's read lock
+// at a time.
+func (h *Hash) Iterate(fn func(key uint64, rid storage.RecordID) bool) {
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !fn(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}

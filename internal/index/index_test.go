@@ -1,0 +1,338 @@
+package index
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"next700/internal/storage"
+	"next700/internal/xrand"
+)
+
+// both runs f against each index implementation.
+func both(t *testing.T, f func(t *testing.T, idx Index)) {
+	t.Helper()
+	t.Run("hash", func(t *testing.T) { f(t, NewHash("h", 0)) })
+	t.Run("btree", func(t *testing.T) { f(t, NewBTree("b")) })
+}
+
+func TestInsertLookup(t *testing.T) {
+	both(t, func(t *testing.T, idx Index) {
+		if _, ok := idx.Lookup(1); ok {
+			t.Fatal("lookup in empty index")
+		}
+		if _, ok := idx.Insert(1, 100); !ok {
+			t.Fatal("insert failed")
+		}
+		rid, ok := idx.Lookup(1)
+		if !ok || rid != 100 {
+			t.Fatalf("lookup got %d/%v", rid, ok)
+		}
+		// Duplicate insert reports the incumbent.
+		old, ok := idx.Insert(1, 200)
+		if ok || old != 100 {
+			t.Fatalf("dup insert got %d/%v", old, ok)
+		}
+		if rid, _ := idx.Lookup(1); rid != 100 {
+			t.Fatal("dup insert clobbered value")
+		}
+		if idx.Len() != 1 {
+			t.Fatalf("len %d", idx.Len())
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	both(t, func(t *testing.T, idx Index) {
+		idx.Insert(5, 50)
+		if !idx.Delete(5) {
+			t.Fatal("delete of present key failed")
+		}
+		if idx.Delete(5) {
+			t.Fatal("double delete succeeded")
+		}
+		if _, ok := idx.Lookup(5); ok {
+			t.Fatal("deleted key still found")
+		}
+		if idx.Len() != 0 {
+			t.Fatalf("len %d", idx.Len())
+		}
+		// Reinsert after delete.
+		if _, ok := idx.Insert(5, 55); !ok {
+			t.Fatal("reinsert failed")
+		}
+		if rid, _ := idx.Lookup(5); rid != 55 {
+			t.Fatal("reinsert value wrong")
+		}
+	})
+}
+
+func TestBulk(t *testing.T) {
+	both(t, func(t *testing.T, idx Index) {
+		const n = 50000
+		rng := xrand.New(1)
+		keys := make([]uint64, 0, n)
+		seen := make(map[uint64]bool, n)
+		for len(keys) < n {
+			k := rng.Uint64() % (1 << 40)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+			idx.Insert(k, storage.RecordID(k+1))
+		}
+		if idx.Len() != n {
+			t.Fatalf("len %d want %d", idx.Len(), n)
+		}
+		for _, k := range keys {
+			rid, ok := idx.Lookup(k)
+			if !ok || rid != storage.RecordID(k+1) {
+				t.Fatalf("key %d -> %d/%v", k, rid, ok)
+			}
+		}
+		// Delete half, verify.
+		for i, k := range keys {
+			if i%2 == 0 {
+				if !idx.Delete(k) {
+					t.Fatalf("delete %d failed", k)
+				}
+			}
+		}
+		if idx.Len() != n/2 {
+			t.Fatalf("len after deletes %d", idx.Len())
+		}
+		for i, k := range keys {
+			_, ok := idx.Lookup(k)
+			if (i%2 == 0) == ok {
+				t.Fatalf("key %d present=%v at i=%d", k, ok, i)
+			}
+		}
+	})
+}
+
+func TestQuickInsertLookupDelete(t *testing.T) {
+	both(t, func(t *testing.T, idx Index) {
+		model := make(map[uint64]storage.RecordID)
+		err := quick.Check(func(key uint64, rid uint32, del bool) bool {
+			key %= 512 // force collisions with the model
+			if del {
+				_, inModel := model[key]
+				ok := idx.Delete(key)
+				delete(model, key)
+				return ok == inModel
+			}
+			old, inserted := idx.Insert(key, storage.RecordID(rid))
+			if prev, inModel := model[key]; inModel {
+				return !inserted && old == prev
+			}
+			model[key] = storage.RecordID(rid)
+			return inserted
+		}, &quick.Config{MaxCount: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Final state agreement.
+		if idx.Len() != len(model) {
+			t.Fatalf("len %d vs model %d", idx.Len(), len(model))
+		}
+		for k, v := range model {
+			rid, ok := idx.Lookup(k)
+			if !ok || rid != v {
+				t.Fatalf("key %d: got %d/%v want %d", k, rid, ok, v)
+			}
+		}
+	})
+}
+
+func TestBTreeScanAscending(t *testing.T) {
+	bt := NewBTree("b")
+	// Insert shuffled multiples of 3 in [0, 3000).
+	rng := xrand.New(2)
+	perm := make([]int, 1000)
+	rng.Perm(perm)
+	for _, i := range perm {
+		bt.Insert(uint64(i*3), storage.RecordID(i))
+	}
+	var got []uint64
+	n := bt.Scan(300, 600, func(k uint64, rid storage.RecordID) bool {
+		got = append(got, k)
+		if rid != storage.RecordID(k/3) {
+			t.Fatalf("key %d has rid %d", k, rid)
+		}
+		return true
+	})
+	if n != len(got) {
+		t.Fatalf("visited %d but returned %d", len(got), n)
+	}
+	if len(got) != 101 { // 300, 303, ..., 600
+		t.Fatalf("scan returned %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan not ascending")
+	}
+	if got[0] != 300 || got[len(got)-1] != 600 {
+		t.Fatalf("scan bounds wrong: %d..%d", got[0], got[len(got)-1])
+	}
+}
+
+func TestBTreeScanEarlyStopAndEmpty(t *testing.T) {
+	bt := NewBTree("b")
+	for i := 0; i < 100; i++ {
+		bt.Insert(uint64(i), storage.RecordID(i))
+	}
+	count := 0
+	n := bt.Scan(10, 90, func(k uint64, rid storage.RecordID) bool {
+		count++
+		return count < 5
+	})
+	if n != 5 || count != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	if n := bt.Scan(200, 300, func(uint64, storage.RecordID) bool { return true }); n != 0 {
+		t.Fatalf("empty range visited %d", n)
+	}
+	if n := bt.Scan(90, 10, func(uint64, storage.RecordID) bool { return true }); n != 0 {
+		t.Fatalf("inverted range visited %d", n)
+	}
+}
+
+func TestBTreeScanDesc(t *testing.T) {
+	bt := NewBTree("b")
+	for i := 0; i < 1000; i++ {
+		bt.Insert(uint64(i*2), storage.RecordID(i))
+	}
+	var got []uint64
+	bt.ScanDesc(100, 200, func(k uint64, _ storage.RecordID) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 51 {
+		t.Fatalf("desc scan returned %d", len(got))
+	}
+	if got[0] != 200 || got[len(got)-1] != 100 {
+		t.Fatalf("desc bounds wrong: %d..%d", got[0], got[len(got)-1])
+	}
+	// Early stop returns the highest keys only.
+	got = got[:0]
+	n := bt.ScanDesc(0, 5000, func(k uint64, _ storage.RecordID) bool {
+		got = append(got, k)
+		return len(got) < 3
+	})
+	if n != 3 || got[0] != 1998 {
+		t.Fatalf("desc early stop: n=%d got=%v", n, got)
+	}
+}
+
+func TestBTreeSequentialAndReverseInserts(t *testing.T) {
+	// Sequential inserts stress rightmost-leaf splits; reverse stresses
+	// leftmost.
+	for name, gen := range map[string]func(i int) uint64{
+		"asc":  func(i int) uint64 { return uint64(i) },
+		"desc": func(i int) uint64 { return uint64(100000 - i) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			bt := NewBTree("b")
+			const n = 100000
+			for i := 0; i < n; i++ {
+				bt.Insert(gen(i), storage.RecordID(i))
+			}
+			if bt.Len() != n {
+				t.Fatalf("len %d", bt.Len())
+			}
+			total := bt.Scan(0, 1<<63, func(uint64, storage.RecordID) bool { return true })
+			if total != n {
+				t.Fatalf("scan found %d", total)
+			}
+		})
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	both(t, func(t *testing.T, idx Index) {
+		const workers = 8
+		const perWorker = 5000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(w + 1))
+				base := uint64(w) << 32
+				for i := 0; i < perWorker; i++ {
+					k := base | uint64(i)
+					idx.Insert(k, storage.RecordID(k))
+					if rng.Bool(0.3) {
+						idx.Delete(k)
+						idx.Insert(k, storage.RecordID(k))
+					}
+					if rid, ok := idx.Lookup(k); !ok || rid != storage.RecordID(k) {
+						panic("own key lost")
+					}
+					// Random cross-worker lookups exercise readers during
+					// structural changes.
+					idx.Lookup(rng.Uint64() % (workers << 32))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if idx.Len() != workers*perWorker {
+			t.Fatalf("len %d want %d", idx.Len(), workers*perWorker)
+		}
+	})
+}
+
+func TestBTreeConcurrentScanDuringInserts(t *testing.T) {
+	bt := NewBTree("b")
+	for i := 0; i < 10000; i += 2 {
+		bt.Insert(uint64(i), storage.RecordID(i))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i < 10000; i += 2 {
+			bt.Insert(uint64(i), storage.RecordID(i))
+		}
+		close(stop)
+	}()
+	// Scanners must always see the pre-existing even keys in order.
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			return
+		default:
+		}
+		prev := int64(-1)
+		evens := 0
+		bt.Scan(0, 9999, func(k uint64, _ storage.RecordID) bool {
+			if int64(k) <= prev {
+				t.Errorf("scan out of order: %d after %d", k, prev)
+				return false
+			}
+			prev = int64(k)
+			if k%2 == 0 {
+				evens++
+			}
+			return true
+		})
+		if evens != 5000 {
+			t.Fatalf("scan lost pre-existing keys: saw %d evens", evens)
+		}
+	}
+}
+
+func TestHashShardDistribution(t *testing.T) {
+	h := NewHash("h", 1000)
+	// Sequential keys must spread across shards, not pile into one.
+	counts := make(map[*hashShard]int)
+	for k := uint64(0); k < 1000; k++ {
+		counts[h.shard(k)]++
+	}
+	if len(counts) < hashShards/2 {
+		t.Fatalf("sequential keys hit only %d shards", len(counts))
+	}
+}

@@ -1,0 +1,216 @@
+// Package partition implements the engine's partitioning axis: key
+// partitioners and a DORA-style data-oriented executor (Pandis et al.,
+// "Data-Oriented Transaction Execution", VLDB 2010).
+//
+// In the conventional thread-to-transaction model, any worker may touch any
+// record, so every record access pays concurrency control. Data-oriented
+// execution inverts the assignment: each partition of the data is owned by
+// exactly one worker goroutine, transactions are routed to owners, and
+// accesses within a partition need no locks at all. Cross-partition
+// transactions synchronize the owners involved with a rendezvous barrier —
+// the coordination cost the design trades for lock-freedom.
+package partition
+
+import (
+	"errors"
+	"sync"
+)
+
+// Partitioner maps keys to partitions.
+type Partitioner interface {
+	// Partition returns the partition of key, in [0, N).
+	Partition(key uint64) int
+	// N returns the partition count.
+	N() int
+}
+
+// HashPartitioner assigns keys round-robin by value (key mod n).
+type HashPartitioner struct{ n int }
+
+// NewHashPartitioner creates a modulo partitioner over n partitions.
+func NewHashPartitioner(n int) *HashPartitioner {
+	if n < 1 {
+		n = 1
+	}
+	return &HashPartitioner{n: n}
+}
+
+// Partition implements Partitioner.
+func (p *HashPartitioner) Partition(key uint64) int { return int(key % uint64(p.n)) }
+
+// N implements Partitioner.
+func (p *HashPartitioner) N() int { return p.n }
+
+// RangePartitioner splits [0, max) into n contiguous ranges.
+type RangePartitioner struct {
+	n   int
+	max uint64
+}
+
+// NewRangePartitioner creates a range partitioner over [0, max).
+func NewRangePartitioner(n int, max uint64) *RangePartitioner {
+	if n < 1 {
+		n = 1
+	}
+	if max == 0 {
+		max = 1
+	}
+	return &RangePartitioner{n: n, max: max}
+}
+
+// Partition implements Partitioner.
+func (p *RangePartitioner) Partition(key uint64) int {
+	if key >= p.max {
+		return p.n - 1
+	}
+	part := int(key * uint64(p.n) / p.max)
+	if part >= p.n {
+		part = p.n - 1
+	}
+	return part
+}
+
+// N implements Partitioner.
+func (p *RangePartitioner) N() int { return p.n }
+
+// task is one unit of work routed to a partition owner.
+type task struct {
+	fn      func()
+	barrier *barrier // non-nil for multi-partition rendezvous
+}
+
+// barrier synchronizes the owners of a multi-partition transaction: every
+// owner parks at the barrier; the executor runs the transaction body while
+// they are parked (so it has exclusive access to all their partitions) and
+// then releases them.
+type barrier struct {
+	arrive  sync.WaitGroup // owners that have parked
+	release chan struct{}
+}
+
+// ErrStopped is returned for work submitted after Stop.
+var ErrStopped = errors.New("partition: executor stopped")
+
+// Executor is the data-oriented runtime: one goroutine per partition
+// draining a work queue. The caller guarantees that work submitted to a
+// partition touches only that partition's data; the executor guarantees
+// serial execution per partition.
+type Executor struct {
+	queues  []chan task
+	wg      sync.WaitGroup
+	mu      sync.Mutex // serializes multi-partition dispatch (deadlock freedom)
+	stopped bool
+}
+
+// NewExecutor starts owners for n partitions. queueDepth bounds each
+// owner's backlog (0 means 1024).
+func NewExecutor(n int, queueDepth int) *Executor {
+	if n < 1 {
+		n = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 1024
+	}
+	e := &Executor{queues: make([]chan task, n)}
+	for i := range e.queues {
+		e.queues[i] = make(chan task, queueDepth)
+		e.wg.Add(1)
+		go e.owner(i)
+	}
+	return e
+}
+
+// N returns the partition count.
+func (e *Executor) N() int { return len(e.queues) }
+
+func (e *Executor) owner(i int) {
+	defer e.wg.Done()
+	for t := range e.queues[i] {
+		if t.barrier != nil {
+			t.barrier.arrive.Done()
+			<-t.barrier.release
+			continue
+		}
+		t.fn()
+	}
+}
+
+// ExecSingle runs fn on the owner of part and waits for completion. fn must
+// only touch data in that partition.
+func (e *Executor) ExecSingle(part int, fn func()) error {
+	if part < 0 || part >= len(e.queues) {
+		return errors.New("partition: bad partition id")
+	}
+	done := make(chan struct{})
+	if err := e.submit(part, task{fn: func() { fn(); close(done) }}); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// ExecMulti parks the owners of parts at a rendezvous, runs fn with
+// exclusive access to all of them, and releases. Dispatch of multi-partition
+// work is serialized so barrier order is consistent across queues
+// (deadlock freedom).
+func (e *Executor) ExecMulti(parts []int, fn func()) error {
+	if len(parts) == 0 {
+		return errors.New("partition: empty partition set")
+	}
+	if len(parts) == 1 {
+		return e.ExecSingle(parts[0], fn)
+	}
+	b := &barrier{release: make(chan struct{})}
+	seen := make(map[int]bool, len(parts))
+
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return ErrStopped
+	}
+	for _, p := range parts {
+		if p < 0 || p >= len(e.queues) {
+			e.mu.Unlock()
+			close(b.release)
+			return errors.New("partition: bad partition id")
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		b.arrive.Add(1)
+		e.queues[p] <- task{barrier: b}
+	}
+	e.mu.Unlock()
+
+	b.arrive.Wait() // all owners parked: their partitions are quiescent
+	fn()
+	close(b.release)
+	return nil
+}
+
+func (e *Executor) submit(part int, t task) error {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return ErrStopped
+	}
+	e.queues[part] <- t
+	e.mu.Unlock()
+	return nil
+}
+
+// Stop drains and terminates the owners. Idempotent.
+func (e *Executor) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	for _, q := range e.queues {
+		close(q)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}

@@ -1,0 +1,197 @@
+package partition
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"next700/internal/xrand"
+)
+
+func TestHashPartitioner(t *testing.T) {
+	p := NewHashPartitioner(4)
+	if p.N() != 4 {
+		t.Fatal("N")
+	}
+	err := quick.Check(func(key uint64) bool {
+		part := p.Partition(key)
+		return part >= 0 && part < 4 && part == int(key%4)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewHashPartitioner(0).N() != 1 {
+		t.Fatal("zero partitions not clamped")
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	p := NewRangePartitioner(4, 1000)
+	cases := map[uint64]int{0: 0, 249: 0, 250: 1, 999: 3, 5000: 3}
+	for key, want := range cases {
+		if got := p.Partition(key); got != want {
+			t.Errorf("Partition(%d) = %d want %d", key, got, want)
+		}
+	}
+	// Monotone.
+	prev := 0
+	for k := uint64(0); k < 1000; k += 13 {
+		part := p.Partition(k)
+		if part < prev {
+			t.Fatalf("range partitioner not monotone at %d", k)
+		}
+		prev = part
+	}
+	if NewRangePartitioner(0, 0).Partition(5) != 0 {
+		t.Fatal("degenerate range partitioner broken")
+	}
+}
+
+func TestExecSingleSerialPerPartition(t *testing.T) {
+	e := NewExecutor(4, 0)
+	defer e.Stop()
+	// Unsynchronized per-partition counters: safe iff execution is serial
+	// per partition.
+	counters := make([]int, 4)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w + 1))
+			for i := 0; i < per; i++ {
+				part := rng.Intn(4)
+				if err := e.ExecSingle(part, func() { counters[part]++ }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("lost increments: %d want %d", total, workers*per)
+	}
+}
+
+func TestExecMultiExclusive(t *testing.T) {
+	e := NewExecutor(4, 0)
+	defer e.Stop()
+	// Transfers between two partition-local balances; multi-partition
+	// bodies run with both partitions quiescent, so no synchronization is
+	// used inside.
+	balances := []int{1000, 1000, 1000, 1000}
+	var wg sync.WaitGroup
+	const workers, per = 6, 300
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w + 11))
+			for i := 0; i < per; i++ {
+				a, b := rng.Intn(4), rng.Intn(4)
+				if a == b {
+					continue
+				}
+				if err := e.ExecMulti([]int{a, b}, func() {
+					balances[a]--
+					balances[b]++
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, b := range balances {
+		total += b
+	}
+	if total != 4000 {
+		t.Fatalf("conservation broken: %d", total)
+	}
+}
+
+func TestExecMixedSingleAndMulti(t *testing.T) {
+	e := NewExecutor(3, 8)
+	defer e.Stop()
+	vals := make([]int, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w + 21))
+			for i := 0; i < 200; i++ {
+				if rng.Bool(0.2) {
+					e.ExecMulti([]int{0, 1, 2}, func() {
+						vals[0]++
+						vals[1]++
+						vals[2]++
+					})
+				} else {
+					p := rng.Intn(3)
+					e.ExecSingle(p, func() { vals[p]++ })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// No assertion beyond absence of data races (run under -race) and
+	// completion without deadlock; sanity check that work happened.
+	if vals[0] == 0 || vals[1] == 0 || vals[2] == 0 {
+		t.Fatalf("no work recorded: %v", vals)
+	}
+}
+
+func TestExecMultiDuplicatePartitions(t *testing.T) {
+	e := NewExecutor(2, 0)
+	defer e.Stop()
+	ran := false
+	if err := e.ExecMulti([]int{1, 1, 0, 1}, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("body did not run")
+	}
+}
+
+func TestExecutorErrors(t *testing.T) {
+	e := NewExecutor(2, 0)
+	if err := e.ExecSingle(5, func() {}); err == nil {
+		t.Fatal("bad partition accepted")
+	}
+	if err := e.ExecMulti(nil, func() {}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if err := e.ExecMulti([]int{0, 9}, func() {}); err == nil {
+		t.Fatal("bad multi partition accepted")
+	}
+	e.Stop()
+	e.Stop() // idempotent
+	if err := e.ExecSingle(0, func() {}); err != ErrStopped {
+		t.Fatalf("post-stop submit: %v", err)
+	}
+	if err := e.ExecMulti([]int{0, 1}, func() {}); err != ErrStopped {
+		t.Fatalf("post-stop multi: %v", err)
+	}
+}
+
+func TestExecSingleOnSingletonExecutor(t *testing.T) {
+	e := NewExecutor(0, 0) // clamped to 1
+	defer e.Stop()
+	if e.N() != 1 {
+		t.Fatal("not clamped")
+	}
+	v := 0
+	e.ExecSingle(0, func() { v = 42 })
+	if v != 42 {
+		t.Fatal("work lost")
+	}
+}

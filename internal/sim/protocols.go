@@ -1,0 +1,592 @@
+package sim
+
+import "sort"
+
+// record is the per-key state shared by all protocol models; each family
+// uses its own subset of fields.
+type record struct {
+	// Lock-based state.
+	owner   int   // exclusive holder core, -1 if none
+	readers []int // shared holder cores
+	waiters []waiter
+
+	// Version state (SILO).
+	version     uint64
+	lockedUntil uint64 // commit-install window
+
+	// Timestamp state (TIMESTAMP, MVCC, TICTOC).
+	wts, rts uint64
+	pending  uint64 // TO/MVCC pre-write owner timestamp
+}
+
+type waiter struct {
+	core      int
+	exclusive bool
+}
+
+// partitionState is HSTORE's per-partition lock.
+type partitionState struct {
+	owner   int
+	waiters []int
+}
+
+// protocolModel advances one core by one step at s.now.
+type protocolModel interface {
+	attempt(core int)
+}
+
+func newProtocolModel(cfg *Config, s *Sim) protocolModel {
+	m := &model{cfg: cfg, s: s, records: make(map[uint64]*record)}
+	switch cfg.Protocol {
+	case "HSTORE":
+		m.parts = make([]partitionState, cfg.Partitions)
+		for i := range m.parts {
+			m.parts[i].owner = -1
+		}
+	case "DL_DETECT":
+		m.waitsFor = make(map[int]map[int]bool)
+	}
+	// Per-core attempt scratch.
+	// Transaction lengths vary up to 3*OpsPerTxn/2 (see Sim.generate).
+	maxOps := 2*cfg.OpsPerTxn + 2
+	m.att = make([]attemptState, cfg.Cores)
+	for i := range m.att {
+		m.att[i] = attemptState{
+			obs:  make([]uint64, maxOps),
+			obs2: make([]uint64, maxOps),
+		}
+	}
+	return m
+}
+
+// attemptState is per-core in-flight attempt scratch.
+type attemptState struct {
+	pc        int
+	tsDrawn   bool
+	partsHeld int // HSTORE: how many of c.parts are acquired
+	obs       []uint64
+	obs2      []uint64
+	heldKeys  []uint64 // lock-based / TO pendings
+	heldMode  []bool   // exclusive?
+}
+
+func (a *attemptState) reset() {
+	a.pc = 0
+	a.tsDrawn = false
+	a.partsHeld = 0
+	a.heldKeys = a.heldKeys[:0]
+	a.heldMode = a.heldMode[:0]
+}
+
+// model implements all protocol families over the shared record map.
+type model struct {
+	cfg     *Config
+	s       *Sim
+	records map[uint64]*record
+	att     []attemptState
+
+	// central timestamp allocator (TIMESTAMP, MVCC): busy-until time.
+	allocFree uint64
+	nextTS    uint64
+
+	// DL_DETECT shared graph.
+	waitsFor     map[int]map[int]bool
+	graphLatchAt uint64
+
+	// HSTORE partitions.
+	parts []partitionState
+
+	// TICTOC logical commit counter is data-driven; nothing global.
+}
+
+func (m *model) rec(key uint64) *record {
+	r := m.records[key]
+	if r == nil {
+		r = &record{owner: -1}
+		m.records[key] = r
+	}
+	return r
+}
+
+// attempt implements protocolModel.
+func (m *model) attempt(core int) {
+	switch m.cfg.Protocol {
+	case "NO_WAIT", "WAIT_DIE", "DL_DETECT":
+		m.stepLock(core)
+	case "TIMESTAMP", "MVCC":
+		m.stepTO(core)
+	case "SILO", "TICTOC":
+		m.stepOCC(core)
+	case "HSTORE":
+		m.stepHStore(core)
+	}
+}
+
+// priority returns the wait-die age (smaller = older): the logical
+// transaction's first start time, tie-broken by core id.
+func (m *model) priority(core int) uint64 {
+	return m.s.cores[core].txnStart<<16 | uint64(core)
+}
+
+// ---- lock-based family ----
+
+func (m *model) stepLock(core int) {
+	s := m.s
+	c := &s.cores[core]
+	a := &m.att[core]
+
+	if a.pc >= len(c.keys) {
+		// Commit: install writes, release everything at commit end.
+		nW := 0
+		for _, w := range c.writes {
+			if w {
+				nW++
+			}
+		}
+		end := s.now + uint64(nW)*m.cfg.Costs.CommitPerOp
+		m.releaseAllLocks(core, end)
+		a.reset()
+		s.commitTxn(core, end)
+		return
+	}
+
+	key := c.keys[a.pc]
+	excl := c.writes[a.pc]
+	r := m.rec(key)
+
+	if m.holdsLock(core, r, excl) {
+		a.pc++
+		s.schedule(core, s.now+m.cfg.Costs.Access)
+		return
+	}
+	if m.lockFree(core, r, excl) {
+		m.grantLock(core, r, excl, key, a)
+		a.pc++
+		s.schedule(core, s.now+m.cfg.Costs.Access)
+		return
+	}
+
+	// Conflict.
+	switch m.cfg.Protocol {
+	case "NO_WAIT":
+		m.abortLock(core, s.now)
+	case "WAIT_DIE":
+		me := m.priority(core)
+		for _, h := range m.lockHolders(r, core, excl) {
+			if me > m.priority(h) {
+				m.abortLock(core, s.now)
+				return
+			}
+		}
+		r.waiters = append(r.waiters, waiter{core: core, exclusive: excl})
+	case "DL_DETECT":
+		holders := m.lockHolders(r, core, excl)
+		// Charge the shared-graph latch plus per-edge traversal.
+		edges := 0
+		for _, e := range m.waitsFor {
+			edges += len(e)
+		}
+		cost := m.cfg.Costs.WaitsForLatch + uint64(edges)*m.cfg.Costs.DeadlockCheckPerEdge
+		// The graph latch serializes all detectors.
+		start := m.graphLatchAt
+		if s.now > start {
+			start = s.now
+		}
+		m.graphLatchAt = start + cost
+		if m.wouldCycle(core, holders) {
+			m.abortLock(core, m.graphLatchAt)
+			return
+		}
+		edgesOf := m.waitsFor[core]
+		if edgesOf == nil {
+			edgesOf = make(map[int]bool)
+			m.waitsFor[core] = edgesOf
+		}
+		for _, h := range holders {
+			edgesOf[h] = true
+		}
+		r.waiters = append(r.waiters, waiter{core: core, exclusive: excl})
+	}
+}
+
+func (m *model) holdsLock(core int, r *record, excl bool) bool {
+	if r.owner == core {
+		return true
+	}
+	if !excl {
+		for _, rd := range r.readers {
+			if rd == core {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (m *model) lockFree(core int, r *record, excl bool) bool {
+	if excl {
+		if r.owner != -1 && r.owner != core {
+			return false
+		}
+		for _, rd := range r.readers {
+			if rd != core {
+				return false
+			}
+		}
+		return true
+	}
+	return r.owner == -1 || r.owner == core
+}
+
+func (m *model) lockHolders(r *record, core int, excl bool) []int {
+	var out []int
+	if r.owner != -1 && r.owner != core {
+		out = append(out, r.owner)
+	}
+	if excl {
+		for _, rd := range r.readers {
+			if rd != core {
+				out = append(out, rd)
+			}
+		}
+	}
+	return out
+}
+
+func (m *model) grantLock(core int, r *record, excl bool, key uint64, a *attemptState) {
+	if excl {
+		// Upgrade drops the shared entry.
+		for i, rd := range r.readers {
+			if rd == core {
+				r.readers = append(r.readers[:i], r.readers[i+1:]...)
+				break
+			}
+		}
+		r.owner = core
+	} else {
+		r.readers = append(r.readers, core)
+	}
+	a.heldKeys = append(a.heldKeys, key)
+	a.heldMode = append(a.heldMode, excl)
+}
+
+func (m *model) wouldCycle(core int, holders []int) bool {
+	seen := map[int]bool{}
+	var dfs func(from int) bool
+	dfs = func(from int) bool {
+		for next := range m.waitsFor[from] {
+			if next == core {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, h := range holders {
+		if h == core {
+			return true
+		}
+		if !seen[h] {
+			seen[h] = true
+			if dfs(h) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// releaseAllLocks drops core's locks at time t and wakes grantable waiters.
+func (m *model) releaseAllLocks(core int, t uint64) {
+	a := &m.att[core]
+	if m.waitsFor != nil {
+		delete(m.waitsFor, core)
+	}
+	for i, key := range a.heldKeys {
+		r := m.rec(key)
+		if a.heldMode[i] {
+			if r.owner == core {
+				r.owner = -1
+			}
+		} else {
+			for j, rd := range r.readers {
+				if rd == core {
+					r.readers = append(r.readers[:j], r.readers[j+1:]...)
+					break
+				}
+			}
+		}
+		m.wakeWaiters(r, t)
+	}
+}
+
+// wakeWaiters grants queued waiters that are now compatible and schedules
+// them. Waiters re-execute their blocked step on wake, which re-checks.
+func (m *model) wakeWaiters(r *record, t uint64) {
+	if len(r.waiters) == 0 {
+		return
+	}
+	ws := r.waiters
+	r.waiters = r.waiters[:0]
+	for _, w := range ws {
+		if m.waitsFor != nil {
+			delete(m.waitsFor, w.core)
+		}
+		m.s.schedule(w.core, t)
+	}
+}
+
+// abortLock rolls back a lock-family attempt.
+func (m *model) abortLock(core int, t uint64) {
+	m.releaseAllLocks(core, t)
+	m.att[core].reset()
+	m.s.abortTxn(core, t+m.cfg.Costs.AbortPenalty)
+}
+
+// ---- timestamp-ordering family (TIMESTAMP, MVCC) ----
+
+func (m *model) stepTO(core int) {
+	s := m.s
+	c := &s.cores[core]
+	a := &m.att[core]
+	mvcc := m.cfg.Protocol == "MVCC"
+
+	if !a.tsDrawn {
+		// Serialize on the central allocator: the many-core bottleneck.
+		start := m.allocFree
+		if s.now > start {
+			start = s.now
+		}
+		m.allocFree = start + m.cfg.Costs.TsAlloc
+		m.nextTS++
+		c.ts = m.nextTS
+		a.tsDrawn = true
+		s.schedule(core, m.allocFree)
+		return
+	}
+
+	if a.pc < len(c.keys) {
+		key := c.keys[a.pc]
+		r := m.rec(key)
+		if c.writes[a.pc] {
+			if (r.pending != 0 && r.pending != c.ts) || c.ts < r.rts || c.ts < r.wts {
+				m.abortTO(core)
+				return
+			}
+			r.pending = c.ts
+			a.heldKeys = append(a.heldKeys, key)
+		} else {
+			if r.pending != 0 && r.pending != c.ts && r.pending < c.ts {
+				m.abortTO(core)
+				return
+			}
+			if !mvcc && c.ts < r.wts {
+				// Basic T/O: the read arrived too late. MVCC reads an
+				// older version instead.
+				m.abortTO(core)
+				return
+			}
+			if c.ts > r.rts {
+				r.rts = c.ts
+			}
+		}
+		a.pc++
+		s.schedule(core, s.now+m.cfg.Costs.Access)
+		return
+	}
+
+	// Commit.
+	nW := len(a.heldKeys)
+	end := s.now + uint64(nW)*m.cfg.Costs.CommitPerOp
+	for _, key := range a.heldKeys {
+		r := m.rec(key)
+		if r.pending == c.ts {
+			r.pending = 0
+		}
+		if c.ts > r.wts {
+			r.wts = c.ts
+		}
+		r.version++
+	}
+	a.reset()
+	c.ts = 0
+	s.commitTxn(core, end)
+}
+
+func (m *model) abortTO(core int) {
+	c := &m.s.cores[core]
+	a := &m.att[core]
+	for _, key := range a.heldKeys {
+		r := m.rec(key)
+		if r.pending == c.ts {
+			r.pending = 0
+		}
+	}
+	a.reset()
+	c.ts = 0
+	m.s.abortTxn(core, m.s.now)
+}
+
+// ---- optimistic family (SILO, TICTOC) ----
+
+func (m *model) stepOCC(core int) {
+	s := m.s
+	c := &s.cores[core]
+	a := &m.att[core]
+	ticToc := m.cfg.Protocol == "TICTOC"
+
+	if a.pc < len(c.keys) {
+		r := m.rec(c.keys[a.pc])
+		if r.lockedUntil > s.now {
+			// Committing writer holds the record: spin until the install
+			// window ends.
+			s.schedule(core, r.lockedUntil)
+			return
+		}
+		if ticToc {
+			a.obs[a.pc] = r.wts
+			a.obs2[a.pc] = r.rts
+		} else {
+			a.obs[a.pc] = r.version
+		}
+		a.pc++
+		s.schedule(core, s.now+m.cfg.Costs.Access)
+		return
+	}
+
+	// Validation + install, one atomic virtual event (commits are totally
+	// ordered in virtual time, mirroring the lock-then-validate phases).
+	end := s.now + uint64(len(c.keys))*m.cfg.Costs.CommitPerOp
+
+	if ticToc {
+		// Compute the commit timestamp from observed intervals.
+		var commitTs uint64
+		for i := range c.keys {
+			r := m.rec(c.keys[i])
+			if c.writes[i] {
+				if r.rts+1 > commitTs {
+					commitTs = r.rts + 1
+				}
+			} else if a.obs[i] > commitTs {
+				commitTs = a.obs[i]
+			}
+		}
+		// Validate reads with extension.
+		for i := range c.keys {
+			if c.writes[i] {
+				r := m.rec(c.keys[i])
+				if r.wts != a.obs[i] || r.lockedUntil > s.now {
+					m.abortOCC(core)
+					return
+				}
+				continue
+			}
+			r := m.rec(c.keys[i])
+			if a.obs2[i] >= commitTs {
+				continue // observed interval already covers commitTs
+			}
+			if r.wts != a.obs[i] {
+				m.abortOCC(core)
+				return
+			}
+			if commitTs > r.rts {
+				r.rts = commitTs // extension
+			}
+		}
+		for i := range c.keys {
+			if !c.writes[i] {
+				continue
+			}
+			r := m.rec(c.keys[i])
+			r.wts, r.rts = commitTs, commitTs
+			r.version++
+			r.lockedUntil = end
+		}
+	} else {
+		for i := range c.keys {
+			r := m.rec(c.keys[i])
+			if r.lockedUntil > s.now {
+				m.abortOCC(core)
+				return
+			}
+			if r.version != a.obs[i] {
+				m.abortOCC(core)
+				return
+			}
+		}
+		for i := range c.keys {
+			if !c.writes[i] {
+				continue
+			}
+			r := m.rec(c.keys[i])
+			r.version++
+			r.lockedUntil = end
+		}
+	}
+	a.reset()
+	s.commitTxn(core, end)
+}
+
+func (m *model) abortOCC(core int) {
+	m.att[core].reset()
+	m.s.abortTxn(core, m.s.now)
+}
+
+// ---- HSTORE ----
+
+func (m *model) stepHStore(core int) {
+	s := m.s
+	c := &s.cores[core]
+	a := &m.att[core]
+
+	// Acquire partitions in ascending order, blocking on busy ones.
+	if a.partsHeld < len(c.parts) {
+		sorted := append([]int(nil), c.parts...)
+		sort.Ints(sorted)
+		p := sorted[a.partsHeld]
+		ps := &m.parts[p]
+		if ps.owner == core {
+			a.partsHeld++
+			s.schedule(core, s.now)
+			return
+		}
+		if ps.owner == -1 {
+			ps.owner = core
+			a.partsHeld++
+			s.schedule(core, s.now)
+			return
+		}
+		ps.waiters = append(ps.waiters, core)
+		return
+	}
+
+	if a.pc < len(c.keys) {
+		// Partition-locked execution has no per-record CC work: cheaper
+		// accesses.
+		a.pc++
+		s.schedule(core, s.now+m.cfg.Costs.Access*3/4)
+		return
+	}
+
+	end := s.now + m.cfg.Costs.CommitPerOp
+	for _, p := range c.parts {
+		ps := &m.parts[p]
+		if ps.owner == core {
+			ps.owner = -1
+			if len(ps.waiters) > 0 {
+				next := ps.waiters[0]
+				ps.waiters = ps.waiters[1:]
+				ps.owner = next
+				m.att[next].partsHeld++
+				s.schedule(next, end)
+			}
+		}
+	}
+	a.reset()
+	s.commitTxn(core, end)
+}

@@ -1,0 +1,329 @@
+// Package sim is a deterministic discrete-event simulator of a many-core
+// in-memory transaction processing engine. It substitutes for the 1000-core
+// hardware simulator used by the published design-space studies (DBx1000 on
+// Graphite): the same workload generators drive simplified but behaviorally
+// faithful models of each concurrency-control protocol over virtual time,
+// with an explicit cost model for CPU work, the centralized timestamp
+// allocator, lock queueing, deadlock detection, validation, and aborts.
+//
+// Because time is virtual, results are exactly reproducible, independent of
+// the host machine, and free of Go garbage-collection distortion — which is
+// why the tail-latency experiment (E9) runs here.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"next700/internal/stats"
+	"next700/internal/xrand"
+)
+
+// CostModel holds per-operation costs in cycles. Defaults approximate a
+// main-memory engine on a modern core (a ~1GHz-cycle interpretation keeps
+// numbers intuitive: 1000 cycles = 1µs).
+type CostModel struct {
+	// Access is the CPU cost of one record access (index probe + copy).
+	Access uint64
+	// TsAlloc is the exclusive-use cost of the central timestamp counter;
+	// allocation requests serialize on it.
+	TsAlloc uint64
+	// CommitPerOp is the per-write-set-entry install/validation cost.
+	CommitPerOp uint64
+	// AbortPenalty is the fixed cleanup cost of an abort, before backoff.
+	AbortPenalty uint64
+	// BackoffBase is the mean randomized backoff after an abort.
+	BackoffBase uint64
+	// DeadlockCheckPerEdge is DL_DETECT's cycle cost per waits-for edge
+	// traversed under the shared graph latch.
+	DeadlockCheckPerEdge uint64
+	// WaitsForLatch is the serialization cost of touching the shared
+	// waits-for graph at all.
+	WaitsForLatch uint64
+}
+
+// DefaultCosts returns the standard cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Access:               200,
+		TsAlloc:              50,
+		CommitPerOp:          50,
+		AbortPenalty:         300,
+		BackoffBase:          1000,
+		DeadlockCheckPerEdge: 20,
+		WaitsForLatch:        100,
+	}
+}
+
+// Config describes one simulated run.
+type Config struct {
+	// Protocol is one of the cc protocol names (HSTORE uses Partitions).
+	Protocol string
+	// Cores is the simulated core count.
+	Cores int
+	// Records is the keyspace size.
+	Records uint64
+	// Theta is the Zipfian skew.
+	Theta float64
+	// OpsPerTxn accesses per transaction.
+	OpsPerTxn int
+	// WriteRatio is the fraction of accesses that write.
+	WriteRatio float64
+	// Horizon is the virtual-time measurement window in cycles; cores run
+	// transactions back-to-back until it expires (default 2_000_000, i.e.
+	// 2ms at a 1GHz-cycle interpretation).
+	Horizon uint64
+	// Partitions for HSTORE (default Cores).
+	Partitions int
+	// MultiPartitionFraction for HSTORE.
+	MultiPartitionFraction float64
+	// Costs is the cost model (zero value replaced by DefaultCosts).
+	Costs CostModel
+	// Seed for reproducibility.
+	Seed uint64
+}
+
+func (c *Config) normalize() error {
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.Records == 0 {
+		c.Records = 1 << 16
+	}
+	if c.OpsPerTxn <= 0 {
+		c.OpsPerTxn = 16
+	}
+	if uint64(c.OpsPerTxn) > c.Records {
+		c.OpsPerTxn = int(c.Records)
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 2_000_000
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = c.Cores
+	}
+	if c.Costs == (CostModel{}) {
+		c.Costs = DefaultCosts()
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x51D
+	}
+	switch c.Protocol {
+	case "NO_WAIT", "WAIT_DIE", "DL_DETECT", "TIMESTAMP", "MVCC", "SILO", "TICTOC", "HSTORE":
+		return nil
+	default:
+		return fmt.Errorf("sim: unknown protocol %q", c.Protocol)
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Protocol string
+	Cores    int
+	// Commits and Aborts across all cores.
+	Commits, Aborts uint64
+	// Makespan is the measurement window (the configured horizon).
+	Makespan uint64
+	// Throughput is commits per million cycles (per-GHz-core: ≈ txn/ms).
+	Throughput float64
+	// AbortRate is aborts / (commits + aborts).
+	AbortRate float64
+	// Latency is the distribution of per-transaction virtual latency in
+	// cycles (from first attempt start to commit).
+	Latency stats.Summary
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s cores=%-5d thru=%-10.1f abort=%-7.4f p99=%dcyc",
+		r.Protocol, r.Cores, r.Throughput, r.AbortRate, r.Latency.P99)
+}
+
+// event is a scheduled core resumption.
+type event struct {
+	at   uint64
+	core int
+	seq  uint64 // tiebreak for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// coreState is one simulated core's transaction in flight.
+type coreState struct {
+	rng      *xrand.RNG
+	zipf     *xrand.Zipf
+	done     int // committed transactions
+	keys     []uint64
+	writes   []bool
+	txnStart uint64 // virtual time the logical transaction first started
+	ts       uint64 // protocol timestamp of the current attempt
+	parts    []int  // HSTORE partitions
+}
+
+// Sim is a run in progress.
+type Sim struct {
+	cfg   Config
+	now   uint64
+	seq   uint64
+	queue eventQueue
+	cores []coreState
+	model protocolModel
+
+	commits, aborts uint64
+	makespan        uint64
+	latency         *stats.Histogram
+}
+
+// New builds a simulator for cfg.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:     cfg,
+		cores:   make([]coreState, cfg.Cores),
+		latency: stats.NewHistogram(),
+	}
+	for i := range s.cores {
+		rng := xrand.New(cfg.Seed + uint64(i)*0x9E37 + 1)
+		s.cores[i] = coreState{
+			rng:    rng,
+			zipf:   xrand.NewZipf(rng, cfg.Records, cfg.Theta),
+			keys:   make([]uint64, 0, cfg.OpsPerTxn),
+			writes: make([]bool, 0, cfg.OpsPerTxn),
+		}
+	}
+	s.model = newProtocolModel(&s.cfg, s)
+	return s, nil
+}
+
+// schedule enqueues core to resume at time at.
+func (s *Sim) schedule(core int, at uint64) {
+	s.seq++
+	heap.Push(&s.queue, event{at: at, core: core, seq: s.seq})
+}
+
+// Run executes the simulation to completion and returns the result.
+func Run(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := range s.cores {
+		s.generate(i)
+		s.cores[i].txnStart = 0
+		s.schedule(i, 0)
+	}
+	// eventBudget is a safety backstop far above any legitimate run; the
+	// horizon is the real bound.
+	eventBudget := uint64(50_000_000)
+	for s.queue.Len() > 0 && eventBudget > 0 {
+		eventBudget--
+		ev := heap.Pop(&s.queue).(event)
+		if ev.at > s.cfg.Horizon {
+			continue // past the measurement window
+		}
+		s.now = ev.at
+		s.model.attempt(ev.core)
+	}
+	res := Result{
+		Protocol: s.cfg.Protocol,
+		Cores:    s.cfg.Cores,
+		Commits:  s.commits,
+		Aborts:   s.aborts,
+		Makespan: s.cfg.Horizon,
+		Latency:  s.latency.Summarize(),
+	}
+	res.Throughput = float64(s.commits) / (float64(s.cfg.Horizon) / 1e6)
+	if s.commits+s.aborts > 0 {
+		res.AbortRate = float64(s.aborts) / float64(s.commits+s.aborts)
+	}
+	return res, nil
+}
+
+// generate plans the next transaction for core i.
+func (s *Sim) generate(i int) {
+	c := &s.cores[i]
+	c.keys = c.keys[:0]
+	c.writes = c.writes[:0]
+	c.parts = c.parts[:0]
+
+	if s.cfg.Protocol == "HSTORE" {
+		home := i % s.cfg.Partitions
+		c.parts = append(c.parts, home)
+		if s.cfg.MultiPartitionFraction > 0 && s.cfg.Partitions > 1 &&
+			c.rng.Bool(s.cfg.MultiPartitionFraction) {
+			other := (home + 1 + c.rng.Intn(s.cfg.Partitions-1)) % s.cfg.Partitions
+			c.parts = append(c.parts, other)
+		}
+	}
+
+	// Transaction lengths vary uniformly in [ops/2, 3*ops/2] around the
+	// configured mean. Heterogeneous durations matter: they let a short
+	// writer commit inside a long reader's window — the schedule
+	// single-version T/O rejects and MVCC accepts.
+	n := s.cfg.OpsPerTxn/2 + c.rng.Intn(s.cfg.OpsPerTxn+1)
+	if n < 1 {
+		n = 1
+	}
+	if uint64(n) > s.cfg.Records {
+		n = int(s.cfg.Records)
+	}
+	for len(c.keys) < n {
+		key := c.zipf.Next()
+		dup := false
+		for _, k := range c.keys {
+			if k == key {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		c.keys = append(c.keys, key)
+		c.writes = append(c.writes, c.rng.Bool(s.cfg.WriteRatio))
+	}
+}
+
+// commitTxn finalizes a committed transaction at virtual time end.
+func (s *Sim) commitTxn(i int, end uint64) {
+	c := &s.cores[i]
+	s.commits++
+	s.latency.Record(int64(end - c.txnStart))
+	if end > s.makespan {
+		s.makespan = end
+	}
+	c.done++
+	s.generate(i)
+	c.txnStart = end
+	s.schedule(i, end)
+}
+
+// abortTxn reschedules a retry of the same transaction after backoff.
+func (s *Sim) abortTxn(i int, at uint64) {
+	c := &s.cores[i]
+	s.aborts++
+	backoff := s.cfg.Costs.AbortPenalty
+	if s.cfg.Costs.BackoffBase > 0 {
+		backoff += c.rng.Uint64n(2*s.cfg.Costs.BackoffBase) + 1
+	}
+	s.schedule(i, at+backoff)
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"testing"
+)
+
+var allSimProtocols = []string{
+	"NO_WAIT", "WAIT_DIE", "DL_DETECT", "TIMESTAMP", "MVCC", "SILO", "TICTOC", "HSTORE",
+}
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAllProtocolsMakeProgress(t *testing.T) {
+	for _, p := range allSimProtocols {
+		t.Run(p, func(t *testing.T) {
+			r := run(t, Config{
+				Protocol: p, Cores: 8, Records: 1024, Theta: 0.6,
+				OpsPerTxn: 8, WriteRatio: 0.5, Horizon: 500_000,
+			})
+			if r.Commits == 0 {
+				t.Fatalf("no commits: %+v", r)
+			}
+			if r.Throughput <= 0 {
+				t.Fatalf("no throughput: %+v", r)
+			}
+			if r.Latency.Count != r.Commits {
+				t.Fatalf("latency samples %d != commits %d", r.Latency.Count, r.Commits)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, p := range allSimProtocols {
+		cfg := Config{
+			Protocol: p, Cores: 16, Records: 512, Theta: 0.8,
+			OpsPerTxn: 8, WriteRatio: 0.5, Horizon: 300_000, Seed: 99,
+		}
+		a := run(t, cfg)
+		b := run(t, cfg)
+		if a.Commits != b.Commits || a.Aborts != b.Aborts || a.Latency.P99 != b.Latency.P99 {
+			t.Fatalf("%s not deterministic: %+v vs %+v", p, a, b)
+		}
+	}
+}
+
+func TestUnknownProtocol(t *testing.T) {
+	if _, err := Run(Config{Protocol: "XXX"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestSingleCoreNoAborts(t *testing.T) {
+	for _, p := range allSimProtocols {
+		r := run(t, Config{
+			Protocol: p, Cores: 1, Records: 256, Theta: 0.9,
+			OpsPerTxn: 8, WriteRatio: 1, Horizon: 500_000,
+		})
+		if r.Aborts != 0 {
+			t.Fatalf("%s: single core aborted %d times", p, r.Aborts)
+		}
+		if r.Commits == 0 {
+			t.Fatalf("%s: single core made no progress", p)
+		}
+	}
+}
+
+func TestContentionIncreasesAborts(t *testing.T) {
+	for _, p := range []string{"NO_WAIT", "SILO", "TIMESTAMP"} {
+		low := run(t, Config{
+			Protocol: p, Cores: 16, Records: 1 << 14, Theta: 0,
+			OpsPerTxn: 8, WriteRatio: 0.5, Horizon: 500_000,
+		})
+		high := run(t, Config{
+			Protocol: p, Cores: 16, Records: 1 << 14, Theta: 0.95,
+			OpsPerTxn: 8, WriteRatio: 0.5, Horizon: 500_000,
+		})
+		if high.AbortRate <= low.AbortRate {
+			t.Fatalf("%s: abort rate did not grow with skew (%v -> %v)",
+				p, low.AbortRate, high.AbortRate)
+		}
+	}
+}
+
+func TestLowContentionScaling(t *testing.T) {
+	// Uniform access, big keyspace: everyone should scale near-linearly
+	// from 1 to 16 cores.
+	for _, p := range allSimProtocols {
+		one := run(t, Config{
+			Protocol: p, Cores: 1, Records: 1 << 18, Theta: 0,
+			OpsPerTxn: 8, WriteRatio: 0.2, Horizon: 500_000,
+		})
+		sixteen := run(t, Config{
+			Protocol: p, Cores: 16, Records: 1 << 18, Theta: 0,
+			OpsPerTxn: 8, WriteRatio: 0.2, Horizon: 500_000,
+		})
+		scale := sixteen.Throughput / one.Throughput
+		if scale < 8 {
+			t.Fatalf("%s: poor low-contention scaling: %.1fx at 16 cores", p, scale)
+		}
+	}
+}
+
+func TestTimestampAllocatorBottleneck(t *testing.T) {
+	// TIMESTAMP throughput must saturate near the allocator's service rate
+	// as cores grow, while SILO (no allocator) keeps scaling.
+	mk := func(p string, cores int) Result {
+		return run(t, Config{
+			Protocol: p, Cores: cores, Records: 1 << 18, Theta: 0,
+			OpsPerTxn: 8, WriteRatio: 0.2, Horizon: 500_000,
+		})
+	}
+	to64, to512 := mk("TIMESTAMP", 64), mk("TIMESTAMP", 512)
+	silo64, silo512 := mk("SILO", 64), mk("SILO", 512)
+	toScale := to512.Throughput / to64.Throughput
+	siloScale := silo512.Throughput / silo64.Throughput
+	if siloScale < toScale {
+		t.Fatalf("allocator bottleneck missing: TO scaled %.2fx, SILO %.2fx", toScale, siloScale)
+	}
+	// The allocator caps TO near 1/TsAlloc transactions per cycle.
+	maxTO := 1e6 / float64(DefaultCosts().TsAlloc)
+	if to512.Throughput > maxTO*1.05 {
+		t.Fatalf("TO throughput %v exceeds allocator cap %v", to512.Throughput, maxTO)
+	}
+}
+
+func TestHStoreMultiPartitionCliff(t *testing.T) {
+	mk := func(mp float64) Result {
+		return run(t, Config{
+			Protocol: "HSTORE", Cores: 32, Records: 1 << 14, Theta: 0,
+			OpsPerTxn: 8, WriteRatio: 0.5, Horizon: 500_000,
+			Partitions: 32, MultiPartitionFraction: mp,
+		})
+	}
+	single := mk(0)
+	half := mk(0.5)
+	if single.Throughput < 2*half.Throughput {
+		t.Fatalf("multi-partition cliff missing: single=%v half=%v",
+			single.Throughput, half.Throughput)
+	}
+}
+
+func TestDLDetectThrashesUnderContention(t *testing.T) {
+	// DL_DETECT's shared graph and deadlock aborts must hurt relative to
+	// NO_WAIT at high core counts under contention.
+	mk := func(p string) Result {
+		return run(t, Config{
+			Protocol: p, Cores: 128, Records: 1 << 12, Theta: 0.7,
+			OpsPerTxn: 8, WriteRatio: 0.6, Horizon: 300_000,
+		})
+	}
+	dl := mk("DL_DETECT")
+	nw := mk("NO_WAIT")
+	if dl.Throughput >= nw.Throughput {
+		t.Fatalf("DL_DETECT should thrash at 128 cores: dl=%v nowait=%v",
+			dl.Throughput, nw.Throughput)
+	}
+}
+
+func TestTicTocAbortsBelowSilo(t *testing.T) {
+	mk := func(p string) Result {
+		return run(t, Config{
+			Protocol: p, Cores: 64, Records: 1 << 12, Theta: 0.9,
+			OpsPerTxn: 8, WriteRatio: 0.3, Horizon: 500_000,
+		})
+	}
+	tt := mk("TICTOC")
+	si := mk("SILO")
+	if tt.AbortRate > si.AbortRate {
+		t.Fatalf("TicToc extension should cut aborts: tictoc=%v silo=%v",
+			tt.AbortRate, si.AbortRate)
+	}
+}
+
+func TestLatencyGrowsWithCores(t *testing.T) {
+	mk := func(cores int) Result {
+		return run(t, Config{
+			Protocol: "WAIT_DIE", Cores: cores, Records: 1 << 10, Theta: 0.7,
+			OpsPerTxn: 8, WriteRatio: 0.5, Horizon: 500_000,
+		})
+	}
+	small := mk(4)
+	big := mk(128)
+	if big.Latency.P99 <= small.Latency.P99 {
+		t.Fatalf("p99 should grow with contention: %v vs %v",
+			small.Latency.P99, big.Latency.P99)
+	}
+}
+
+func TestOpsCappedAtKeyspace(t *testing.T) {
+	r := run(t, Config{
+		Protocol: "SILO", Cores: 2, Records: 4, OpsPerTxn: 100, Horizon: 100_000,
+	})
+	if r.Commits == 0 {
+		t.Fatalf("tiny keyspace run broke: %+v", r)
+	}
+}
+
+func TestHorizonBoundsWork(t *testing.T) {
+	// Even a pathological configuration terminates: the horizon bounds
+	// virtual time and the event budget bounds same-time churn.
+	r := run(t, Config{
+		Protocol: "DL_DETECT", Cores: 256, Records: 1 << 10, Theta: 0.8,
+		OpsPerTxn: 8, WriteRatio: 0.8, Horizon: 100_000,
+	})
+	if r.Makespan != 100_000 {
+		t.Fatalf("makespan %d", r.Makespan)
+	}
+}

@@ -1,0 +1,220 @@
+// Package txn defines the transaction runtime shared by every concurrency
+// control protocol: the transaction descriptor with its ordered access set,
+// a per-transaction bump allocator for row images, timestamp and epoch
+// sources, and the abort/conflict error taxonomy.
+//
+// A single descriptor type serves all protocols. Protocol-specific state is
+// carried in two scratch words per access (Obs/Obs2) and a per-descriptor
+// scratch pointer, so descriptors are pooled and reused across protocols
+// without allocation on the hot path.
+package txn
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"next700/internal/stats"
+	"next700/internal/storage"
+	"next700/internal/xrand"
+)
+
+// ErrConflict is returned (wrapped or bare) by protocol operations when the
+// transaction must abort due to a serializability conflict. The engine
+// treats it as retryable.
+var ErrConflict = errors.New("txn: conflict, transaction aborted")
+
+// ErrUserAbort is returned when the transaction body itself requested an
+// abort. It is not retried.
+var ErrUserAbort = errors.New("txn: aborted by user")
+
+// ErrNotFound is returned by reads of keys that do not exist. It is not
+// retried.
+var ErrNotFound = errors.New("txn: key not found")
+
+// ErrDuplicate is returned by inserts of keys that already exist. It is not
+// retried.
+var ErrDuplicate = errors.New("txn: duplicate key")
+
+// Kind classifies an entry in a transaction's access set.
+type Kind uint8
+
+const (
+	// KindRead is a committed-data read.
+	KindRead Kind = iota
+	// KindWrite is an update buffered in the write set.
+	KindWrite
+	// KindInsert is a new row, published in indexes at access time and made
+	// visible at commit.
+	KindInsert
+	// KindDelete is a tombstone applied at commit.
+	KindDelete
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// Access is one entry of the ordered access set.
+type Access struct {
+	Table *storage.Table
+	RID   storage.RecordID
+	Kind  Kind
+	// Key is the primary-index key for inserts/deletes so commit/abort can
+	// publish or retract index entries.
+	Key uint64
+	// Data is the transaction-local row image for writes and inserts; it
+	// points into the descriptor's arena.
+	Data []byte
+	// Obs and Obs2 are protocol scratch words (observed TID for Silo, wts
+	// and rts for TicToc, version pointer for MVCC, lock mode for 2PL...).
+	Obs  uint64
+	Obs2 uint64
+}
+
+// Txn is a transaction descriptor. Descriptors belong to a single worker
+// and are reset and reused between transactions.
+type Txn struct {
+	// ID is the protocol-assigned identity (timestamp for TO/MVCC/wait-die,
+	// TID for Silo, 0 until commit for pure OCC schemes that assign late).
+	ID uint64
+	// Priority is a monotone per-transaction stamp assigned at Begin and
+	// stable across retries of the same logical transaction, so wait-die
+	// style age-based victim selection is starvation-free.
+	Priority uint64
+	// ThreadID is the worker slot executing this transaction.
+	ThreadID int
+	// Epoch is the Silo epoch observed at Begin.
+	Epoch uint64
+
+	// Accesses is the ordered access set.
+	Accesses []Access
+
+	// Counter accumulates per-worker statistics.
+	Counter *stats.Counter
+	// RNG is the worker-local random source for transaction bodies.
+	RNG *xrand.RNG
+
+	// Scratch is per-protocol descriptor state (e.g. the MVCC read view).
+	Scratch interface{}
+
+	arena    []byte
+	arenaOff int
+}
+
+// NewTxn returns a descriptor with a private arena.
+func NewTxn(threadID int, rng *xrand.RNG, counter *stats.Counter) *Txn {
+	return &Txn{
+		ThreadID: threadID,
+		RNG:      rng,
+		Counter:  counter,
+		Accesses: make([]Access, 0, 64),
+		arena:    make([]byte, 16*1024),
+	}
+}
+
+// Reset prepares the descriptor for a fresh transaction attempt. Priority is
+// preserved (retries keep their age); call ClearPriority between logical
+// transactions.
+func (t *Txn) Reset() {
+	t.ID = 0
+	t.Epoch = 0
+	t.Accesses = t.Accesses[:0]
+	t.arenaOff = 0
+}
+
+// ClearPriority forgets the wait-die age stamp; the next Begin assigns a
+// fresh one.
+func (t *Txn) ClearPriority() { t.Priority = 0 }
+
+// Buf bump-allocates n bytes from the descriptor arena, growing it if
+// needed. The memory is valid until Reset.
+func (t *Txn) Buf(n int) []byte {
+	if t.arenaOff+n > len(t.arena) {
+		// Grow by doubling; the old arena stays referenced by earlier
+		// accesses until Reset, which is fine — it is garbage afterwards.
+		size := 2 * len(t.arena)
+		for size < n {
+			size *= 2
+		}
+		t.arena = make([]byte, size)
+		t.arenaOff = 0
+	}
+	b := t.arena[t.arenaOff : t.arenaOff+n : t.arenaOff+n]
+	t.arenaOff += n
+	return b
+}
+
+// AddAccess appends an entry to the access set and returns a pointer to it
+// (stable only until the next AddAccess).
+func (t *Txn) AddAccess(a Access) *Txn {
+	t.Accesses = append(t.Accesses, a)
+	return t
+}
+
+// FindWrite returns the latest write-set entry (write, insert or delete) for
+// (table, rid), or nil. Used for own-write visibility.
+func (t *Txn) FindWrite(table *storage.Table, rid storage.RecordID) *Access {
+	for i := len(t.Accesses) - 1; i >= 0; i-- {
+		a := &t.Accesses[i]
+		if a.Table == table && a.RID == rid && a.Kind != KindRead {
+			return a
+		}
+	}
+	return nil
+}
+
+// HasWrites reports whether the access set contains any mutation.
+func (t *Txn) HasWrites() bool {
+	for i := range t.Accesses {
+		if t.Accesses[i].Kind != KindRead {
+			return true
+		}
+	}
+	return false
+}
+
+// TimestampSource hands out globally unique, monotonically increasing
+// timestamps from a single atomic counter — the classic centralized
+// allocator whose contention the many-core experiments quantify.
+type TimestampSource struct {
+	ctr atomic.Uint64
+}
+
+// Next returns the next timestamp (starting at 1; 0 means "none").
+func (s *TimestampSource) Next() uint64 { return s.ctr.Add(1) }
+
+// Last returns the most recently issued timestamp.
+func (s *TimestampSource) Last() uint64 { return s.ctr.Load() }
+
+// Epoch numbers for Silo-style protocols. The epoch advances either by an
+// external ticker (engine-managed) or manually in tests. TIDs generated
+// within an epoch are ordered only within that epoch, which is what makes
+// Silo's commit protocol cheap.
+type Epoch struct {
+	e atomic.Uint64
+}
+
+// NewEpoch starts at epoch 1.
+func NewEpoch() *Epoch {
+	ep := &Epoch{}
+	ep.e.Store(1)
+	return ep
+}
+
+// Now returns the current epoch.
+func (ep *Epoch) Now() uint64 { return ep.e.Load() }
+
+// Advance bumps the epoch and returns the new value.
+func (ep *Epoch) Advance() uint64 { return ep.e.Add(1) }

@@ -1,0 +1,344 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// memDevice is an in-memory Device with fault injection: writes fail after
+// failAfter bytes (0 disables), and Synced tracks how much is "on disk".
+type memDevice struct {
+	mu        sync.Mutex
+	data      []byte
+	synced    int
+	syncs     int
+	failAfter int
+}
+
+func (d *memDevice) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failAfter > 0 && len(d.data)+len(p) > d.failAfter {
+		room := d.failAfter - len(d.data)
+		if room > 0 {
+			d.data = append(d.data, p[:room]...)
+		}
+		return room, errors.New("device full")
+	}
+	d.data = append(d.data, p...)
+	return len(p), nil
+}
+
+func (d *memDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.synced = len(d.data)
+	d.syncs++
+	return nil
+}
+
+func (d *memDevice) bytes() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.data...)
+}
+
+func valueRecord(id uint64, n int) *CommitRecord {
+	cr := &CommitRecord{TxnID: id}
+	for i := 0; i < n; i++ {
+		cr.Entries = append(cr.Entries, Entry{
+			Kind:  EntryKind(i % 3),
+			Table: int32(i),
+			RID:   uint64(i * 7),
+			Key:   uint64(i * 13),
+			Data:  []byte(fmt.Sprintf("data-%d-%d", id, i)),
+		})
+	}
+	return cr
+}
+
+func TestEncodeDecodeValue(t *testing.T) {
+	cr := valueRecord(42, 3)
+	framed := cr.Encode(nil)
+	var got CommitRecord
+	if err := decode(framed[headerSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TxnID != 42 || len(got.Entries) != 3 {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	for i := range cr.Entries {
+		a, b := cr.Entries[i], got.Entries[i]
+		if a.Kind != b.Kind || a.Table != b.Table || a.RID != b.RID ||
+			a.Key != b.Key || !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestEncodeDecodeCommand(t *testing.T) {
+	cr := &CommitRecord{TxnID: 7, Proc: 3, Params: []byte{1, 2, 3, 4}}
+	framed := cr.Encode(nil)
+	var got CommitRecord
+	if err := decode(framed[headerSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TxnID != 7 || got.Proc != 3 || !bytes.Equal(got.Params, []byte{1, 2, 3, 4}) {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	if len(got.Entries) != 0 {
+		t.Fatal("command record has entries")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	err := quick.Check(func(id uint64, dataA, dataB []byte, key uint64) bool {
+		cr := &CommitRecord{TxnID: id, Entries: []Entry{
+			{Kind: EntryInsert, Table: 1, RID: 5, Key: key, Data: dataA},
+			{Kind: EntryUpdate, Table: 2, RID: 6, Key: key + 1, Data: dataB},
+		}}
+		framed := cr.Encode(nil)
+		var got CommitRecord
+		if decode(framed[headerSize:], &got) != nil {
+			return false
+		}
+		return got.TxnID == id &&
+			bytes.Equal(got.Entries[0].Data, dataA) &&
+			bytes.Equal(got.Entries[1].Data, dataB) &&
+			got.Entries[0].Key == key
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeReusesBuffer(t *testing.T) {
+	cr := valueRecord(1, 2)
+	buf := make([]byte, 0, 4096)
+	framed := cr.Encode(buf)
+	if &framed[0] != &buf[:1][0] {
+		t.Fatal("Encode did not reuse the provided buffer")
+	}
+}
+
+func TestWriterGroupCommit(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, time.Millisecond)
+	const writers, per = 4, 50
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				rec := valueRecord(uint64(i*1000+j), 2).Encode(nil)
+				lsn, err := w.Append(rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.WaitDurable(lsn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Group commit must have batched syncs: far fewer than one per record.
+	if dev.syncs >= writers*per {
+		t.Fatalf("no batching: %d syncs for %d records", dev.syncs, writers*per)
+	}
+	// All records must replay.
+	n, err := Replay(bytes.NewReader(dev.bytes()), func(cr *CommitRecord) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*per {
+		t.Fatalf("replayed %d records, want %d", n, writers*per)
+	}
+}
+
+func TestWriterImmediateMode(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0) // no window: WaitDurable kicks the flusher
+	rec := valueRecord(1, 1).Encode(nil)
+	lsn, err := w.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if w.Durable() < lsn {
+		t.Fatal("durable LSN not advanced")
+	}
+	w.Close()
+}
+
+func TestWriterErrorPropagates(t *testing.T) {
+	dev := &memDevice{failAfter: 64}
+	w := NewWriter(dev, 0)
+	big := valueRecord(1, 20).Encode(nil)
+	lsn, err := w.Append(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitDurable(lsn); err == nil {
+		t.Fatal("device failure not surfaced")
+	}
+	if _, err := w.Append(big); err == nil {
+		t.Fatal("append after failure should error")
+	}
+	w.Close()
+}
+
+func TestWriterCloseIdempotent(t *testing.T) {
+	w := NewWriter(&memDevice{}, time.Millisecond)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte{1}); err == nil {
+		t.Fatal("append after close should fail")
+	}
+}
+
+func TestReplayOrderAndContent(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0)
+	var lsn uint64
+	for i := 0; i < 10; i++ {
+		rec := valueRecord(uint64(i), 1).Encode(nil)
+		lsn, _ = w.Append(rec)
+	}
+	w.WaitDurable(lsn)
+	w.Close()
+	var ids []uint64
+	n, err := Replay(bytes.NewReader(dev.bytes()), func(cr *CommitRecord) error {
+		ids = append(ids, cr.TxnID)
+		return nil
+	})
+	if err != nil || n != 10 {
+		t.Fatalf("replay: n=%d err=%v", n, err)
+	}
+	for i, id := range ids {
+		if id != uint64(i) {
+			t.Fatalf("order broken: %v", ids)
+		}
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0)
+	var lsn uint64
+	for i := 0; i < 5; i++ {
+		lsn, _ = w.Append(valueRecord(uint64(i), 2).Encode(nil))
+	}
+	w.WaitDurable(lsn)
+	w.Close()
+	full := dev.bytes()
+	// Truncate mid-record at various points: replay must return the intact
+	// prefix count and no error.
+	for cut := len(full) - 1; cut > len(full)-40 && cut > 0; cut -= 7 {
+		n, err := Replay(bytes.NewReader(full[:cut]), func(cr *CommitRecord) error { return nil })
+		if err != nil {
+			t.Fatalf("torn tail at %d: %v", cut, err)
+		}
+		if n != 4 {
+			t.Fatalf("torn tail at %d: replayed %d, want 4", cut, n)
+		}
+	}
+}
+
+func TestReplayMidStreamCorruption(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0)
+	var lsn uint64
+	for i := 0; i < 5; i++ {
+		lsn, _ = w.Append(valueRecord(uint64(i), 2).Encode(nil))
+	}
+	w.WaitDurable(lsn)
+	w.Close()
+	full := dev.bytes()
+	// Flip a byte inside the second record's payload.
+	full[headerSize+60] ^= 0xFF
+	_, err := Replay(bytes.NewReader(full), func(cr *CommitRecord) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestReplayApplyError(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0)
+	lsn, _ := w.Append(valueRecord(1, 1).Encode(nil))
+	w.WaitDurable(lsn)
+	w.Close()
+	boom := errors.New("boom")
+	_, err := Replay(bytes.NewReader(dev.bytes()), func(cr *CommitRecord) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("apply error not propagated: %v", err)
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	n, err := Replay(bytes.NewReader(nil), func(cr *CommitRecord) error { return nil })
+	if n != 0 || err != nil {
+		t.Fatalf("empty log: n=%d err=%v", n, err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeNone.String() != "none" || ModeValue.String() != "value" || ModeCommand.String() != "command" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must render")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	var cr CommitRecord
+	cases := [][]byte{
+		nil,
+		{1},
+		{9, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown type
+		{payloadValue, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0},                 // claims 5 entries, no data
+		{payloadCommand, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 255, 0, 0, 0}, // params overflow
+	}
+	for i, c := range cases {
+		if err := decode(c, &cr); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: want ErrCorrupt, got %v", i, err)
+		}
+	}
+}
+
+func TestEntryRoundTripAllKinds(t *testing.T) {
+	for _, k := range []EntryKind{EntryUpdate, EntryInsert, EntryDelete} {
+		cr := &CommitRecord{TxnID: 1, Entries: []Entry{{Kind: k, Table: 1, RID: 2, Key: 3, Data: []byte("x")}}}
+		framed := cr.Encode(nil)
+		var got CommitRecord
+		if err := decode(framed[headerSize:], &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Entries[0].Kind != k {
+			t.Fatalf("kind %v lost", k)
+		}
+	}
+	if !reflect.DeepEqual(EntryKind(0), EntryUpdate) {
+		t.Fatal("EntryUpdate must be zero value")
+	}
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+
+	"next700/internal/core"
+	"next700/internal/storage"
+)
+
+// Verify implements Verifier with the TPC-C consistency conditions of spec
+// clause 3.3.2 that our schema retains:
+//
+//	C1: W_YTD - initial = sum over districts of (D_YTD - initial)
+//	C2: D_NEXT_O_ID - 1 = max(O_ID) in ORDER and >= every NEW_ORDER id
+//	C3: for a sample of orders, O_OL_CNT equals the number of ORDER_LINE
+//	    rows
+//
+// Runs single-threaded after the workload quiesces.
+func (t *TPCC) Verify(e *core.Engine) error {
+	tx := e.NewTx(0, 0x7E57)
+	wsch, dsch, osch := t.warehouse.Schema(), t.district.Schema(), t.order.Schema()
+
+	for w := 1; w <= t.cfg.Warehouses; w++ {
+		var wYTD float64
+		var dYTDSum float64
+		err := tx.Run(func(tx *core.Tx) error {
+			wrow, err := tx.Read(t.warehouse, wKey(w))
+			if err != nil {
+				return err
+			}
+			wYTD = wsch.GetFloat64(wrow, 6)
+			dYTDSum = 0
+			for d := 1; d <= t.cfg.DistrictsPerWarehouse; d++ {
+				drow, err := tx.Read(t.district, dKey(w, d))
+				if err != nil {
+					return err
+				}
+				dYTDSum += dsch.GetFloat64(drow, 6)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		wantDelta := wYTD - 300000
+		gotDelta := dYTDSum - 30000*float64(t.cfg.DistrictsPerWarehouse)
+		if diff := wantDelta - gotDelta; diff > 0.01 || diff < -0.01 {
+			return fmt.Errorf("tpcc C1: warehouse %d YTD delta %.2f != district sum delta %.2f",
+				w, wantDelta, gotDelta)
+		}
+
+		for d := 1; d <= t.cfg.DistrictsPerWarehouse; d++ {
+			var nextOID, maxOrder, maxNewOrder int64
+			err := tx.Run(func(tx *core.Tx) error {
+				drow, err := tx.Read(t.district, dKey(w, d))
+				if err != nil {
+					return err
+				}
+				nextOID = dsch.GetInt64(drow, 7)
+				maxOrder, maxNewOrder = 0, 0
+				if err := tx.ScanDesc(t.order, oKey(w, d, 0), oKey(w, d, 0xFFFFFFFF),
+					func(key uint64, _ storage.Row) bool {
+						maxOrder = int64(key & 0xFFFFFFFF)
+						return false
+					}); err != nil {
+					return err
+				}
+				return tx.ScanDesc(t.neworder, oKey(w, d, 0), oKey(w, d, 0xFFFFFFFF),
+					func(key uint64, _ storage.Row) bool {
+						maxNewOrder = int64(key & 0xFFFFFFFF)
+						return false
+					})
+			})
+			if err != nil {
+				return err
+			}
+			if maxOrder != nextOID-1 {
+				return fmt.Errorf("tpcc C2: (%d,%d) next_o_id %d but max order %d",
+					w, d, nextOID, maxOrder)
+			}
+			if maxNewOrder > maxOrder {
+				return fmt.Errorf("tpcc C2: (%d,%d) new_order %d beyond max order %d",
+					w, d, maxNewOrder, maxOrder)
+			}
+
+			// C3 on a sample: the last few orders.
+			for o := maxOrder; o > maxOrder-5 && o >= 1; o-- {
+				var wantCnt, gotCnt int64
+				err := tx.Run(func(tx *core.Tx) error {
+					orow, err := tx.Read(t.order, oKey(w, d, o))
+					if err != nil {
+						return err
+					}
+					wantCnt = osch.GetInt64(orow, 3)
+					gotCnt = 0
+					return tx.Scan(t.orderline, olKey(w, d, o, 0), olKey(w, d, o, 15),
+						func(uint64, storage.Row) bool {
+							gotCnt++
+							return true
+						})
+				})
+				if err != nil {
+					return err
+				}
+				if wantCnt != gotCnt {
+					return fmt.Errorf("tpcc C3: order (%d,%d,%d) ol_cnt %d but %d lines",
+						w, d, o, wantCnt, gotCnt)
+				}
+			}
+		}
+	}
+	return nil
+}

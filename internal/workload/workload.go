@@ -1,0 +1,51 @@
+// Package workload implements the standard OLTP benchmarks the evaluation
+// drives through the engine: YCSB (skewable key-value microbenchmark),
+// TPC-C (the full five-transaction order-entry mix at configurable scale),
+// and SmallBank (six short banking procedures).
+//
+// Workloads create and load their own tables through the engine's load
+// path and then produce transactions through RunOne, which drives the
+// engine's retry loop; all randomness flows through the worker-local RNG so
+// runs are reproducible per (seed, thread).
+package workload
+
+import (
+	"fmt"
+
+	"next700/internal/core"
+)
+
+// Workload is the interface the harness and benchmarks drive.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Setup creates tables and loads initial data. Single-threaded; must
+	// be called exactly once before any RunOne.
+	Setup(e *core.Engine) error
+	// RunOne executes one complete transaction (including retries) on the
+	// given worker context. Implementations choose the transaction type
+	// from the configured mix using the worker RNG.
+	RunOne(tx *core.Tx) error
+}
+
+// Verifier is implemented by workloads that can check their global
+// consistency invariants after a run (single-threaded).
+type Verifier interface {
+	// Verify returns an error describing the first violated invariant.
+	Verify(e *core.Engine) error
+}
+
+// New constructs a workload by name with default configuration, for the
+// CLI tools. Recognized: "ycsb", "tpcc", "smallbank".
+func New(name string) (Workload, error) {
+	switch name {
+	case "ycsb":
+		return NewYCSB(YCSBConfig{}), nil
+	case "tpcc":
+		return NewTPCC(TPCCConfig{}), nil
+	case "smallbank":
+		return NewSmallBank(SmallBankConfig{}), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+}

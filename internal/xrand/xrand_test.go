@@ -1,0 +1,267 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d equal values out of 1000", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed degenerated")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(7)
+	err := quick.Check(func(n uint64) bool {
+		n = n%1000 + 1
+		v := r.Uint64n(n)
+		return v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Fatalf("bucket %d count %d deviates >5%% from %f", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) returned %d", v)
+		}
+	}
+	if v := r.IntRange(4, 4); v != 4 {
+		t.Fatalf("degenerate range returned %d", v)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	out := make([]int, 64)
+	r.Perm(out)
+	seen := make(map[int]bool)
+	for _, v := range out {
+		if v < 0 || v >= len(out) || seen[v] {
+			t.Fatalf("not a permutation: %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := New(13)
+	for _, theta := range []float64{0, 0.5, 0.9, 0.99} {
+		z := NewZipf(r, 1000, theta)
+		for i := 0; i < 10000; i++ {
+			if v := z.Next(); v >= 1000 {
+				t.Fatalf("theta=%v produced out-of-range %d", theta, v)
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(17)
+	const n, draws = 1000, 200000
+
+	freqTop10 := func(theta float64) float64 {
+		z := NewZipf(r, n, theta)
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() < 10 {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+
+	uniform := freqTop10(0)
+	skewed := freqTop10(0.99)
+	if uniform > 0.02 {
+		t.Fatalf("uniform top-10 frequency too high: %v", uniform)
+	}
+	// With theta=0.99 over 1000 items the top 10 should absorb a large
+	// fraction of accesses (analytically ~0.45).
+	if skewed < 0.3 {
+		t.Fatalf("zipf top-10 frequency too low for theta=0.99: %v", skewed)
+	}
+	if skewed < uniform*5 {
+		t.Fatalf("zipf skew not materializing: uniform=%v skewed=%v", uniform, skewed)
+	}
+}
+
+func TestZipfMostPopularIsRankZero(t *testing.T) {
+	r := New(19)
+	z := NewZipf(r, 100, 0.9)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	max := 0
+	for i, c := range counts {
+		if c > counts[max] {
+			max = i
+		}
+	}
+	if max != 0 {
+		t.Fatalf("most popular rank is %d, want 0", max)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := New(1)
+	for _, f := range []func(){
+		func() { NewZipf(r, 0, 0.5) },
+		func() { NewZipf(r, 10, 1.0) },
+		func() { NewZipf(r, 10, -0.1) },
+		func() { r.Uint64n(0) },
+		func() { r.IntRange(3, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNURandRanges(t *testing.T) {
+	nu := NewNURand(New(23))
+	for i := 0; i < 10000; i++ {
+		if v := nu.CustomerID(); v < 1 || v > 3000 {
+			t.Fatalf("CustomerID out of range: %d", v)
+		}
+		if v := nu.ItemID(); v < 1 || v > 100000 {
+			t.Fatalf("ItemID out of range: %d", v)
+		}
+		if v := nu.LastNameIndex(); v < 0 || v > 999 {
+			t.Fatalf("LastNameIndex out of range: %d", v)
+		}
+	}
+}
+
+func TestNURandNonUniform(t *testing.T) {
+	// NURand customer ids should be visibly non-uniform: the C-offset OR
+	// construction concentrates mass on some ids.
+	nu := NewNURand(New(29))
+	counts := make(map[int]int)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[nu.CustomerID()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 3*float64(draws)/3000 {
+		t.Fatalf("NURand looks uniform: max bucket %d", max)
+	}
+}
+
+func TestLastName(t *testing.T) {
+	buf := make([]byte, 24)
+	cases := map[int]string{
+		0:   "BARBARBAR",
+		1:   "BARBAROUGHT",
+		999: "EINGEINGEING",
+		371: "PRICALLYOUGHT",
+	}
+	for num, want := range cases {
+		if got := string(LastName(buf, num)); got != want {
+			t.Errorf("LastName(%d) = %q, want %q", num, got, want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	r := New(31)
+	buf := make([]byte, 32)
+	for i := 0; i < 1000; i++ {
+		s := r.AString(buf, 8, 16)
+		if len(s) < 8 || len(s) > 16 {
+			t.Fatalf("AString length %d", len(s))
+		}
+		d := r.NString(buf, 4, 4)
+		if len(d) != 4 {
+			t.Fatalf("NString length %d", len(d))
+		}
+		for _, c := range d {
+			if c < '0' || c > '9' {
+				t.Fatalf("NString non-digit %q", c)
+			}
+		}
+	}
+	r.Letters(buf)
+	for _, c := range buf {
+		if c < 'A' || c > 'Z' {
+			t.Fatalf("Letters produced %q", c)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	err := quick.Check(func(x, y uint32) bool {
+		hi, lo := mul64(uint64(x), uint64(y))
+		return hi == 0 && lo == uint64(x)*uint64(y)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _ := mul64(math.MaxUint64, math.MaxUint64)
+	if hi != math.MaxUint64-1 {
+		t.Fatalf("mul64 high word wrong: %d", hi)
+	}
+}

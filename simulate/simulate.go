@@ -1,0 +1,25 @@
+// Package simulate exposes the deterministic many-core discrete-event
+// simulator used for the scalability-to-1024-cores and GC-free tail-latency
+// experiments. See the internal/sim package documentation for the cost
+// model and the per-protocol behavioral models.
+package simulate
+
+import "next700/internal/sim"
+
+// Re-exported simulator types.
+type (
+	// Config describes one simulated run.
+	Config = sim.Config
+	// CostModel holds per-operation cycle costs.
+	CostModel = sim.CostModel
+	// Result summarizes one run.
+	Result = sim.Result
+)
+
+// Functions.
+var (
+	// Run executes a simulation to completion.
+	Run = sim.Run
+	// DefaultCosts returns the standard cost model.
+	DefaultCosts = sim.DefaultCosts
+)

@@ -1,0 +1,32 @@
+package simulate_test
+
+import (
+	"testing"
+
+	"next700/simulate"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := simulate.Config{
+		Protocol: "TICTOC", Cores: 16, Records: 1 << 12, Theta: 0.7,
+		OpsPerTxn: 8, WriteRatio: 0.5, Horizon: 200_000, Seed: 3,
+	}
+	a, err := simulate.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := simulate.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Commits == 0 || a.Commits != b.Commits || a.Aborts != b.Aborts {
+		t.Fatalf("nondeterministic or empty: %+v vs %+v", a, b)
+	}
+}
+
+func TestDefaultCosts(t *testing.T) {
+	c := simulate.DefaultCosts()
+	if c.Access == 0 || c.TsAlloc == 0 {
+		t.Fatalf("zeroed defaults: %+v", c)
+	}
+}
