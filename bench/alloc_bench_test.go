@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"next700/internal/core"
+	"next700/internal/workload"
+)
+
+// BenchmarkTxnAllocs reports the steady-state per-transaction cost of the
+// full hot path (begin → 8 accesses → validate → commit) for each
+// protocol, one worker, no contention. Run with -benchmem; the allocs/op
+// column is the number the allocation gate (TestTxnAllocBudgets) pins.
+//
+//	go test ./bench -run=NONE -bench=BenchmarkTxnAllocs -benchmem
+func BenchmarkTxnAllocs(b *testing.B) {
+	for _, proto := range []string{"SILO", "TICTOC", "MVCC", "NO_WAIT", "TIMESTAMP", "HSTORE"} {
+		for _, mix := range []struct {
+			name      string
+			readRatio float64
+		}{
+			{"ReadOnly", 1},
+			{"Update50", 0.5},
+		} {
+			b.Run(proto+"/"+mix.name, func(b *testing.B) {
+				e, err := core.Open(core.Config{Protocol: proto, Threads: 1, Partitions: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				wl := workload.NewYCSB(workload.YCSBConfig{
+					Records: 1024, OpsPerTxn: 8, ReadRatio: mix.readRatio, MaxThreads: 1,
+				})
+				if err := wl.Setup(e); err != nil {
+					b.Fatal(err)
+				}
+				tx := e.NewTx(0, 42)
+				for i := 0; i < allocGateWarmup; i++ {
+					if err := wl.RunOne(tx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := wl.RunOne(tx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"testing"
+
+	"next700/internal/cc"
+	"next700/internal/core"
+	"next700/internal/storage"
+	"next700/internal/wal"
+	"next700/internal/workload"
+)
+
+// discardDev is an allocation-free WAL device for the allocation gate: the
+// gate measures the engine's logging path, not the OS write path.
+type discardDev struct{}
+
+func (discardDev) Write(p []byte) (int, error) { return len(p), nil }
+func (discardDev) Sync() error                 { return nil }
+
+// allocGateWarmup transactions run before measurement so every record's
+// lazily created per-record state (lock-reader slices, MVCC freelists,
+// protocol metadata chunks) and every Tx-retained buffer reaches steady
+// state. With 256 records and 8 uniform accesses per transaction, 2000
+// warmup transactions touch every key with overwhelming probability.
+const allocGateWarmup = 2000
+
+// readOnlyYCSBAllocs measures steady-state heap allocations per read-only
+// YCSB transaction on one worker.
+func readOnlyYCSBAllocs(t *testing.T, protocol string) float64 {
+	t.Helper()
+	e, err := core.Open(core.Config{Protocol: protocol, Threads: 1, Partitions: 1})
+	if err != nil {
+		t.Fatalf("open %s: %v", protocol, err)
+	}
+	defer e.Close()
+	wl := workload.NewYCSB(workload.YCSBConfig{
+		Records: 256, OpsPerTxn: 8, ReadRatio: 1, MaxThreads: 1,
+	})
+	if err := wl.Setup(e); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	tx := e.NewTx(0, 7)
+	for i := 0; i < allocGateWarmup; i++ {
+		if err := wl.RunOne(tx); err != nil {
+			t.Fatalf("warmup txn: %v", err)
+		}
+	}
+	return testing.AllocsPerRun(200, func() {
+		if err := wl.RunOne(tx); err != nil {
+			t.Fatalf("measured txn: %v", err)
+		}
+	})
+}
+
+// updateTxnAllocs measures steady-state heap allocations per transaction
+// for a fixed 8-update transaction (every record pre-touched, so only the
+// inherent per-commit cost of the protocol and log mode remains).
+func updateTxnAllocs(t *testing.T, protocol string, logMode wal.Mode) float64 {
+	t.Helper()
+	cfg := core.Config{Protocol: protocol, Threads: 1, Partitions: 1, LogMode: logMode}
+	if logMode != wal.ModeNone {
+		cfg.LogDevice = discardDev{}
+	}
+	e, err := core.Open(cfg)
+	if err != nil {
+		t.Fatalf("open %s: %v", protocol, err)
+	}
+	defer e.Close()
+	sch, err := storage.NewSchema("gate", storage.I64("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.CreateTable(sch, core.IndexHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := sch.NewRow()
+	const keys = 8
+	for k := uint64(0); k < keys; k++ {
+		if err := e.Load(tbl, k, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx := e.NewTx(0, 1)
+	body := func(tx *core.Tx) error {
+		for k := uint64(0); k < keys; k++ {
+			r, err := tx.Update(tbl, k)
+			if err != nil {
+				return err
+			}
+			sch.SetInt64(r, 0, sch.GetInt64(r, 0)+1)
+		}
+		return nil
+	}
+	for i := 0; i < 300; i++ {
+		if err := tx.Run(body); err != nil {
+			t.Fatalf("warmup txn: %v", err)
+		}
+	}
+	return testing.AllocsPerRun(200, func() {
+		if err := tx.Run(body); err != nil {
+			t.Fatalf("measured txn: %v", err)
+		}
+	})
+}
+
+// TestTxnAllocBudgets is the allocation-regression gate: the steady-state
+// transaction path must stay within small fixed allocation budgets per
+// protocol (see EXPERIMENTS.md, "GC and allocation methodology").
+//
+// Budgets for the 8-update transaction:
+//   - SILO installs copy-on-write committed images: 2 heap allocations per
+//     written record (image bytes + the escaping slice header), 16 total.
+//   - MVCC recycles pruned version nodes and their buffers, so the steady
+//     state is allocation-free.
+//   - Every other protocol installs in place from the Tx arena: 0.
+//
+// Value logging must add nothing: commit records, entry slices, encode
+// buffers, and the group-commit batch are all reused.
+func TestTxnAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is distorted by the race detector")
+	}
+	// A hair of slack absorbs one-off runtime allocations (timer wheel,
+	// map growth in the scheduler) that are not per-txn costs.
+	const slack = 0.1
+
+	t.Run("ReadOnlyYCSB", func(t *testing.T) {
+		for _, proto := range cc.Names() {
+			got := readOnlyYCSBAllocs(t, proto)
+			if got > slack {
+				t.Errorf("%s: %.2f allocs per read-only txn, want 0", proto, got)
+			}
+		}
+	})
+
+	budgets := map[string]float64{
+		"SILO":      16, // 2 per written record (COW committed image)
+		"TICTOC":    0,
+		"MVCC":      0, // version nodes recycled via per-record freelist
+		"TIMESTAMP": 0,
+		"NO_WAIT":   0,
+		"WAIT_DIE":  0,
+		"DL_DETECT": 0,
+		"HSTORE":    0,
+	}
+	t.Run("Update", func(t *testing.T) {
+		for _, proto := range cc.Names() {
+			got := updateTxnAllocs(t, proto, wal.ModeNone)
+			if got > budgets[proto]+slack {
+				t.Errorf("%s: %.2f allocs per 8-update txn, budget %.0f", proto, got, budgets[proto])
+			}
+		}
+	})
+
+	t.Run("UpdateValueLogged", func(t *testing.T) {
+		for _, proto := range []string{"SILO", "TICTOC", "NO_WAIT"} {
+			got := updateTxnAllocs(t, proto, wal.ModeValue)
+			if got > budgets[proto]+slack {
+				t.Errorf("%s+value-log: %.2f allocs per 8-update txn, budget %.0f (logging must add none)",
+					proto, got, budgets[proto])
+			}
+		}
+	})
+}
+
+// TestMeasureAllocs exercises the harness-level allocation sampling used by
+// next700-bench -allocs.
+func TestMeasureAllocs(t *testing.T) {
+	res, err := Run(EngineConfig{Protocol: "SILO", Threads: 2},
+		NewYCSB(YCSBConfig{Records: 1024, OpsPerTxn: 4, ReadRatio: 1}),
+		RunOptions{Threads: 2, TxnsPerWorker: 500, WarmupTxns: 200, Seed: 1, MeasureAllocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if !raceEnabled && res.AllocsPerTxn > 1.0 {
+		t.Errorf("read-only SILO measured %.2f allocs/txn via harness, want ~0", res.AllocsPerTxn)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation gate is skipped under -race because instrumentation changes
+// heap accounting.
+const raceEnabled = false

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -50,7 +51,9 @@ func main() {
 		accounts = flag.Uint64("accounts", 100000, "smallbank: account count")
 		hotspot  = flag.Float64("hotspot", 0.25, "smallbank: hotspot access probability")
 
-		verify = flag.Bool("verify", false, "run workload consistency checks after the measurement")
+		verify    = flag.Bool("verify", false, "run workload consistency checks after the measurement")
+		allocs    = flag.Bool("allocs", false, "measure heap allocs/txn and bytes/txn during the run")
+		allocsOut = flag.String("allocsout", "BENCH_allocs.json", "output path for the -allocs JSON report")
 	)
 	flag.Parse()
 
@@ -105,6 +108,7 @@ func main() {
 		*wlName, *protocol, *threads, *duration)
 	res, err := harness.Run(cfg, wl, harness.RunOptions{
 		Threads: *threads, Duration: *duration, WarmupTxns: *warmup, Seed: *seed,
+		MeasureAllocs: *allocs,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -112,6 +116,13 @@ func main() {
 	fmt.Println(res)
 	fmt.Printf("  commits=%d aborts=%d waits=%d\n", res.Commits, res.Aborts, res.Waits)
 	fmt.Printf("  latency: %s\n", res.Latency)
+	if *allocs {
+		fmt.Printf("  allocs/txn=%.2f bytes/txn=%.1f\n", res.AllocsPerTxn, res.BytesPerTxn)
+		if err := writeAllocsReport(*allocsOut, *wlName, *protocol, res); err != nil {
+			fatal("write allocs report: %v", err)
+		}
+		fmt.Printf("  allocs report: %s\n", *allocsOut)
+	}
 
 	if *verify {
 		// The measured engine is closed by harness.Run; verification runs
@@ -138,6 +149,42 @@ func main() {
 		}
 		fmt.Println("  verify: ok")
 	}
+}
+
+// allocsReport is one (protocol × workload) allocation measurement, written
+// as JSON for trajectory tracking across runs.
+type allocsReport struct {
+	Workload     string  `json:"workload"`
+	Protocol     string  `json:"protocol"`
+	Threads      int     `json:"threads"`
+	Commits      uint64  `json:"commits"`
+	Tps          float64 `json:"tps"`
+	AllocsPerTxn float64 `json:"allocs_per_txn"`
+	BytesPerTxn  float64 `json:"bytes_per_txn"`
+}
+
+// writeAllocsReport appends the measurement to the JSON report: the file
+// holds an array of rows so successive runs accumulate a trajectory.
+func writeAllocsReport(path, wlName, protocol string, res harness.Result) error {
+	var rows []allocsReport
+	if prev, err := os.ReadFile(path); err == nil {
+		// Best-effort: a corrupt or foreign file is restarted, not fatal.
+		_ = json.Unmarshal(prev, &rows)
+	}
+	rows = append(rows, allocsReport{
+		Workload:     wlName,
+		Protocol:     protocol,
+		Threads:      res.Threads,
+		Commits:      res.Commits,
+		Tps:          res.Tps,
+		AllocsPerTxn: res.AllocsPerTxn,
+		BytesPerTxn:  res.BytesPerTxn,
+	})
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // freshWorkload clones a workload's configuration into an unused instance

@@ -9,9 +9,11 @@ import (
 )
 
 // hstoreState is the per-transaction scratch: which partition locks are
-// held, sorted ascending.
+// held, sorted ascending, plus a reusable staging slice for
+// DeclarePartitions so steady-state declaration allocates nothing.
 type hstoreState struct {
 	held []int
+	decl []int
 }
 
 func (s *hstoreState) holds(p int) bool {
@@ -66,8 +68,9 @@ func (p *hstore) Begin(tx *txn.Txn) {
 // ascending order is deadlock-free.
 func (p *hstore) DeclarePartitions(tx *txn.Txn, parts []int) error {
 	st := tx.Scratch.(*hstoreState)
-	sorted := append([]int(nil), parts...)
+	sorted := append(st.decl[:0], parts...)
 	sort.Ints(sorted)
+	st.decl = sorted
 	prev := -1
 	for _, part := range sorted {
 		if part == prev {

@@ -32,12 +32,41 @@ type mvVersion struct {
 }
 
 // mvMeta is the per-record state: the chain head, the largest read
-// timestamp (serializable only), and the write-intent marker.
+// timestamp (serializable only), the write-intent marker, and a freelist of
+// pruned version nodes recycled by later commits.
 type mvMeta struct {
 	mu      sync.Mutex
 	rts     uint64
 	pending uint64 // timestamp of the transaction holding write intent
 	head    *mvVersion
+	free    *mvVersion
+}
+
+// mvFreeLimit bounds the per-record freelist so a burst of versions on a hot
+// record does not pin memory forever.
+const mvFreeLimit = 4
+
+// allocVersion pops a recycled node (or allocates). Caller holds m.mu.
+func (m *mvMeta) allocVersion() *mvVersion {
+	v := m.free
+	if v == nil {
+		return &mvVersion{}
+	}
+	m.free = v.next
+	v.next = nil
+	v.deleted = false
+	return v
+}
+
+// setData fills v with a copy of data, reusing the node's retained buffer
+// when it is large enough.
+func (v *mvVersion) setData(data []byte) {
+	if cap(v.data) >= len(data) {
+		v.data = v.data[:len(data)]
+	} else {
+		v.data = make([]byte, len(data))
+	}
+	copy(v.data, data)
 }
 
 // mvcc is multi-version concurrency control with timestamp ordering,
@@ -230,14 +259,15 @@ func (p *mvcc) Commit(tx *txn.Txn) error {
 			p.Abort(tx)
 			return txn.ErrConflict
 		}
-		v := &mvVersion{begin: installTS, next: m.head}
+		v := m.allocVersion()
+		v.begin = installTS
+		v.next = m.head
 		switch a.Kind {
 		case txn.KindDelete:
 			v.deleted = true
+			v.data = v.data[:0]
 		default:
-			cp := make([]byte, len(a.Data))
-			copy(cp, a.Data)
-			v.data = cp
+			v.setData(a.Data)
 		}
 		m.head = v
 		m.pending = 0
@@ -250,13 +280,30 @@ func (p *mvcc) Commit(tx *txn.Txn) error {
 	return nil
 }
 
-// pruneVersions drops chain entries that no active transaction can reach:
-// everything past the newest version with begin <= watermark. Caller holds
-// m.mu.
+// pruneVersions drops chain entries that no active transaction can reach —
+// everything past the newest version with begin <= watermark — and recycles
+// the cut nodes into the record's freelist. Recycling is safe: a pruned
+// version is strictly older than the newest version visible at the
+// watermark, and under every isolation level a version installed while a
+// reader was active carries a begin timestamp the reader cannot see past,
+// so no still-running transaction can hold a pruned node's data. Caller
+// holds m.mu.
 func pruneVersions(m *mvMeta, watermark uint64) {
 	for v := m.head; v != nil; v = v.next {
 		if v.begin <= watermark {
+			cut := v.next
 			v.next = nil
+			freeCount := 0
+			for f := m.free; f != nil; f = f.next {
+				freeCount++
+			}
+			for cut != nil && freeCount < mvFreeLimit {
+				next := cut.next
+				cut.next = m.free
+				m.free = cut
+				freeCount++
+				cut = next
+			}
 			return
 		}
 	}

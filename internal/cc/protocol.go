@@ -19,7 +19,6 @@ package cc
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -283,22 +282,10 @@ func (tm *tableMetas[T]) get(tbl *storage.Table, rid storage.RecordID) *T {
 
 // sortWriteIndices returns the indices of write-kind accesses sorted by
 // (table id, rid) — the canonical deadlock-free lock acquisition order used
-// by the commit phases of SILO and TICTOC.
+// by the commit phases of SILO and TICTOC. The slice is descriptor-owned
+// scratch: reused across transactions, no allocation on the commit path.
 func sortWriteIndices(tx *txn.Txn) []int {
-	idxs := make([]int, 0, 8)
-	for i := range tx.Accesses {
-		if tx.Accesses[i].Kind != txn.KindRead {
-			idxs = append(idxs, i)
-		}
-	}
-	sort.Slice(idxs, func(a, b int) bool {
-		x, y := &tx.Accesses[idxs[a]], &tx.Accesses[idxs[b]]
-		if x.Table.ID() != y.Table.ID() {
-			return x.Table.ID() < y.Table.ID()
-		}
-		return x.RID < y.RID
-	})
-	return idxs
+	return tx.SortedWriteIndices()
 }
 
 // applyWrite installs an access's after-image into the table, honoring

@@ -225,6 +225,13 @@ func (p *silo) Commit(tx *txn.Txn) error {
 			m.data.Store(nil)
 			a.Table.SetTombstone(a.RID, true)
 		default:
+			// Allocation budget: this copy is SILO's only steady-state heap
+			// traffic — 2 allocations per written record (the image bytes and
+			// the slice header escaping into the atomic.Pointer). It is load-
+			// bearing: readers hold the previous image lock-free, so the
+			// committed image must be freshly owned, never a view of the
+			// transaction's arena. The alloc gate (bench/alloc_test.go) pins
+			// this budget at exactly 2/write.
 			cp := make([]byte, len(a.Data))
 			copy(cp, a.Data)
 			m.data.Store(&cp)

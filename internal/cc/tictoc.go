@@ -152,6 +152,11 @@ func (p *ticToc) lockForCommit(tx *txn.Txn, m *ttMeta, a *txn.Access) bool {
 
 // Commit implements Protocol: lock writes, compute the commit timestamp,
 // validate/extend reads, install.
+//
+// Allocation budget: zero. Installation writes the after-image in place
+// under the record lock (readers revalidate by timestamp, so no committed
+// copy is needed, unlike SILO), and sortWriteIndices reuses the Txn's
+// index scratch. The alloc gate (bench/alloc_test.go) pins this at 0.
 func (p *ticToc) Commit(tx *txn.Txn) error {
 	writes := sortWriteIndices(tx)
 

@@ -134,6 +134,10 @@ func (p *timestampOrdering) RegisterDelete(tx *txn.Txn, tbl *storage.Table, rid 
 }
 
 // Commit implements Protocol: install pre-writes and stamp wts.
+//
+// Allocation budget: zero steady-state — pre-write slots were reserved at
+// ReadForUpdate time and images install in place; per-record toMeta nodes
+// allocate once on first touch only. Pinned by bench/alloc_test.go.
 func (p *timestampOrdering) Commit(tx *txn.Txn) error {
 	for i := range tx.Accesses {
 		a := &tx.Accesses[i]

@@ -15,6 +15,7 @@ import (
 
 	"next700/internal/cc"
 	"next700/internal/index"
+	"next700/internal/stats"
 	"next700/internal/storage"
 	"next700/internal/wal"
 )
@@ -117,6 +118,12 @@ type Engine struct {
 	env     *cc.Env
 	proto   cc.Protocol
 
+	// counters holds one cache-line-padded statistics slot per worker
+	// thread; NewTx hands out slot threadID. Workers bump their own slot
+	// without synchronization and totals are aggregated only at report
+	// time, so the commit hot path never bounces a shared cache line.
+	counters *stats.CounterSet
+
 	mu     sync.RWMutex
 	tables map[string]*Table
 	byID   []*Table
@@ -149,6 +156,7 @@ func Open(cfg Config) (*Engine, error) {
 		catalog:  storage.NewCatalog(),
 		env:      env,
 		proto:    proto,
+		counters: stats.NewCounterSet(cfg.Threads),
 		tables:   make(map[string]*Table),
 		procs:    make(map[int32]Proc),
 		stopTick: make(chan struct{}),
@@ -193,6 +201,20 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// counterSlot returns the padded statistics slot for a worker thread.
+// ThreadIDs beyond the configured worker count (auxiliary contexts) get a
+// private counter so they never contend with measured workers.
+func (e *Engine) counterSlot(threadID int) *stats.Counter {
+	if threadID >= 0 && threadID < e.counters.Len() {
+		return e.counters.Slot(threadID)
+	}
+	return &stats.Counter{}
+}
+
+// TotalCounter aggregates every worker slot's statistics. Exact once
+// workers are quiescent.
+func (e *Engine) TotalCounter() stats.Counter { return e.counters.Total() }
+
 // Protocol returns the active protocol's name.
 func (e *Engine) Protocol() string { return e.proto.Name() }
 
@@ -231,6 +253,10 @@ func (e *Engine) CreateTable(sch *storage.Schema, primary IndexKind) (*Table, er
 // by folding a uniquifier (e.g. the primary key) into the low bits.
 // Secondary indexes are maintained on insert and delete; updates must not
 // change indexed columns (the standard research-engine restriction).
+//
+// If the table already holds rows (AddIndex after Load), the existing rows
+// are backfilled from the primary index so the new index is complete.
+// AddIndex must not run concurrently with transactions.
 func (e *Engine) AddIndex(t *Table, name string, kind IndexKind,
 	extract func(sch *storage.Schema, row storage.Row, pk uint64) uint64) error {
 	var idx index.Index
@@ -241,6 +267,24 @@ func (e *Engine) AddIndex(t *Table, name string, kind IndexKind,
 		idx = index.NewBTree(t.Name() + "." + name)
 	default:
 		return fmt.Errorf("core: unknown index kind %d", kind)
+	}
+	var backfillErr error
+	if t.tbl.NumRows() > 0 {
+		// Backfill: walk the primary index so each live row's key is known.
+		t.primary.Iterate(func(key uint64, rid storage.RecordID) bool {
+			if t.tbl.IsTombstoned(rid) {
+				return true
+			}
+			if _, ok := idx.Insert(extract(t.sch, t.tbl.Row(rid), key), rid); !ok {
+				backfillErr = fmt.Errorf("core: duplicate key backfilling index %s.%s (pk %d)",
+					t.Name(), name, key)
+				return false
+			}
+			return true
+		})
+	}
+	if backfillErr != nil {
+		return backfillErr
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"next700/internal/storage"
+	"next700/internal/txn"
+)
+
+// TestAddIndexBackfill: AddIndex after Load must index the existing rows
+// (it used to come up silently empty), skipping tombstones.
+func TestAddIndexBackfill(t *testing.T) {
+	e := openEngine(t, Config{Protocol: "SILO", Threads: 1})
+	tbl := kvTable(t, e, "bf", IndexHash, 10)
+	tx := e.NewTx(0, 1)
+	if err := tx.Run(func(tx *Tx) error { return tx.Delete(tbl, 3) }); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := e.AddIndex(tbl, "mirror", IndexBTree,
+		func(_ *storage.Schema, _ storage.Row, pk uint64) uint64 { return pk + 100 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Run(func(tx *Tx) error {
+		for k := uint64(0); k < 10; k++ {
+			row, err := tx.LookupIndex(tbl, "mirror", k+100)
+			if k == 3 {
+				if !errors.Is(err, txn.ErrNotFound) {
+					return fmt.Errorf("deleted pk 3 present in backfilled index: %v", err)
+				}
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("pk %d missing from backfilled index: %v", k, err)
+			}
+			_ = row
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A unique-key conflict during backfill must surface as an error, not a
+	// silently partial index.
+	err := e.AddIndex(tbl, "collide", IndexHash,
+		func(_ *storage.Schema, _ storage.Row, _ uint64) uint64 { return 7 })
+	if err == nil {
+		t.Fatal("duplicate-key backfill succeeded; want error")
+	}
+}
+
+// TestScanScratchTrim: a huge scan must not pin its scratch capacity on the
+// Tx forever, while small scans keep reusing theirs.
+func TestScanScratchTrim(t *testing.T) {
+	e := openEngine(t, Config{Protocol: "SILO", Threads: 1})
+	const rows = maxRetainedScanCap + 1000
+	tbl := kvTable(t, e, "big", IndexBTree, rows)
+	tx := e.NewTx(0, 1)
+
+	scan := func(lo, hi uint64) int {
+		n := 0
+		if err := tx.Run(func(tx *Tx) error {
+			return tx.Scan(tbl, lo, hi, func(uint64, storage.Row) bool { n++; return true })
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	if got := scan(0, 99); got != 100 {
+		t.Fatalf("small scan saw %d rows", got)
+	}
+	smallCap := cap(tx.scanKeys)
+	if smallCap == 0 || smallCap > maxRetainedScanCap {
+		t.Fatalf("small scan retained cap %d, want (0, %d]", smallCap, maxRetainedScanCap)
+	}
+	if got := scan(0, 99); got != 100 {
+		t.Fatalf("second small scan saw %d rows", got)
+	}
+	if cap(tx.scanKeys) != smallCap {
+		t.Fatalf("small-scan scratch not reused: cap %d -> %d", smallCap, cap(tx.scanKeys))
+	}
+
+	if got := scan(0, rows); got != rows {
+		t.Fatalf("big scan saw %d rows, want %d", got, rows)
+	}
+	if cap(tx.scanKeys) != 0 || cap(tx.scanRIDs) != 0 {
+		t.Fatalf("huge scan scratch retained: caps %d/%d, want released",
+			cap(tx.scanKeys), cap(tx.scanRIDs))
+	}
+}
+
+// TestTxReuseImageStability: a row image handed to the transaction body
+// must stay intact for the whole body even though the reused Tx recycles
+// its arena and access slots across transactions — later reads and writes
+// within the same transaction must not scribble over it.
+func TestTxReuseImageStability(t *testing.T) {
+	forAllProtocols(t, func(t *testing.T, protocol string) {
+		e := openEngine(t, Config{Protocol: protocol, Threads: 1})
+		tbl := kvTable(t, e, "alias", IndexHash, 16)
+		tx := e.NewTx(0, 99)
+		for round := int64(1); round <= 50; round++ {
+			if err := tx.Run(func(tx *Tx) error {
+				row, err := tx.Read(tbl, 0)
+				if err != nil {
+					return err
+				}
+				if got := getV(tbl, row); got != round-1 {
+					return fmt.Errorf("round %d: key 0 reads %d", round, got)
+				}
+				snap := append([]byte(nil), row...)
+				// Churn the arena: read and update every other key.
+				for k := uint64(1); k < 16; k++ {
+					r, err := tx.Update(tbl, k)
+					if err != nil {
+						return err
+					}
+					setV(tbl, r, round*100+int64(k))
+				}
+				if !bytes.Equal([]byte(row), snap) {
+					return fmt.Errorf("round %d: key 0 image mutated under the body", round)
+				}
+				// Finally write key 0 so the next round observes the bump.
+				r, err := tx.Update(tbl, 0)
+				if err != nil {
+					return err
+				}
+				setV(tbl, r, round)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Committed state reflects the last round for every key.
+		if err := tx.Run(func(tx *Tx) error {
+			for k := uint64(1); k < 16; k++ {
+				row, err := tx.Read(tbl, k)
+				if err != nil {
+					return err
+				}
+				if got := getV(tbl, row); got != 50*100+int64(k) {
+					return fmt.Errorf("key %d committed %d", k, got)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

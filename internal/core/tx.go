@@ -25,16 +25,34 @@ type Tx struct {
 	scanRIDs []storage.RecordID
 	// encode buffer for WAL records, reused across transactions.
 	logBuf []byte
+	// logRec is the reusable commit record; its Entries slice keeps its
+	// capacity across transactions so value logging allocates nothing.
+	logRec wal.CommitRecord
+	// seqHook is the pre-built commit-sequence-number closure handed to
+	// HookedCommitter protocols; building it once per context keeps the
+	// logging commit path allocation-free.
+	seqHook func()
 }
+
+// maxRetainedScanCap bounds the scan scratch capacity a Tx keeps between
+// transactions. One huge scan must not permanently bloat every worker.
+const maxRetainedScanCap = 4096
 
 // NewTx creates a reusable transaction context bound to a worker slot.
 // threadID must be < Config.Threads. Each context may be used by one
-// goroutine at a time.
+// goroutine at a time. Contexts sharing a threadID share the worker's
+// statistics slot.
 func (e *Engine) NewTx(threadID int, seed uint64) *Tx {
-	return &Tx{
+	t := &Tx{
 		eng:   e,
-		inner: txn.NewTxn(threadID, xrand.New(seed), &stats.Counter{}),
+		inner: txn.NewTxn(threadID, xrand.New(seed), e.counterSlot(threadID)),
 	}
+	t.seqHook = func() {
+		// Draw the commit sequence number while writes are still
+		// protected: log replay orders entries by it.
+		t.inner.ID = e.env.TS.Next()
+	}
+	return t
 }
 
 // RNG returns the worker-local random source.
@@ -169,12 +187,22 @@ func (t *Tx) ScanDesc(tbl *Table, lo, hi uint64, fn func(key uint64, row storage
 	return t.scan(tbl, lo, hi, true, fn)
 }
 
+// trimScanScratch caps the retained capacity of the scan scratch slices so
+// one huge scan does not permanently bloat the worker's footprint.
+func (t *Tx) trimScanScratch() {
+	if cap(t.scanKeys) > maxRetainedScanCap {
+		t.scanKeys = nil
+		t.scanRIDs = nil
+	}
+}
+
 func (t *Tx) scan(tbl *Table, lo, hi uint64, desc bool, fn func(key uint64, row storage.Row) bool) error {
 	t.inner.Counter.Scans++
 	r, ok := tbl.ranger()
 	if !ok {
 		return errors.New("core: table " + tbl.Name() + " primary index does not support scans")
 	}
+	defer t.trimScanScratch()
 	// Collect matches first so no index latches are held while protocol
 	// reads block or wait — mixing latch and lock ordering risks deadlock.
 	t.scanKeys = t.scanKeys[:0]
@@ -229,6 +257,7 @@ func (t *Tx) ScanIndex(tbl *Table, indexName string, lo, hi uint64, desc bool,
 	if !ok {
 		return errors.New("core: index " + indexName + " does not support scans")
 	}
+	defer t.trimScanScratch()
 	t.scanKeys = t.scanKeys[:0]
 	t.scanRIDs = t.scanRIDs[:0]
 	collect := func(key uint64, rid storage.RecordID) bool {
@@ -338,11 +367,7 @@ func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 
 	if e.logw != nil {
 		if hooked, ok := e.proto.(cc.HookedCommitter); ok {
-			err = hooked.CommitHooked(inner, func() {
-				// Draw the commit sequence number while writes are still
-				// protected: log replay orders entries by it.
-				inner.ID = e.env.TS.Next()
-			})
+			err = hooked.CommitHooked(inner, t.seqHook)
 		} else {
 			err = e.proto.Commit(inner)
 		}
@@ -380,12 +405,16 @@ func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 	return true, nil
 }
 
-// appendLog encodes and waits out the WAL record for a committed txn.
+// appendLog encodes and waits out the WAL record for a committed txn. The
+// commit record, its entries slice, and the encode buffer are all Tx-owned
+// and reused, so steady-state logging allocates nothing per commit.
 func (t *Tx) appendLog(procID int32, params []byte) error {
 	e := t.eng
 	inner := t.inner
-	var cr wal.CommitRecord
+	cr := &t.logRec
 	cr.TxnID = inner.ID
+	cr.Proc, cr.Params = 0, nil
+	cr.Entries = cr.Entries[:0]
 	if e.cfg.LogMode == wal.ModeCommand {
 		if procID == 0 {
 			return errors.New("core: command logging requires RunProc")
@@ -413,6 +442,11 @@ func (t *Tx) appendLog(procID int32, params []byte) error {
 		}
 	}
 	t.logBuf = cr.Encode(t.logBuf)
+	// Drop row-image aliases before the next transaction resets the arena.
+	for i := range cr.Entries {
+		cr.Entries[i].Data = nil
+	}
+	cr.Params = nil
 	lsn, err := e.logw.Append(t.logBuf)
 	if err != nil {
 		return err

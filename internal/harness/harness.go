@@ -5,6 +5,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -27,6 +28,11 @@ type RunOptions struct {
 	WarmupTxns int
 	// Seed perturbs worker RNGs.
 	Seed uint64
+	// MeasureAllocs samples runtime.MemStats around the measurement window
+	// and reports heap allocations per committed transaction. A GC cycle is
+	// forced before the window, so enable this only for allocation
+	// profiling, not latency measurement.
+	MeasureAllocs bool
 }
 
 // Result is one measurement row.
@@ -41,6 +47,12 @@ type Result struct {
 	Tps       float64
 	AbortRate float64
 	Latency   stats.Summary
+	// AllocsPerTxn / BytesPerTxn are heap allocations and bytes per
+	// committed transaction across the whole process during the measurement
+	// window (set only when RunOptions.MeasureAllocs is on). Aborted
+	// attempts' allocations are charged to the transactions that commit.
+	AllocsPerTxn float64
+	BytesPerTxn  float64
 }
 
 // String renders a one-line summary.
@@ -149,6 +161,12 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 		}(i)
 	}
 	warm.Wait()
+	var memBefore runtime.MemStats
+	if opts.MeasureAllocs {
+		// Settle the heap so warmup garbage is not charged to the window.
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+	}
 	start = time.Now()
 	close(begin)
 	if stop != nil {
@@ -156,6 +174,10 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	if opts.MeasureAllocs {
+		runtime.ReadMemStats(&memAfter)
+	}
 
 	var total stats.Counter
 	hist := stats.NewHistogram()
@@ -167,7 +189,7 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 			firstErr = fmt.Errorf("worker %d: %w", i, outs[i].err)
 		}
 	}
-	return Result{
+	res := Result{
 		Threads:   threads,
 		Elapsed:   elapsed,
 		Commits:   total.Commits,
@@ -176,7 +198,12 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 		Tps:       float64(total.Commits) / elapsed.Seconds(),
 		AbortRate: total.AbortRate(),
 		Latency:   hist.Summarize(),
-	}, firstErr
+	}
+	if opts.MeasureAllocs && total.Commits > 0 {
+		res.AllocsPerTxn = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total.Commits)
+		res.BytesPerTxn = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(total.Commits)
+	}
+	return res, firstErr
 }
 
 func stopped(stop chan struct{}) bool {

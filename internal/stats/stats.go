@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unsafe"
 )
 
 // subBuckets is the number of linear sub-buckets per power-of-two bucket.
@@ -257,6 +258,62 @@ func (c *Counter) AbortRate() float64 {
 		return 0
 	}
 	return float64(c.Aborts) / float64(attempts)
+}
+
+// counterAlign pads each per-worker counter slot out to a multiple of 128
+// bytes: two cache lines, so the adjacent-line prefetcher cannot induce
+// false sharing between neighboring workers either.
+const counterAlign = 128
+
+// counterPad is the padding needed to round Counter up to counterAlign.
+const counterPad = (counterAlign - unsafe.Sizeof(Counter{})%counterAlign) % counterAlign
+
+// paddedCounter is a Counter that owns its cache lines.
+type paddedCounter struct {
+	Counter
+	_ [counterPad]byte
+}
+
+// CounterSet is a fixed array of cache-line-padded per-worker counters.
+// Each worker increments only its own slot (no atomics, no shared lines on
+// the transaction hot path); totals are aggregated only at report time.
+type CounterSet struct {
+	slots []paddedCounter
+}
+
+// NewCounterSet creates a set with n padded slots (min 1).
+func NewCounterSet(n int) *CounterSet {
+	if n < 1 {
+		n = 1
+	}
+	return &CounterSet{slots: make([]paddedCounter, n)}
+}
+
+// Len returns the number of slots.
+func (s *CounterSet) Len() int { return len(s.slots) }
+
+// Slot returns worker i's counter. The slot is not thread-safe; it must be
+// incremented only by the worker that owns it.
+func (s *CounterSet) Slot(i int) *Counter {
+	return &s.slots[i].Counter
+}
+
+// Total aggregates all slots. Safe to call from a coordinator while workers
+// run, with the usual torn-read caveat of unsynchronized counters: totals
+// are exact only after the workers have stopped.
+func (s *CounterSet) Total() Counter {
+	var total Counter
+	for i := range s.slots {
+		total.Add(&s.slots[i].Counter)
+	}
+	return total
+}
+
+// Reset zeroes every slot.
+func (s *CounterSet) Reset() {
+	for i := range s.slots {
+		s.slots[i].Counter = Counter{}
+	}
 }
 
 // Table is a minimal fixed-column text table used by the harness to print

@@ -111,6 +111,7 @@ type Txn struct {
 
 	arena    []byte
 	arenaOff int
+	writeIdx []int
 }
 
 // NewTxn returns a descriptor with a private arena.
@@ -173,6 +174,36 @@ func (t *Txn) FindWrite(table *storage.Table, rid storage.RecordID) *Access {
 		}
 	}
 	return nil
+}
+
+// SortedWriteIndices returns the indices of the non-read accesses sorted by
+// (table id, rid) — the canonical deadlock-free lock acquisition order used
+// by OCC commit phases. The returned slice is descriptor-owned scratch,
+// valid until the next call; capacity is retained across transactions so the
+// steady state allocates nothing.
+func (t *Txn) SortedWriteIndices() []int {
+	idxs := t.writeIdx[:0]
+	for i := range t.Accesses {
+		if t.Accesses[i].Kind != KindRead {
+			idxs = append(idxs, i)
+		}
+	}
+	// Insertion sort: write sets are small and this avoids the closure and
+	// interface allocations of sort.Slice on the commit hot path.
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && writeOrderLess(&t.Accesses[idxs[j]], &t.Accesses[idxs[j-1]]); j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	t.writeIdx = idxs
+	return idxs
+}
+
+func writeOrderLess(a, b *Access) bool {
+	if a.Table.ID() != b.Table.ID() {
+		return a.Table.ID() < b.Table.ID()
+	}
+	return a.RID < b.RID
 }
 
 // HasWrites reports whether the access set contains any mutation.

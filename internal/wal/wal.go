@@ -194,6 +194,7 @@ type Writer struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	buf     []byte
+	spare   []byte // recycled batch buffer; buf and spare ping-pong across flushes
 	next    uint64 // LSN after the last appended byte
 	durable uint64 // LSN through which data is synced
 	closed  bool
@@ -291,7 +292,13 @@ func (w *Writer) flusher() {
 	}
 }
 
-// flush writes and syncs the staged buffer.
+// maxRetainedBatchCap bounds the capacity of the recycled batch buffer so
+// one oversized group commit does not pin memory for the writer's lifetime.
+const maxRetainedBatchCap = 4 << 20
+
+// flush writes and syncs the staged buffer. The flushed batch and the
+// staging buffer ping-pong so the steady state appends into retained
+// capacity instead of reallocating per group commit.
 func (w *Writer) flush() {
 	w.mu.Lock()
 	if len(w.buf) == 0 {
@@ -300,7 +307,8 @@ func (w *Writer) flush() {
 		return
 	}
 	batch := w.buf
-	w.buf = nil
+	w.buf = w.spare[:0]
+	w.spare = nil
 	target := w.next
 	w.mu.Unlock()
 
@@ -314,6 +322,9 @@ func (w *Writer) flush() {
 		w.err = err
 	} else {
 		w.durable = target
+	}
+	if cap(batch) <= maxRetainedBatchCap {
+		w.spare = batch[:0]
 	}
 	w.cond.Broadcast()
 	w.mu.Unlock()

@@ -77,11 +77,17 @@ func (c *YCSBConfig) normalize() {
 	}
 }
 
-// ycsbWorker is the per-thread generator state.
+// ycsbWorker is the per-thread generator state. The transaction body
+// closure and partition plan live here so RunOne allocates nothing per
+// transaction: a fresh closure per call would put one heap allocation on
+// every measured transaction.
 type ycsbWorker struct {
-	zipf *xrand.Zipf
-	keys []uint64
-	ops  []byte // 0 read, 1 rmw, 2 scan
+	zipf  *xrand.Zipf
+	keys  []uint64
+	ops   []byte // 0 read, 1 rmw, 2 scan
+	home  int
+	other int
+	body  func(tx *core.Tx) error
 }
 
 // YCSB is the workload instance.
@@ -180,6 +186,21 @@ func (y *YCSB) worker(tx *core.Tx) *ycsbWorker {
 			keys: make([]uint64, 0, y.cfg.OpsPerTxn),
 			ops:  make([]byte, 0, y.cfg.OpsPerTxn),
 		}
+		declare := y.cfg.PartitionLocal && y.eng.Protocol() == "HSTORE"
+		w.body = func(tx *core.Tx) error {
+			// Pre-declare partitions only in partition-local mode; otherwise
+			// HSTORE falls back to lazy try-lock acquisition.
+			if declare {
+				if w.other >= 0 {
+					if err := tx.DeclarePartitions(w.home, w.other); err != nil {
+						return err
+					}
+				} else if err := tx.DeclarePartitions(w.home); err != nil {
+					return err
+				}
+			}
+			return y.execOps(tx, w.keys, w.ops)
+		}
 		y.workers[id] = w
 	}
 	return w
@@ -241,25 +262,12 @@ func (y *YCSB) generate(tx *core.Tx, w *ycsbWorker) (homePart, otherPart int) {
 // RunOne implements Workload.
 func (y *YCSB) RunOne(tx *core.Tx) error {
 	w := y.worker(tx)
-	home, other := y.generate(tx, w)
+	w.home, w.other = y.generate(tx, w)
 
 	if y.cmdLog {
 		return tx.RunProc(ycsbProcID, y.encodeParams(w))
 	}
-	return tx.Run(func(tx *core.Tx) error {
-		// Pre-declare partitions only in partition-local mode; otherwise
-		// HSTORE falls back to lazy try-lock acquisition.
-		if y.cfg.PartitionLocal && y.eng.Protocol() == "HSTORE" {
-			if other >= 0 {
-				if err := tx.DeclarePartitions(home, other); err != nil {
-					return err
-				}
-			} else if err := tx.DeclarePartitions(home); err != nil {
-				return err
-			}
-		}
-		return y.execOps(tx, w.keys, w.ops)
-	})
+	return tx.Run(w.body)
 }
 
 // execOps performs the planned accesses.
