@@ -17,6 +17,7 @@ import (
 
 	"next700/internal/core"
 	"next700/internal/harness"
+	"next700/internal/torture"
 	"next700/internal/wal"
 	"next700/internal/workload"
 )
@@ -54,8 +55,22 @@ func main() {
 		verify    = flag.Bool("verify", false, "run workload consistency checks after the measurement")
 		allocs    = flag.Bool("allocs", false, "measure heap allocs/txn and bytes/txn during the run")
 		allocsOut = flag.String("allocsout", "BENCH_allocs.json", "output path for the -allocs JSON report")
+
+		// Retry/backoff policy (0 keeps the engine default).
+		retryAttempts = flag.Int("retry-attempts", 0, "max attempts per txn before livelock error")
+		retrySpin     = flag.Int("retry-spin", 0, "leading retries that only yield, no sleep")
+		retryBase     = flag.Duration("retry-base", 0, "first sleeping retry's backoff jitter ceiling")
+		retryMax      = flag.Duration("retry-max", 0, "exponential backoff ceiling cap")
+
+		doRecover = flag.Bool("recover", false, "after the run, replay the log into a fresh engine and print recovery stats (requires -log)")
+		tortureN  = flag.Int("torture", 0, "run N seeded crash-recovery torture iterations per log mode and exit")
 	)
 	flag.Parse()
+
+	if *tortureN > 0 {
+		runTorture(*protocol, *tortureN, *seed)
+		return
+	}
 
 	cfg := core.Config{
 		Protocol:          *protocol,
@@ -109,13 +124,24 @@ func main() {
 	res, err := harness.Run(cfg, wl, harness.RunOptions{
 		Threads: *threads, Duration: *duration, WarmupTxns: *warmup, Seed: *seed,
 		MeasureAllocs: *allocs,
+		Retry: core.RetryPolicy{
+			MaxAttempts: *retryAttempts, SpinAttempts: *retrySpin,
+			BaseDelay: *retryBase, MaxDelay: *retryMax,
+		},
 	})
 	if err != nil {
 		fatal("%v", err)
 	}
 	fmt.Println(res)
-	fmt.Printf("  commits=%d aborts=%d waits=%d\n", res.Commits, res.Aborts, res.Waits)
+	fmt.Printf("  commits=%d aborts=%d user_aborts=%d fatal_aborts=%d waits=%d\n",
+		res.Commits, res.Aborts, res.UserAborts, res.FatalAborts, res.Waits)
 	fmt.Printf("  latency: %s\n", res.Latency)
+	if *doRecover {
+		if cfg.LogMode == wal.ModeNone {
+			fatal("-recover requires -log value|command")
+		}
+		printRecovery(cfg, wl, *logPath)
+	}
 	if *allocs {
 		fmt.Printf("  allocs/txn=%.2f bytes/txn=%.1f\n", res.AllocsPerTxn, res.BytesPerTxn)
 		if err := writeAllocsReport(*allocsOut, *wlName, *protocol, res); err != nil {
@@ -150,6 +176,72 @@ func main() {
 		fmt.Println("  verify: ok")
 	}
 }
+
+// runTorture executes the seeded crash-recovery torture suite for both log
+// modes and reports coverage. Any invariant violation is fatal and names
+// the seed so the failure replays deterministically.
+func runTorture(protocol string, iters int, seed uint64) {
+	fmt.Printf("next700-bench: torture, %s, %d iterations per log mode\n", protocol, iters)
+	for _, m := range []struct {
+		name string
+		mode wal.Mode
+	}{{"value", wal.ModeValue}, {"command", wal.ModeCommand}} {
+		var crashed, torn, acked int
+		for i := 0; i < iters; i++ {
+			s := seed + uint64(i)
+			res, err := torture.Run(torture.Config{
+				Protocol: protocol, LogMode: m.mode, Seed: s, TransientSyncEvery: 5,
+			})
+			if err != nil {
+				fatal("torture %s seed %d: %v", m.name, s, err)
+			}
+			if res.Crashed {
+				crashed++
+			}
+			if res.Recovery.TornBytes > 0 {
+				torn++
+			}
+			acked += res.Acked
+		}
+		fmt.Printf("  %-7s: %d iterations, %d crashed, %d torn tails, %d acked commits, 0 violations\n",
+			m.name, iters, crashed, torn, acked)
+	}
+}
+
+// printRecovery replays the just-written log into a fresh engine (same
+// deterministic workload load) and prints what recovery saw, including the
+// damage accounting for torn tails and CRC-corrupt final records.
+func printRecovery(cfg core.Config, template workload.Workload, logPath string) {
+	cfg.LogDevice = discardDevice{} // the replay engine's own log is irrelevant
+	e, err := core.Open(cfg)
+	if err != nil {
+		fatal("recover open: %v", err)
+	}
+	defer e.Close()
+	if err := freshWorkload(template).Setup(e); err != nil {
+		fatal("recover setup: %v", err)
+	}
+	lf, err := os.Open(logPath)
+	if err != nil {
+		fatal("recover: %v", err)
+	}
+	defer lf.Close()
+	t0 := time.Now()
+	st, err := e.Recover(lf)
+	if err != nil {
+		fatal("recover: %v", err)
+	}
+	fmt.Printf("  recovery: records=%d entries=%d skipped=%d procs=%d bytes=%d torn_bytes=%d corrupt_tail=%d in %v\n",
+		st.Records, st.Entries, st.Skipped, st.Procs, st.Bytes, st.TornBytes, st.CorruptTailRecords,
+		time.Since(t0).Round(time.Millisecond))
+}
+
+// discardDevice drops log writes (used by the recovery-side engine, whose
+// own re-logging output is irrelevant).
+type discardDevice struct{}
+
+func (discardDevice) Write(p []byte) (int, error) { return len(p), nil }
+func (discardDevice) Sync() error                 { return nil }
 
 // allocsReport is one (protocol × workload) allocation measurement, written
 // as JSON for trajectory tracking across runs.

@@ -52,6 +52,9 @@ type Config struct {
 	GroupCommitWindow time.Duration
 	// EpochInterval is the Silo epoch advance period (default 10ms).
 	EpochInterval time.Duration
+	// Retry bounds Tx.Run's transient-abort retry loop and its jittered
+	// exponential backoff; zero fields select defaults (see RetryPolicy).
+	Retry RetryPolicy
 }
 
 // normalize fills defaults and validates.
@@ -68,6 +71,7 @@ func (c *Config) normalize() error {
 	if c.EpochInterval <= 0 {
 		c.EpochInterval = 10 * time.Millisecond
 	}
+	c.Retry = c.Retry.normalized()
 	if c.LogMode != wal.ModeNone && c.LogDevice == nil {
 		return fmt.Errorf("core: LogMode %v requires a LogDevice", c.LogMode)
 	}

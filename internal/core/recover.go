@@ -19,6 +19,15 @@ type RecoveryStats struct {
 	Skipped int
 	// Procs is the number of re-executed procedures (command mode).
 	Procs int
+	// Bytes is the log bytes consumed by intact, replayed records.
+	Bytes int64
+	// TornBytes is trailing bytes discarded as a torn tail — a record the
+	// crash cut off mid-write, which a correct recovery must skip.
+	TornBytes int64
+	// CorruptTailRecords counts final records dropped because their CRC
+	// failed at end-of-stream (torn payload of full length). Corruption
+	// before the tail is not skippable and fails recovery instead.
+	CorruptTailRecords int
 }
 
 // Recover replays a log stream into the engine. The engine must be in its
@@ -65,7 +74,7 @@ func (rv recordVersion) newer(table int32, rid, ver uint64) bool {
 func (e *Engine) recoverValue(log io.Reader) (RecoveryStats, error) {
 	var rs RecoveryStats
 	versions := make(recordVersion)
-	_, err := wal.Replay(log, func(cr *wal.CommitRecord) error {
+	st, err := wal.ReplayWithStats(log, func(cr *wal.CommitRecord) error {
 		rs.Records++
 		for i := range cr.Entries {
 			en := &cr.Entries[i]
@@ -108,6 +117,7 @@ func (e *Engine) recoverValue(log io.Reader) (RecoveryStats, error) {
 		}
 		return nil
 	})
+	rs.Bytes, rs.TornBytes, rs.CorruptTailRecords = st.Bytes, st.TornBytes, st.CorruptTailRecords
 	return rs, err
 }
 
@@ -124,7 +134,7 @@ func (e *Engine) reloadRecord(th *Table, rid storage.RecordID, key uint64, data 
 func (e *Engine) recoverCommand(log io.Reader) (RecoveryStats, error) {
 	var rs RecoveryStats
 	tx := e.NewTx(0, 0x5ec0Fe5)
-	_, err := wal.Replay(log, func(cr *wal.CommitRecord) error {
+	st, err := wal.ReplayWithStats(log, func(cr *wal.CommitRecord) error {
 		rs.Records++
 		// Params alias the replay buffer; copy before re-execution. Replay
 		// goes through RunProc so the recovered engine's own command log
@@ -136,5 +146,6 @@ func (e *Engine) recoverCommand(log io.Reader) (RecoveryStats, error) {
 		rs.Procs++
 		return nil
 	})
+	rs.Bytes, rs.TornBytes, rs.CorruptTailRecords = st.Bytes, st.TornBytes, st.CorruptTailRecords
 	return rs, err
 }

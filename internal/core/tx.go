@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"next700/internal/cc"
+	"next700/internal/fault"
 	"next700/internal/index"
 	"next700/internal/stats"
 	"next700/internal/storage"
@@ -285,12 +286,16 @@ func (t *Tx) ScanIndex(tbl *Table, indexName string, lo, hi uint64, desc bool,
 	return nil
 }
 
-// maxAttempts bounds retries before Run reports a livelock.
-const maxAttempts = 1 << 20
+// ErrLivelock is returned by Run when a transaction exhausts the retry
+// policy's attempt budget without committing.
+var ErrLivelock = errors.New("core: transaction livelocked")
 
-// Run executes body as a transaction, retrying on conflicts with
-// randomized backoff. Non-conflict errors from body abort without retry
-// and are returned.
+// Run executes body as a transaction, retrying transient (conflict) aborts
+// under the engine's RetryPolicy with bounded exponential backoff and full
+// jitter. Non-transient errors — user aborts, application errors, sticky
+// log failure — abort cleanly without retry and are returned. Abort classes
+// are accounted separately: Counter.Aborts counts retried transient aborts,
+// UserAborts and FatalAborts the terminal ones.
 func (t *Tx) Run(body func(tx *Tx) error) error {
 	return t.run(body, 0, nil)
 }
@@ -308,25 +313,22 @@ func (t *Tx) RunProc(procID int32, params []byte) error {
 func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 	e := t.eng
 	inner := t.inner
+	pol := &e.cfg.Retry
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			runtime.Gosched()
-			if attempt > 4 {
-				n := attempt
-				if n > 12 {
-					n = 12
-				}
-				backoff := inner.RNG.Intn(1 << uint(n))
-				time.Sleep(time.Duration(backoff) * time.Microsecond)
+			if d := pol.Delay(inner.RNG, attempt); d > 0 {
+				time.Sleep(d)
 			}
-			if attempt >= maxAttempts {
-				return errors.New("core: transaction livelocked")
+			if attempt >= pol.MaxAttempts {
+				return ErrLivelock
 			}
 		}
 		inner.Reset()
 		e.proto.Begin(inner)
 
 		err := body(t)
+		fromCommit := false
 		if err == nil {
 			committed, cerr := t.commit(procID, params)
 			if cerr == nil {
@@ -341,20 +343,27 @@ func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 				inner.Counter.Commits++
 				return cerr
 			}
-			// Protocol commit failed: state was rolled back inside commit.
-		} else if errors.Is(err, txn.ErrConflict) {
-			e.proto.Abort(inner)
-			t.retractInserts()
-		} else {
-			e.proto.Abort(inner)
-			t.retractInserts()
-			inner.ClearPriority()
-			if errors.Is(err, txn.ErrUserAbort) {
-				inner.Counter.UserAborts++
-			}
-			return err
+			// Protocol commit failed (validation conflict, dead log, ...):
+			// state was already rolled back inside commit. Classify the
+			// error below without aborting twice.
+			err = cerr
+			fromCommit = true
 		}
-		inner.Counter.Aborts++
+		if !fromCommit {
+			e.proto.Abort(inner)
+			t.retractInserts()
+		}
+		if fault.IsTransient(err) {
+			inner.Counter.Aborts++
+			continue
+		}
+		inner.ClearPriority()
+		if errors.Is(err, txn.ErrUserAbort) {
+			inner.Counter.UserAborts++
+		} else {
+			inner.Counter.FatalAborts++
+		}
+		return err
 	}
 }
 
@@ -364,6 +373,15 @@ func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 	e := t.eng
 	inner := t.inner
+
+	// A dead log device cannot make any new commit durable: degrade to a
+	// clean abort instead of committing memory state that would silently
+	// vanish on recovery. One atomic load; free when the log is healthy.
+	if e.logw != nil && e.logw.Failed() {
+		e.proto.Abort(inner)
+		t.retractInserts()
+		return false, e.logw.Err()
+	}
 
 	if e.logw != nil {
 		if hooked, ok := e.proto.(cc.HookedCommitter); ok {

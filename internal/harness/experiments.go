@@ -258,7 +258,7 @@ func runE7(w io.Writer, quick bool) error {
 func runE8(w io.Writer, quick bool) error {
 	const threads = 4
 	records := ycsbRecords(quick)
-	tbl := stats.NewTable("mode", "tps", "p99", "log_bytes", "recover_txn", "recover_ms")
+	tbl := stats.NewTable("mode", "tps", "p99", "log_bytes", "recover_txn", "torn_bytes", "recover_ms")
 
 	for _, mode := range []wal.Mode{wal.ModeNone, wal.ModeValue, wal.ModeCommand} {
 		cfg := core.Config{Protocol: "NO_WAIT", Threads: threads, LogMode: mode}
@@ -280,7 +280,7 @@ func runE8(w io.Writer, quick bool) error {
 			return err
 		}
 
-		var logBytes int64
+		var logBytes, tornBytes int64
 		recovered := 0
 		var recoverMS float64
 		if mode != wal.ModeNone {
@@ -309,8 +309,9 @@ func runE8(w io.Writer, quick bool) error {
 				return err
 			}
 			recovered = st.Records
+			tornBytes = st.TornBytes
 		}
-		tbl.AddRow(mode.String(), r.Tps, time.Duration(r.Latency.P99).String(), logBytes, recovered, recoverMS)
+		tbl.AddRow(mode.String(), r.Tps, time.Duration(r.Latency.P99).String(), logBytes, recovered, tornBytes, recoverMS)
 	}
 	fmt.Fprintf(w, "E8: YCSB with durability (NO_WAIT, 4 threads, group commit 1ms)\n%s\n", tbl)
 	return nil

@@ -33,20 +33,27 @@ type RunOptions struct {
 	// forced before the window, so enable this only for allocation
 	// profiling, not latency measurement.
 	MeasureAllocs bool
+	// Retry overrides the engine's transient-abort retry/backoff policy
+	// (zero fields keep the engine defaults; see core.RetryPolicy).
+	Retry core.RetryPolicy
 }
 
 // Result is one measurement row.
 type Result struct {
-	Protocol  string
-	Workload  string
-	Threads   int
-	Elapsed   time.Duration
-	Commits   uint64
-	Aborts    uint64
-	Waits     uint64
-	Tps       float64
-	AbortRate float64
-	Latency   stats.Summary
+	Protocol string
+	Workload string
+	Threads  int
+	Elapsed  time.Duration
+	Commits  uint64
+	// Aborts counts transient (conflict) aborts that were retried;
+	// UserAborts and FatalAborts are terminal per-transaction outcomes.
+	Aborts      uint64
+	UserAborts  uint64
+	FatalAborts uint64
+	Waits       uint64
+	Tps         float64
+	AbortRate   float64
+	Latency     stats.Summary
 	// AllocsPerTxn / BytesPerTxn are heap allocations and bytes per
 	// committed transaction across the whole process during the measurement
 	// window (set only when RunOptions.MeasureAllocs is on). Aborted
@@ -74,6 +81,9 @@ func Run(cfg core.Config, wl workload.Workload, opts RunOptions) (Result, error)
 	}
 	if opts.Duration <= 0 && opts.TxnsPerWorker <= 0 {
 		opts.Duration = time.Second
+	}
+	if opts.Retry != (core.RetryPolicy{}) {
+		cfg.Retry = opts.Retry
 	}
 	e, err := core.Open(cfg)
 	if err != nil {
@@ -150,6 +160,7 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 			c.Commits -= base.Commits
 			c.Aborts -= base.Aborts
 			c.UserAborts -= base.UserAborts
+			c.FatalAborts -= base.FatalAborts
 			c.Reads -= base.Reads
 			c.Writes -= base.Writes
 			c.Inserts -= base.Inserts
@@ -190,14 +201,16 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 		}
 	}
 	res := Result{
-		Threads:   threads,
-		Elapsed:   elapsed,
-		Commits:   total.Commits,
-		Aborts:    total.Aborts,
-		Waits:     total.Waits,
-		Tps:       float64(total.Commits) / elapsed.Seconds(),
-		AbortRate: total.AbortRate(),
-		Latency:   hist.Summarize(),
+		Threads:     threads,
+		Elapsed:     elapsed,
+		Commits:     total.Commits,
+		Aborts:      total.Aborts,
+		UserAborts:  total.UserAborts,
+		FatalAborts: total.FatalAborts,
+		Waits:       total.Waits,
+		Tps:         float64(total.Commits) / elapsed.Seconds(),
+		AbortRate:   total.AbortRate(),
+		Latency:     hist.Summarize(),
 	}
 	if opts.MeasureAllocs && total.Commits > 0 {
 		res.AllocsPerTxn = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total.Commits)

@@ -225,15 +225,19 @@ func (s Summary) String() string {
 // Counter is a plain accumulating counter for per-worker bookkeeping. It is
 // not thread-safe by design: one per worker, merged at the end.
 type Counter struct {
-	Commits    uint64
-	Aborts     uint64
-	UserAborts uint64 // aborts requested by the transaction body itself
-	Reads      uint64
-	Writes     uint64
-	Inserts    uint64
-	Deletes    uint64
-	Scans      uint64
-	Waits      uint64 // lock waits observed
+	Commits uint64
+	// Aborts counts transient (conflict) aborts: attempts the retry loop
+	// rolled back and re-executed. The non-retried classes are accounted
+	// separately below so runs can tell contention from failure.
+	Aborts      uint64
+	UserAborts  uint64 // aborts requested by the transaction body itself
+	FatalAborts uint64 // non-retryable failures surfaced through Run (log death, application errors)
+	Reads       uint64
+	Writes      uint64
+	Inserts     uint64
+	Deletes     uint64
+	Scans       uint64
+	Waits       uint64 // lock waits observed
 }
 
 // Add merges other into c.
@@ -241,6 +245,7 @@ func (c *Counter) Add(other *Counter) {
 	c.Commits += other.Commits
 	c.Aborts += other.Aborts
 	c.UserAborts += other.UserAborts
+	c.FatalAborts += other.FatalAborts
 	c.Reads += other.Reads
 	c.Writes += other.Writes
 	c.Inserts += other.Inserts

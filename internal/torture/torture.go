@@ -1,0 +1,357 @@
+// Package torture is the seeded crash-recovery torture harness: it runs a
+// transfer workload against an engine whose log device is wrapped in a
+// fault.Device, "crashes" at a planned byte offset, replays the surviving
+// log prefix into a fresh engine, and checks the three recovery invariants:
+//
+//   - Durability: every commit the engine acknowledged (WaitDurable
+//     returned nil inside Tx.Run) survives recovery.
+//   - Atomicity: no partial write set is visible — each worker's account
+//     partition sums to zero because every transfer is balanced.
+//   - Prefix consistency: the recovered state corresponds to a prefix of
+//     each worker's commit sequence — never more commits than the worker
+//     performed, and at most one unacknowledged in-flight commit.
+//
+// Every run is a pure function of its Config (including the seed), so a
+// failing seed replays identically. The workload partitions accounts per
+// worker so the log-order-versus-commit-order question stays per-worker
+// (each worker appends its records in its own commit order); an optional
+// shared hot row generates cross-worker conflicts to exercise the retry
+// path without participating in any checked invariant.
+package torture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"next700/internal/core"
+	"next700/internal/fault"
+	"next700/internal/storage"
+	"next700/internal/wal"
+	"next700/internal/xrand"
+)
+
+// Typed invariant violations. Run wraps them with seed and detail so a
+// failure message is enough to replay the case.
+var (
+	ErrDurability  = errors.New("torture: durability violation (acked commit lost)")
+	ErrAtomicity   = errors.New("torture: atomicity violation (partial write set visible)")
+	ErrConsistency = errors.New("torture: consistency violation (recovered state beyond commit prefix)")
+)
+
+// Config scripts one torture iteration.
+type Config struct {
+	// Protocol is the concurrency-control scheme (SILO, NO_WAIT, MVCC, ...).
+	Protocol string
+	// LogMode must be wal.ModeValue or wal.ModeCommand.
+	LogMode wal.Mode
+	// Workers is the number of concurrent workers (default 3).
+	Workers int
+	// AccountsPerWorker sizes each worker's private account partition
+	// (default 8).
+	AccountsPerWorker int
+	// TxnsPerWorker is each worker's target commit count (default 40).
+	TxnsPerWorker int
+	// Seed drives everything: the crash offset, the unsynced-tail cut, each
+	// worker's account picks, and injected sync faults.
+	Seed uint64
+	// NoCrash disables the planned crash (the run closes cleanly and the
+	// whole log survives). Used by negative controls.
+	NoCrash bool
+	// TransientSyncEvery injects a retryable sync failure every Nth sync,
+	// exercising the writer's bounded retry during the run.
+	TransientSyncEvery int
+	// HotProb is the probability a transaction also increments the shared
+	// hot row (cross-worker conflicts). Default 0.25; negative disables.
+	HotProb float64
+	// SkipTailRecords, when > 0, drops that many intact records from the
+	// end of the surviving prefix before replay — a negative control that
+	// must trip ErrDurability when all commits were acknowledged.
+	SkipTailRecords int
+}
+
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.AccountsPerWorker <= 0 {
+		c.AccountsPerWorker = 8
+	}
+	if c.TxnsPerWorker <= 0 {
+		c.TxnsPerWorker = 40
+	}
+	if c.HotProb == 0 {
+		c.HotProb = 0.25
+	}
+	return c
+}
+
+// Result summarizes one iteration.
+type Result struct {
+	Seed          uint64
+	Crashed       bool // the planned crash point was reached
+	Acked         int  // commits acknowledged durable across all workers
+	SurvivorBytes int  // log bytes handed to recovery
+	SyncedBytes   int  // guaranteed-durable prefix at crash time
+	Recovery      core.RecoveryStats
+}
+
+// Key layout: worker w owns accounts [w*APW, (w+1)*APW); counter and hot
+// rows live far above any account key.
+const (
+	counterBase = 1 << 20
+	hotKey      = 1 << 21
+)
+
+const procTransfer = 1
+
+// params layout: worker u32 | from u64 | to u64 | delta u64 | hot u8.
+func encodeParams(worker uint32, from, to uint64, delta int64, hot bool) []byte {
+	p := make([]byte, 29)
+	binary.LittleEndian.PutUint32(p[0:], worker)
+	binary.LittleEndian.PutUint64(p[4:], from)
+	binary.LittleEndian.PutUint64(p[12:], to)
+	binary.LittleEndian.PutUint64(p[20:], uint64(delta))
+	if hot {
+		p[28] = 1
+	}
+	return p
+}
+
+// buildEngine opens an engine on dev, creates and loads the account table,
+// and registers the transfer procedure. The load is deterministic so a
+// fresh engine plus log replay reconstructs the crashed engine's state.
+func buildEngine(cfg Config, dev wal.Device) (*core.Engine, *core.Table, error) {
+	e, err := core.Open(core.Config{
+		Protocol:  cfg.Protocol,
+		Threads:   cfg.Workers,
+		LogMode:   cfg.LogMode,
+		LogDevice: dev,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sch := storage.MustSchema("acct", storage.I64("v"))
+	tbl, err := e.CreateTable(sch, core.IndexHash)
+	if err != nil {
+		e.Close()
+		return nil, nil, err
+	}
+	row := sch.NewRow()
+	load := func(key uint64) error {
+		sch.SetInt64(row, 0, 0)
+		return e.Load(tbl, key, row)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		for i := 0; i < cfg.AccountsPerWorker; i++ {
+			if err := load(uint64(w*cfg.AccountsPerWorker + i)); err != nil {
+				e.Close()
+				return nil, nil, err
+			}
+		}
+		if err := load(counterBase + uint64(w)); err != nil {
+			e.Close()
+			return nil, nil, err
+		}
+	}
+	if err := load(hotKey); err != nil {
+		e.Close()
+		return nil, nil, err
+	}
+	err = e.RegisterProc(procTransfer, func(tx *core.Tx, p []byte) error {
+		worker := binary.LittleEndian.Uint32(p[0:])
+		from := binary.LittleEndian.Uint64(p[4:])
+		to := binary.LittleEndian.Uint64(p[12:])
+		delta := int64(binary.LittleEndian.Uint64(p[20:]))
+		hot := p[28] != 0
+		bump := func(key uint64, d int64) error {
+			r, err := tx.Update(tbl, key)
+			if err != nil {
+				return err
+			}
+			sch.SetInt64(r, 0, sch.GetInt64(r, 0)+d)
+			return nil
+		}
+		if err := bump(counterBase+uint64(worker), 1); err != nil {
+			return err
+		}
+		if err := bump(from, -delta); err != nil {
+			return err
+		}
+		if err := bump(to, delta); err != nil {
+			return err
+		}
+		if hot {
+			return bump(hotKey, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		e.Close()
+		return nil, nil, err
+	}
+	return e, tbl, nil
+}
+
+// estimatedRecordBytes approximates the framed size of one commit record so
+// the seeded crash offset lands inside the log most runs (runs whose offset
+// overshoots simply close cleanly — the no-crash path needs coverage too).
+func estimatedRecordBytes(mode wal.Mode) int {
+	if mode == wal.ModeCommand {
+		return 54 // header + txnid + proc + params(29)
+	}
+	return 140 // header + txnid + ~3.25 entries of 33 bytes
+}
+
+// Run executes one torture iteration and verifies the invariants against
+// the recovered engine. A nil error means every invariant held.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.normalized()
+	res := Result{Seed: cfg.Seed}
+	rng := xrand.New(cfg.Seed)
+
+	plan := fault.Plan{Seed: cfg.Seed, TransientSyncEvery: cfg.TransientSyncEvery}
+	if !cfg.NoCrash {
+		est := cfg.Workers * cfg.TxnsPerWorker * estimatedRecordBytes(cfg.LogMode)
+		plan.CrashAtByte = 1 + int64(rng.Uint64n(uint64(est)*5/4))
+	}
+	mem := &fault.MemDevice{}
+	dev := fault.NewDevice(mem, plan)
+
+	e, _, err := buildEngine(cfg, dev)
+	if err != nil {
+		return res, err
+	}
+
+	acked := make([]int, cfg.Workers)
+	stopped := make([]bool, cfg.Workers) // worker quit on an error (one in-flight commit possible)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := xrand.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
+			tx := e.NewTx(w, wrng.Uint64())
+			lo := w * cfg.AccountsPerWorker
+			for i := 0; i < cfg.TxnsPerWorker; i++ {
+				from := uint64(lo + wrng.Intn(cfg.AccountsPerWorker))
+				to := uint64(lo + wrng.Intn(cfg.AccountsPerWorker))
+				for to == from {
+					to = uint64(lo + wrng.Intn(cfg.AccountsPerWorker))
+				}
+				delta := int64(wrng.IntRange(1, 100))
+				hot := cfg.HotProb > 0 && wrng.Bool(cfg.HotProb)
+				if err := tx.RunProc(procTransfer, encodeParams(uint32(w), from, to, delta, hot)); err != nil {
+					// The engine retries transient aborts internally; an
+					// error here is terminal for this worker (log death).
+					stopped[w] = true
+					return
+				}
+				acked[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Crashed = dev.Crashed()
+	e.Close() // a failed close just reports the already-observed log death
+
+	// The survivor: the synced prefix is guaranteed; the unsynced written
+	// tail survives up to a seeded cut (modeling arbitrary loss of
+	// buffered-but-unsynced bytes, including a torn final record).
+	data := mem.Bytes()
+	synced := mem.SyncedLen()
+	res.SyncedBytes = synced
+	cut := synced
+	if len(data) > synced {
+		cut += int(rng.Uint64n(uint64(len(data)-synced) + 1))
+	}
+	survivor := data[:cut]
+	if cfg.SkipTailRecords > 0 {
+		survivor = dropTailRecords(survivor, cfg.SkipTailRecords)
+	}
+	res.SurvivorBytes = len(survivor)
+	for _, a := range acked {
+		res.Acked += a
+	}
+
+	// Replay into a fresh engine built from the same deterministic load.
+	e2, tbl2, err := buildEngine(cfg, &fault.MemDevice{})
+	if err != nil {
+		return res, err
+	}
+	defer e2.Close()
+	rs, err := e2.Recover(bytes.NewReader(survivor))
+	res.Recovery = rs
+	if err != nil {
+		return res, fmt.Errorf("torture: recovery failed (seed %d): %w", cfg.Seed, err)
+	}
+
+	// Read the recovered state and check the invariants.
+	sch := tbl2.Schema()
+	tx := e2.NewTx(0, 1)
+	read := func(key uint64) (int64, error) {
+		var v int64
+		err := tx.Run(func(tx *core.Tx) error {
+			r, err := tx.Read(tbl2, key)
+			if err != nil {
+				return err
+			}
+			v = sch.GetInt64(r, 0)
+			return nil
+		})
+		return v, err
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		rec, err := read(counterBase + uint64(w))
+		if err != nil {
+			return res, err
+		}
+		if rec < int64(acked[w]) {
+			return res, fmt.Errorf("%w: worker %d recovered %d commits, acked %d (seed %d)",
+				ErrDurability, w, rec, acked[w], cfg.Seed)
+		}
+		limit := int64(acked[w])
+		if stopped[w] {
+			limit++ // the terminal error may hide one committed-but-unacked txn
+		}
+		if rec > limit {
+			return res, fmt.Errorf("%w: worker %d recovered %d commits, committed at most %d (seed %d)",
+				ErrConsistency, w, rec, limit, cfg.Seed)
+		}
+		var sum int64
+		for i := 0; i < cfg.AccountsPerWorker; i++ {
+			v, err := read(uint64(w*cfg.AccountsPerWorker + i))
+			if err != nil {
+				return res, err
+			}
+			sum += v
+		}
+		if sum != 0 {
+			return res, fmt.Errorf("%w: worker %d account sum %d != 0 (seed %d)",
+				ErrAtomicity, w, sum, cfg.Seed)
+		}
+	}
+	return res, nil
+}
+
+// dropTailRecords removes the last n intact framed records from b,
+// preserving any torn tail removal as well (the torn bytes beyond the last
+// intact boundary go first, then whole records).
+func dropTailRecords(b []byte, n int) []byte {
+	var ends []int
+	off := 0
+	for off+8 <= len(b) {
+		size := int(binary.LittleEndian.Uint32(b[off:]))
+		if size <= 0 || off+8+size > len(b) {
+			break
+		}
+		off += 8 + size
+		ends = append(ends, off)
+	}
+	if n >= len(ends) {
+		return b[:0]
+	}
+	return b[:ends[len(ends)-1-n]]
+}

@@ -18,6 +18,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -122,6 +123,28 @@ func (cr *CommitRecord) Encode(buf []byte) []byte {
 // torn tail, which Replay treats as end-of-log).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrLogFailed is the sticky writer error: once the device has failed
+// non-transiently, every Append and WaitDurable wraps it, all blocked
+// waiters are woken, and the engine turns subsequent commits into clean
+// aborts instead of hanging on durability that can never arrive.
+var ErrLogFailed = errors.New("wal: log device failed")
+
+// transient is implemented by injected device errors a retry may clear
+// (see internal/fault). Any other flush error is sticky and fails the
+// writer permanently.
+type transient interface{ Transient() bool }
+
+// isTransient reports whether err (or anything it wraps) marks itself
+// retryable.
+func isTransient(err error) bool {
+	var t transient
+	return errors.As(err, &t) && t.Transient()
+}
+
+// maxSyncRetries bounds re-Sync attempts on transient device errors before
+// the writer declares the device dead.
+const maxSyncRetries = 8
+
 // decode parses one payload into cr. Data slices alias the payload.
 func decode(payload []byte, cr *CommitRecord) error {
 	if len(payload) < 9 {
@@ -175,8 +198,10 @@ func decode(payload []byte, cr *CommitRecord) error {
 	return nil
 }
 
-// Device is the durable sink. *os.File satisfies it; tests use an
-// in-memory device with fault injection.
+// Device is the durable sink. *os.File satisfies it; tests and the torture
+// harness use fault.MemDevice (an in-memory device that tracks the synced
+// watermark), usually wrapped in fault.Device for seeded injection of torn
+// writes, sync failures, and latency — see internal/fault.
 type Device interface {
 	io.Writer
 	Sync() error
@@ -199,6 +224,10 @@ type Writer struct {
 	durable uint64 // LSN through which data is synced
 	closed  bool
 	err     error
+
+	// failed mirrors err != nil without the mutex, so engines can gate
+	// commits on log health from the hot path without contending.
+	failed atomic.Bool
 
 	wake chan struct{}
 	done chan struct{}
@@ -252,13 +281,15 @@ func (w *Writer) WaitDurable(lsn uint64) error {
 		}
 		w.cond.Wait()
 	}
+	if w.durable >= lsn {
+		// The record made it to the device; a later failure does not
+		// retract its durability.
+		return nil
+	}
 	if w.err != nil {
 		return w.err
 	}
-	if w.durable < lsn {
-		return errors.New("wal: writer closed before durability")
-	}
-	return nil
+	return errors.New("wal: writer closed before durability")
 }
 
 // kick nudges the flusher without blocking.
@@ -301,6 +332,15 @@ const maxRetainedBatchCap = 4 << 20
 // capacity instead of reallocating per group commit.
 func (w *Writer) flush() {
 	w.mu.Lock()
+	if w.err != nil {
+		// The log is dead. Writing more would leave a gap after the failed
+		// batch and corrupt the LSN accounting, so staged bytes are dropped —
+		// loudly: every waiter is woken and observes the sticky error.
+		w.buf = w.buf[:0]
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return
+	}
 	if len(w.buf) == 0 {
 		w.cond.Broadcast()
 		w.mu.Unlock()
@@ -315,11 +355,18 @@ func (w *Writer) flush() {
 	_, err := w.dev.Write(batch)
 	if err == nil {
 		err = w.dev.Sync()
+		// A transient sync failure (injected by fault devices, or the moral
+		// equivalent of EINTR) is retried in place; only persistent failure
+		// poisons the writer.
+		for retries := 0; err != nil && isTransient(err) && retries < maxSyncRetries; retries++ {
+			err = w.dev.Sync()
+		}
 	}
 
 	w.mu.Lock()
 	if err != nil {
-		w.err = err
+		w.err = fmt.Errorf("%w: %w", ErrLogFailed, err)
+		w.failed.Store(true)
 	} else {
 		w.durable = target
 	}
@@ -330,7 +377,9 @@ func (w *Writer) flush() {
 	w.mu.Unlock()
 }
 
-// Close flushes remaining records and stops the flusher.
+// Close flushes remaining records and stops the flusher. When the device
+// has failed, records buffered after the failure cannot be made durable;
+// Close reports the sticky error rather than dropping them silently.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -354,52 +403,97 @@ func (w *Writer) Durable() uint64 {
 	return w.durable
 }
 
+// Failed reports whether the writer has hit a sticky device failure. It is
+// a single atomic load, cheap enough for the commit hot path to gate on.
+func (w *Writer) Failed() bool { return w.failed.Load() }
+
+// Err returns the sticky writer error (wrapping ErrLogFailed), or nil.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// ReplayStats describes what a replay pass consumed and what it skipped —
+// the raw material for recovery reports (core.RecoveryStats) and for the
+// torture harness's prefix accounting.
+type ReplayStats struct {
+	// Records is the number of intact records applied.
+	Records int
+	// Bytes is the total length of the applied records, framing included.
+	Bytes int64
+	// TornBytes is the length of the trailing torn or zeroed region skipped
+	// at end of log: the partial record a crashed write left behind.
+	TornBytes int64
+	// CorruptTailRecords counts complete-looking final records dropped for a
+	// CRC mismatch with nothing after them — torn in place rather than
+	// truncated. Mid-stream CRC mismatches are ErrCorrupt instead.
+	CorruptTailRecords int
+}
+
 // Replay scans a log stream, invoking apply for every intact record in
 // order. It returns the number of records applied. A truncated final
 // record (torn write at crash) ends replay without error; a CRC mismatch
 // in the middle of the stream returns ErrCorrupt.
 func Replay(r io.Reader, apply func(*CommitRecord) error) (int, error) {
+	st, err := ReplayWithStats(r, apply)
+	return st.Records, err
+}
+
+// ReplayWithStats is Replay with full skipped/torn-tail accounting.
+func ReplayWithStats(r io.Reader, apply func(*CommitRecord) error) (ReplayStats, error) {
+	var st ReplayStats
 	var hdr [headerSize]byte
 	var payload []byte
 	var cr CommitRecord
-	n := 0
 	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		hn, err := io.ReadFull(r, hdr[:])
+		if err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return n, nil // clean end or torn header
+				st.TornBytes += int64(hn) // clean end or torn header
+				return st, nil
 			}
-			return n, err
+			return st, err
 		}
 		size := binary.LittleEndian.Uint32(hdr[0:])
 		crc := binary.LittleEndian.Uint32(hdr[4:])
 		if size == 0 || size > 1<<30 {
-			return n, nil // zeroed/torn tail
+			// Zeroed/torn tail (e.g. a preallocated region never written):
+			// everything from this header on is skipped.
+			rest, _ := io.Copy(io.Discard, r)
+			st.TornBytes += headerSize + rest
+			return st, nil
 		}
 		if cap(payload) < int(size) {
 			payload = make([]byte, size)
 		}
 		payload = payload[:size]
-		if _, err := io.ReadFull(r, payload); err != nil {
+		pn, err := io.ReadFull(r, payload)
+		if err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return n, nil // torn payload
+				st.TornBytes += headerSize + int64(pn) // torn payload
+				return st, nil
 			}
-			return n, err
+			return st, err
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
 			// Could be a torn tail (last record) or corruption. Peek: if
 			// nothing follows, treat as torn tail.
 			var one [1]byte
-			if _, err := r.Read(one[:]); err == io.EOF {
-				return n, nil
+			if _, err := io.ReadFull(r, one[:]); err == io.EOF {
+				st.TornBytes += headerSize + int64(size)
+				st.CorruptTailRecords++
+				return st, nil
 			}
-			return n, ErrCorrupt
+			return st, ErrCorrupt
 		}
 		if err := decode(payload, &cr); err != nil {
-			return n, err
+			return st, err
 		}
 		if err := apply(&cr); err != nil {
-			return n, err
+			return st, err
 		}
-		n++
+		st.Records++
+		st.Bytes += headerSize + int64(size)
 	}
 }

@@ -49,6 +49,14 @@ func (d *memDevice) bytes() []byte {
 	return append([]byte(nil), d.data...)
 }
 
+// syncFailDevice accepts writes but fails every Sync with a fixed error.
+type syncFailDevice struct {
+	memDevice
+	err error
+}
+
+func (d *syncFailDevice) Sync() error { return d.err }
+
 func valueRecord(id uint64, n int) *CommitRecord {
 	cr := &CommitRecord{TxnID: id}
 	for i := 0; i < n; i++ {
@@ -202,6 +210,106 @@ func TestWriterErrorPropagates(t *testing.T) {
 	w.Close()
 }
 
+// TestWriterSyncFailureBroadcasts: a failing Sync must poison the writer
+// with ErrLogFailed, broadcast-wake every blocked WaitDurable caller, make
+// later Appends return the sticky error, and surface the error from Close
+// instead of dropping the buffered-but-unsynced state silently.
+func TestWriterSyncFailureBroadcasts(t *testing.T) {
+	boom := errors.New("disk on fire")
+	dev := &syncFailDevice{err: boom}
+	w := NewWriter(dev, 10*time.Millisecond)
+
+	const waiters = 8
+	errs := make(chan error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := valueRecord(uint64(i), 1).Encode(nil)
+			lsn, err := w.Append(rec)
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- w.WaitDurable(lsn)
+		}(i)
+	}
+	// Every waiter must come back with the sticky error — none may hang.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiters hung after sync failure")
+	}
+	for i := 0; i < waiters; i++ {
+		err := <-errs
+		if !errors.Is(err, ErrLogFailed) || !errors.Is(err, boom) {
+			t.Fatalf("waiter %d: err=%v, want ErrLogFailed wrapping %v", i, err, boom)
+		}
+	}
+	if !w.Failed() {
+		t.Fatal("Failed() false after sync failure")
+	}
+	if !errors.Is(w.Err(), ErrLogFailed) {
+		t.Fatalf("Err()=%v", w.Err())
+	}
+	// Append after the failure returns the sticky error.
+	if _, err := w.Append(valueRecord(99, 1).Encode(nil)); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("Append after failure: %v", err)
+	}
+	// Close reports the loss instead of silently succeeding.
+	if err := w.Close(); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("Close after failure: %v", err)
+	}
+}
+
+// TestWriterNoWritesAfterFailure: once the device has failed, the flusher
+// must stop writing — a later batch landing after a missing one would
+// corrupt the log, not extend it.
+func TestWriterNoWritesAfterFailure(t *testing.T) {
+	dev := &syncFailDevice{err: errors.New("gone")}
+	w := NewWriter(dev, 0)
+	lsn, _ := w.Append(valueRecord(1, 1).Encode(nil))
+	if err := w.WaitDurable(lsn); err == nil {
+		t.Fatal("sync failure not surfaced")
+	}
+	before := len(dev.bytes())
+	// Appends are rejected, but even a direct flush must not touch the
+	// device again.
+	w.kick()
+	time.Sleep(10 * time.Millisecond)
+	if got := len(dev.bytes()); got != before {
+		t.Fatalf("device grew from %d to %d bytes after failure", before, got)
+	}
+	w.Close()
+}
+
+// TestWaitDurableAfterLaterFailure: a record that reached the device before
+// the failure stays durable; WaitDurable on it must return nil even though
+// the writer is now poisoned.
+func TestWaitDurableAfterLaterFailure(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0)
+	lsn, _ := w.Append(valueRecord(1, 1).Encode(nil))
+	if err := w.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the writer by hand (simplest deterministic injection).
+	w.mu.Lock()
+	w.err = ErrLogFailed
+	w.failed.Store(true)
+	w.mu.Unlock()
+	if err := w.WaitDurable(lsn); err != nil {
+		t.Fatalf("already-durable LSN reported failed: %v", err)
+	}
+	if err := w.WaitDurable(lsn + 1); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("future LSN after failure: %v", err)
+	}
+	w.Close()
+}
+
 func TestWriterCloseIdempotent(t *testing.T) {
 	w := NewWriter(&memDevice{}, time.Millisecond)
 	if err := w.Close(); err != nil {
@@ -278,6 +386,119 @@ func TestReplayMidStreamCorruption(t *testing.T) {
 	_, err := Replay(bytes.NewReader(full), func(cr *CommitRecord) error { return nil })
 	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+// TestReplayTruncatedHeader: a log ending mid-header (fewer than 8 bytes of
+// framing) is a torn tail, not an error, and the torn bytes are accounted.
+func TestReplayTruncatedHeader(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0)
+	lsn, _ := w.Append(valueRecord(1, 2).Encode(nil))
+	w.WaitDurable(lsn)
+	w.Close()
+	full := dev.bytes()
+	for extra := 1; extra < headerSize; extra++ {
+		cut := append(append([]byte(nil), full...), make([]byte, extra)...)
+		st, err := ReplayWithStats(bytes.NewReader(cut), func(*CommitRecord) error { return nil })
+		if err != nil {
+			t.Fatalf("torn header len %d: %v", extra, err)
+		}
+		if st.Records != 1 || st.TornBytes != int64(extra) {
+			t.Fatalf("torn header len %d: records=%d torn=%d", extra, st.Records, st.TornBytes)
+		}
+	}
+}
+
+// TestReplayZeroLengthHeader: a zeroed header (size 0, e.g. a preallocated
+// region never written) ends replay cleanly and counts the skipped region.
+func TestReplayZeroLengthHeader(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0)
+	lsn, _ := w.Append(valueRecord(1, 1).Encode(nil))
+	w.WaitDurable(lsn)
+	w.Close()
+	log := append(dev.bytes(), make([]byte, 32)...) // 8B zero header + 24B slack
+	st, err := ReplayWithStats(bytes.NewReader(log), func(*CommitRecord) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 || st.TornBytes != 32 {
+		t.Fatalf("records=%d torn=%d, want 1/32", st.Records, st.TornBytes)
+	}
+}
+
+// TestReplayZeroEntryRecord: a legitimate record with an empty payload body
+// (no entries, no params) round-trips; zero-length *data* is not confused
+// with a zero-length *frame*.
+func TestReplayZeroEntryRecord(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0)
+	w.Append((&CommitRecord{TxnID: 5}).Encode(nil)) // value record, 0 entries
+	lsn, _ := w.Append((&CommitRecord{TxnID: 6, Entries: []Entry{
+		{Kind: EntryUpdate, Table: 1, RID: 1, Key: 1, Data: nil}, // zero-length row image
+	}}).Encode(nil))
+	w.WaitDurable(lsn)
+	w.Close()
+	var ids []uint64
+	st, err := ReplayWithStats(bytes.NewReader(dev.bytes()), func(cr *CommitRecord) error {
+		ids = append(ids, cr.TxnID)
+		return nil
+	})
+	if err != nil || st.Records != 2 || st.TornBytes != 0 {
+		t.Fatalf("records=%d torn=%d err=%v", st.Records, st.TornBytes, err)
+	}
+	if ids[0] != 5 || ids[1] != 6 {
+		t.Fatalf("ids %v", ids)
+	}
+}
+
+// TestReplayMidStreamCorruptionDoesNotTruncate: CRC corruption with intact
+// records after it must surface ErrCorrupt — silently truncating there
+// would drop acknowledged commits.
+func TestReplayMidStreamCorruptionDoesNotTruncate(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0)
+	var lsn uint64
+	recLen := 0
+	for i := 0; i < 5; i++ {
+		rec := valueRecord(uint64(i), 2).Encode(nil)
+		recLen = len(rec)
+		lsn, _ = w.Append(rec)
+	}
+	w.WaitDurable(lsn)
+	w.Close()
+	full := dev.bytes()
+	// Corrupt the middle (third) record's payload.
+	full[2*recLen+headerSize+4] ^= 0xFF
+	st, err := ReplayWithStats(bytes.NewReader(full), func(*CommitRecord) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-stream corruption: err=%v", err)
+	}
+	if st.Records != 2 {
+		t.Fatalf("replayed %d records before corruption, want 2", st.Records)
+	}
+}
+
+// TestReplayCorruptTailCounted: a final record torn in place (CRC mismatch,
+// nothing after it) is dropped without error and accounted as corrupt tail.
+func TestReplayCorruptTailCounted(t *testing.T) {
+	dev := &memDevice{}
+	w := NewWriter(dev, 0)
+	var lsn uint64
+	for i := 0; i < 3; i++ {
+		lsn, _ = w.Append(valueRecord(uint64(i), 2).Encode(nil))
+	}
+	w.WaitDurable(lsn)
+	w.Close()
+	full := dev.bytes()
+	full[len(full)-1] ^= 0xFF // flip last payload byte
+	st, err := ReplayWithStats(bytes.NewReader(full), func(*CommitRecord) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 || st.CorruptTailRecords != 1 || st.TornBytes == 0 {
+		t.Fatalf("records=%d corruptTail=%d torn=%d", st.Records, st.CorruptTailRecords, st.TornBytes)
 	}
 }
 
