@@ -6,6 +6,7 @@
 //	next700-bench -workload ycsb -protocol SILO -threads 8 -theta 0.8 -duration 2s
 //	next700-bench -workload tpcc -protocol NO_WAIT -warehouses 4 -threads 4
 //	next700-bench -workload smallbank -protocol MVCC -isolation snapshot
+//	next700-bench -verify
 package main
 
 import (
@@ -15,9 +16,11 @@ import (
 	"os"
 	"time"
 
+	"next700/internal/cc"
 	"next700/internal/core"
 	"next700/internal/harness"
 	"next700/internal/torture"
+	"next700/internal/verify"
 	"next700/internal/wal"
 	"next700/internal/workload"
 )
@@ -52,7 +55,7 @@ func main() {
 		accounts = flag.Uint64("accounts", 100000, "smallbank: account count")
 		hotspot  = flag.Float64("hotspot", 0.25, "smallbank: hotspot access probability")
 
-		verify    = flag.Bool("verify", false, "run workload consistency checks after the measurement")
+		doVerify  = flag.Bool("verify", false, "run a contended isolation-anomaly sweep across all protocols and exit: each protocol drives the stamped verification probe and its recorded history is checked for Adya anomalies (G0/G1/G2); honors -threads, -seed, and -isolation")
 		allocs    = flag.Bool("allocs", false, "measure heap allocs/txn and bytes/txn during the run")
 		allocsOut = flag.String("allocsout", "BENCH_allocs.json", "output path for the -allocs JSON report")
 
@@ -69,6 +72,10 @@ func main() {
 
 	if *tortureN > 0 {
 		runTorture(*protocol, *tortureN, *seed)
+		return
+	}
+	if *doVerify {
+		runVerifySweep(*isolation, *threads, *seed)
 		return
 	}
 
@@ -149,32 +156,49 @@ func main() {
 		}
 		fmt.Printf("  allocs report: %s\n", *allocsOut)
 	}
+}
 
-	if *verify {
-		// The measured engine is closed by harness.Run; verification runs
-		// the workload briefly on a fresh engine and checks invariants.
-		fresh := freshWorkload(wl)
-		e, err := core.Open(cfg)
-		if err != nil {
-			fatal("%v", err)
-		}
-		defer e.Close()
-		if err := fresh.Setup(e); err != nil {
-			fatal("verify setup: %v", err)
-		}
-		tx := e.NewTx(0, 1)
-		for i := 0; i < 500; i++ {
-			if err := fresh.RunOne(tx); err != nil {
-				fatal("verify run: %v", err)
-			}
-		}
-		if ver, ok := fresh.(workload.Verifier); ok {
-			if err := ver.Verify(e); err != nil {
-				fatal("verify: %v", err)
-			}
-		}
-		fmt.Println("  verify: ok")
+// runVerifySweep drives the stamped verification probe under contention on
+// every protocol and prints per-protocol anomaly counts. Any anomaly under
+// the default (serializable) isolation is fatal; sweeping with
+// -isolation snapshot is the way to watch MVCC legitimately admit write
+// skew (G2).
+func runVerifySweep(isolation string, threads int, seed uint64) {
+	if threads <= 0 {
+		threads = 4
 	}
+	const txnsPerWorker = 400
+	fmt.Printf("next700-bench: isolation-anomaly sweep, %d threads × %d txns, 16 keys\n",
+		threads, txnsPerWorker)
+	anomalous := false
+	for _, protocol := range cc.Names() {
+		probe := verify.NewProbe(verify.ProbeConfig{Keys: 16, MinOps: 2, MaxOps: 4})
+		res, err := harness.Run(
+			core.Config{Protocol: protocol, Threads: threads, Isolation: isolation},
+			probe,
+			harness.RunOptions{TxnsPerWorker: txnsPerWorker, Verify: true, Seed: seed},
+		)
+		if err != nil {
+			fatal("verify %s: %v", protocol, err)
+		}
+		rep := res.Verification
+		fmt.Printf("  %-10s txns=%-6d aborted_attempts=%-6d edges=%-8d anomalies=%d\n",
+			protocol, rep.Txns, rep.AbortedTxns, rep.Edges, len(rep.Anomalies))
+		for i, a := range rep.Anomalies {
+			if i >= 3 {
+				fmt.Printf("    ... and %d more\n", len(rep.Anomalies)-i)
+				break
+			}
+			fmt.Printf("    %s\n", a)
+		}
+		if !rep.Ok() {
+			anomalous = true
+		}
+	}
+	if anomalous {
+		fatal("isolation anomalies detected")
+	}
+	fmt.Println("  verify: all protocols anomaly-free")
 }
 
 // runTorture executes the seeded crash-recovery torture suite for both log

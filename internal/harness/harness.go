@@ -11,6 +11,7 @@ import (
 
 	"next700/internal/core"
 	"next700/internal/stats"
+	"next700/internal/verify"
 	"next700/internal/workload"
 )
 
@@ -36,6 +37,13 @@ type RunOptions struct {
 	// Retry overrides the engine's transient-abort retry/backoff policy
 	// (zero fields keep the engine defaults; see core.RetryPolicy).
 	Retry core.RetryPolicy
+	// Verify enables isolation-anomaly recording: the workload must
+	// implement verify.Recordable (the stamped verify.Probe does). A
+	// History is attached before setup, every committed and aborted attempt
+	// is recorded during the run (warmup included), and the checked report
+	// lands in Result.Verification. Strictly opt-in: when false, no
+	// recording state exists anywhere near the engine's commit path.
+	Verify bool
 }
 
 // Result is one measurement row.
@@ -60,6 +68,9 @@ type Result struct {
 	// attempts' allocations are charged to the transactions that commit.
 	AllocsPerTxn float64
 	BytesPerTxn  float64
+	// Verification is the isolation-anomaly report for the recorded
+	// history (set only when RunOptions.Verify is on).
+	Verification *verify.Report
 }
 
 // String renders a one-line summary.
@@ -85,6 +96,15 @@ func Run(cfg core.Config, wl workload.Workload, opts RunOptions) (Result, error)
 	if opts.Retry != (core.RetryPolicy{}) {
 		cfg.Retry = opts.Retry
 	}
+	var hist *verify.History
+	if opts.Verify {
+		rec, ok := wl.(verify.Recordable)
+		if !ok {
+			return Result{}, fmt.Errorf("harness: workload %q does not support verification recording", wl.Name())
+		}
+		hist = verify.NewHistory(cfg.Threads)
+		rec.AttachHistory(hist)
+	}
 	e, err := core.Open(cfg)
 	if err != nil {
 		return Result{}, err
@@ -96,6 +116,13 @@ func Run(cfg core.Config, wl workload.Workload, opts RunOptions) (Result, error)
 	res, err := drive(e, wl, opts)
 	res.Protocol = e.Protocol()
 	res.Workload = wl.Name()
+	if err == nil && hist != nil {
+		final, ferr := wl.(verify.Recordable).FinalVersions(e)
+		if ferr != nil {
+			return res, fmt.Errorf("harness: reading final versions: %w", ferr)
+		}
+		res.Verification = hist.Check(final)
+	}
 	return res, err
 }
 

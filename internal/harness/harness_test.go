@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"next700/internal/core"
+	"next700/internal/verify"
 	"next700/internal/workload"
 )
 
@@ -63,6 +64,49 @@ func TestRunBadConfig(t *testing.T) {
 		workload.NewYCSB(workload.YCSBConfig{Records: 64}), RunOptions{TxnsPerWorker: 1})
 	if err == nil {
 		t.Fatal("bad protocol accepted")
+	}
+}
+
+// TestRunVerifyProbe: a Verify run with the stamped probe produces a checked
+// report covering every transaction, including warmup; without Verify, no
+// report exists.
+func TestRunVerifyProbe(t *testing.T) {
+	r, err := Run(core.Config{Protocol: "SILO", Threads: 2},
+		verify.NewProbe(verify.ProbeConfig{Keys: 8}),
+		RunOptions{Threads: 2, TxnsPerWorker: 50, WarmupTxns: 10, Seed: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Verification
+	if rep == nil {
+		t.Fatal("Verify run produced no report")
+	}
+	if want := 2 * (50 + 10); rep.Txns != want {
+		t.Fatalf("report covers %d txns, want %d (warmup included)", rep.Txns, want)
+	}
+	if !rep.Ok() {
+		t.Fatalf("anomalies on SILO: %v", rep.Anomalies)
+	}
+
+	r, err = Run(core.Config{Protocol: "SILO", Threads: 2},
+		verify.NewProbe(verify.ProbeConfig{Keys: 8}),
+		RunOptions{Threads: 2, TxnsPerWorker: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verification != nil {
+		t.Fatal("report present without Verify")
+	}
+}
+
+// TestRunVerifyRequiresRecordable: Verify on a workload that cannot record
+// is a setup error, not a silent no-op.
+func TestRunVerifyRequiresRecordable(t *testing.T) {
+	_, err := Run(core.Config{Protocol: "SILO", Threads: 1},
+		workload.NewYCSB(workload.YCSBConfig{Records: 64}),
+		RunOptions{TxnsPerWorker: 1, Verify: true})
+	if err == nil || !strings.Contains(err.Error(), "verification") {
+		t.Fatalf("non-recordable workload accepted for Verify: err=%v", err)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"next700/internal/core"
 	"next700/internal/fault"
 	"next700/internal/storage"
+	"next700/internal/verify"
 	"next700/internal/wal"
 	"next700/internal/xrand"
 )
@@ -39,6 +40,13 @@ var (
 	ErrDurability  = errors.New("torture: durability violation (acked commit lost)")
 	ErrAtomicity   = errors.New("torture: atomicity violation (partial write set visible)")
 	ErrConsistency = errors.New("torture: consistency violation (recovered state beyond commit prefix)")
+	// ErrState is the prefix-explainability violation: the recovered state
+	// is not byte-for-byte the result of replaying each worker's committed
+	// prefix of its deterministic transfer plan.
+	ErrState = errors.New("torture: state violation (recovered state not explainable by the committed prefix)")
+	// ErrIsolation reports that the stamped isolation probe found an
+	// anomaly on the recovered engine.
+	ErrIsolation = errors.New("torture: isolation violation on recovered engine")
 )
 
 // Config scripts one torture iteration.
@@ -70,6 +78,12 @@ type Config struct {
 	// end of the surviving prefix before replay — a negative control that
 	// must trip ErrDurability when all commits were acknowledged.
 	SkipTailRecords int
+	// VerifyRecovered, when set, additionally runs the stamped isolation
+	// probe (internal/verify) against the recovered engine and fails with
+	// ErrIsolation on any reported anomaly — recovery must hand back an
+	// engine that still isolates. Requires value logging: the probe's
+	// ad-hoc transactions cannot be command-logged.
+	VerifyRecovered bool
 }
 
 func (c Config) normalized() Config {
@@ -96,6 +110,40 @@ type Result struct {
 	SurvivorBytes int  // log bytes handed to recovery
 	SyncedBytes   int  // guaranteed-durable prefix at crash time
 	Recovery      core.RecoveryStats
+	// ProbeTxns is the number of committed stamped-probe transactions
+	// checked on the recovered engine (0 unless Config.VerifyRecovered).
+	ProbeTxns int
+}
+
+// transfer is one planned balanced transfer.
+type transfer struct {
+	from, to uint64
+	delta    int64
+	hot      bool
+}
+
+// planWorker reproduces worker w's deterministic schedule: its transaction
+// seed and the full transfer sequence. The run executes this plan in order,
+// and the post-recovery state check replays a committed prefix of the very
+// same plan — which is what makes "explainable by some committed prefix" a
+// checkable property. The draw order matches the pre-refactor worker loop
+// exactly, so existing seeds keep their crash/torn coverage.
+func planWorker(cfg Config, w int) (seed uint64, plan []transfer) {
+	wrng := xrand.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
+	seed = wrng.Uint64()
+	lo := w * cfg.AccountsPerWorker
+	plan = make([]transfer, cfg.TxnsPerWorker)
+	for i := range plan {
+		from := uint64(lo + wrng.Intn(cfg.AccountsPerWorker))
+		to := uint64(lo + wrng.Intn(cfg.AccountsPerWorker))
+		for to == from {
+			to = uint64(lo + wrng.Intn(cfg.AccountsPerWorker))
+		}
+		delta := int64(wrng.IntRange(1, 100))
+		hot := cfg.HotProb > 0 && wrng.Bool(cfg.HotProb)
+		plan[i] = transfer{from: from, to: to, delta: delta, hot: hot}
+	}
+	return seed, plan
 }
 
 // Key layout: worker w owns accounts [w*APW, (w+1)*APW); counter and hot
@@ -232,18 +280,10 @@ func Run(cfg Config) (Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wrng := xrand.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
-			tx := e.NewTx(w, wrng.Uint64())
-			lo := w * cfg.AccountsPerWorker
-			for i := 0; i < cfg.TxnsPerWorker; i++ {
-				from := uint64(lo + wrng.Intn(cfg.AccountsPerWorker))
-				to := uint64(lo + wrng.Intn(cfg.AccountsPerWorker))
-				for to == from {
-					to = uint64(lo + wrng.Intn(cfg.AccountsPerWorker))
-				}
-				delta := int64(wrng.IntRange(1, 100))
-				hot := cfg.HotProb > 0 && wrng.Bool(cfg.HotProb)
-				if err := tx.RunProc(procTransfer, encodeParams(uint32(w), from, to, delta, hot)); err != nil {
+			seed, plan := planWorker(cfg, w)
+			tx := e.NewTx(w, seed)
+			for _, tr := range plan {
+				if err := tx.RunProc(procTransfer, encodeParams(uint32(w), tr.from, tr.to, tr.delta, tr.hot)); err != nil {
 					// The engine retries transient aborts internally; an
 					// error here is terminal for this worker (log death).
 					stopped[w] = true
@@ -303,11 +343,13 @@ func Run(cfg Config) (Result, error) {
 		})
 		return v, err
 	}
+	recovered := make([]int64, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		rec, err := read(counterBase + uint64(w))
 		if err != nil {
 			return res, err
 		}
+		recovered[w] = rec
 		if rec < int64(acked[w]) {
 			return res, fmt.Errorf("%w: worker %d recovered %d commits, acked %d (seed %d)",
 				ErrDurability, w, rec, acked[w], cfg.Seed)
@@ -333,7 +375,104 @@ func Run(cfg Config) (Result, error) {
 				ErrAtomicity, w, sum, cfg.Seed)
 		}
 	}
+
+	// Prefix explainability: the recovered counters name each worker's
+	// committed prefix length, and the transfer plans are deterministic, so
+	// the exact expected value of every account — not just the per-worker
+	// zero sum — is computable. Any deviation means the recovered state is
+	// not the result of replaying those prefixes.
+	expected := make(map[uint64]int64)
+	var expHot int64
+	for w := 0; w < cfg.Workers; w++ {
+		_, plan := planWorker(cfg, w)
+		for i := int64(0); i < recovered[w]; i++ {
+			tr := plan[i]
+			expected[tr.from] -= tr.delta
+			expected[tr.to] += tr.delta
+			if tr.hot {
+				expHot++
+			}
+		}
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		for i := 0; i < cfg.AccountsPerWorker; i++ {
+			key := uint64(w*cfg.AccountsPerWorker + i)
+			v, err := read(key)
+			if err != nil {
+				return res, err
+			}
+			if v != expected[key] {
+				return res, fmt.Errorf("%w: account %d recovered %d, prefix replay gives %d (seed %d)",
+					ErrState, key, v, expected[key], cfg.Seed)
+			}
+		}
+	}
+	if v, err := read(hotKey); err != nil {
+		return res, err
+	} else if v != expHot {
+		return res, fmt.Errorf("%w: hot row recovered %d, prefix replay gives %d (seed %d)",
+			ErrState, v, expHot, cfg.Seed)
+	}
+
+	if cfg.VerifyRecovered {
+		n, err := probeRecovered(cfg, e2)
+		res.ProbeTxns = n
+		if err != nil {
+			return res, err
+		}
+	}
 	return res, nil
+}
+
+// probeRecoveredTxns is the per-worker stamped-probe transaction count for
+// the post-recovery isolation check — small, because it runs inside every
+// VerifyRecovered torture iteration.
+const probeRecoveredTxns = 40
+
+// probeRecovered drives the stamped isolation probe against the recovered
+// engine and checks the recorded history: a recovery that hands back an
+// engine which no longer isolates is just as broken as one that loses
+// commits. Returns the number of committed probe transactions.
+func probeRecovered(cfg Config, e *core.Engine) (int, error) {
+	if cfg.LogMode == wal.ModeCommand {
+		return 0, fmt.Errorf("torture: VerifyRecovered requires value logging (seed %d)", cfg.Seed)
+	}
+	probe := verify.NewProbe(verify.ProbeConfig{Keys: 8, MinOps: 2, MaxOps: 4})
+	hist := verify.NewHistory(cfg.Workers)
+	probe.AttachHistory(hist)
+	if err := probe.Setup(e); err != nil {
+		return 0, err
+	}
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx := e.NewTx(w, cfg.Seed^uint64(w)*2654435761+1)
+			for i := 0; i < probeRecoveredTxns; i++ {
+				if err := probe.RunOne(tx); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("torture: recovered-engine probe worker %d (seed %d): %w", w, cfg.Seed, err)
+		}
+	}
+	final, err := probe.FinalVersions(e)
+	if err != nil {
+		return 0, err
+	}
+	rep := hist.Check(final)
+	if !rep.Ok() {
+		return rep.Txns, fmt.Errorf("%w: %s (seed %d)", ErrIsolation, rep.Anomalies[0], cfg.Seed)
+	}
+	return rep.Txns, nil
 }
 
 // dropTailRecords removes the last n intact framed records from b,

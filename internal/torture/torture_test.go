@@ -40,9 +40,16 @@ func TestCrashRecoveryTorture(t *testing.T) {
 						LogMode:            m.mode,
 						Seed:               seed,
 						TransientSyncEvery: 5,
+						// The stamped isolation probe needs ad-hoc
+						// (non-proc) transactions, which only value
+						// logging can log.
+						VerifyRecovered: m.mode == wal.ModeValue,
 					})
 					if err != nil {
 						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if m.mode == wal.ModeValue && res.ProbeTxns == 0 {
+						t.Fatalf("seed %d: recovered-engine probe committed no transactions", seed)
 					}
 					if res.Crashed {
 						crashed++

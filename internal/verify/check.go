@@ -1,0 +1,422 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class is an Adya-style isolation phenomenon class.
+type Class uint8
+
+const (
+	// ClassG0 covers dirty writes: ww-only serialization cycles and every
+	// structural corruption of the version chains (forks, lost updates,
+	// writes over aborted or unknown versions).
+	ClassG0 Class = iota
+	// ClassG1a is an aborted read: a committed transaction observed a
+	// version written by an aborted transaction (or by no recorded writer).
+	ClassG1a
+	// ClassG1b is an intermediate read: a committed transaction observed a
+	// version that was not its writer's final write to that key.
+	ClassG1b
+	// ClassG1c is a cycle of committed information flow (ww and wr edges).
+	ClassG1c
+	// ClassG2 is a cycle that needs at least one rw anti-dependency edge —
+	// the phenomenon (e.g. write skew) weaker isolation levels admit.
+	ClassG2
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassG0:
+		return "G0 (dirty write)"
+	case ClassG1a:
+		return "G1a (aborted read)"
+	case ClassG1b:
+		return "G1b (intermediate read)"
+	case ClassG1c:
+		return "G1c (cyclic information flow)"
+	case ClassG2:
+		return "G2 (anti-dependency cycle)"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// EdgeKind classifies a dependency-graph edge.
+type EdgeKind uint8
+
+const (
+	// EdgeWW orders a version's writer before its overwriter.
+	EdgeWW EdgeKind = iota
+	// EdgeWR orders a version's writer before its readers (reads-from).
+	EdgeWR
+	// EdgeRW orders a version's readers before its overwriter
+	// (anti-dependency).
+	EdgeRW
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeWW:
+		return "ww"
+	case EdgeWR:
+		return "wr"
+	default:
+		return "rw"
+	}
+}
+
+// Edge is one dependency between two recorded transactions, pivoting on a
+// concrete version of a concrete key — the unit a witness is made of.
+type Edge struct {
+	From, To int64
+	Kind     EdgeKind
+	Key      uint64
+	// Stamp is the version the edge pivots on: the overwritten version for
+	// ww, the version read for wr and rw.
+	Stamp int64
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string {
+	return fmt.Sprintf("txn %d -%s[key %d @v%d]-> txn %d", e.From, e.Kind, e.Key, e.Stamp, e.To)
+}
+
+// Anomaly is one detected phenomenon with a concrete witness: for cycle
+// classes the witness is the offending dependency cycle; for read anomalies
+// it is the edge from the offending writer to the reader.
+type Anomaly struct {
+	Class   Class
+	Message string
+	Witness []Edge
+}
+
+// String implements fmt.Stringer.
+func (a Anomaly) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", a.Class, a.Message)
+	for _, e := range a.Witness {
+		b.WriteString("\n    ")
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// maxAnomalies caps the anomalies retained in a report. A genuinely broken
+// protocol produces thousands of identical read anomalies; the first few
+// plus a truncation marker are what a human needs.
+const maxAnomalies = 64
+
+// Report is the result of checking a history.
+type Report struct {
+	// Txns is the number of committed transactions checked.
+	Txns int
+	// AbortedTxns is the number of aborted attempts recorded.
+	AbortedTxns int
+	// Edges is the number of distinct dependency edges built.
+	Edges int
+	// Anomalies are the detected phenomena, capped at maxAnomalies.
+	Anomalies []Anomaly
+	// Truncated reports that anomalies beyond the cap were dropped.
+	Truncated bool
+}
+
+// Ok reports whether the history is anomaly-free.
+func (r *Report) Ok() bool { return len(r.Anomalies) == 0 }
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("verify: %d txns (%d aborted attempts), %d edges, %d anomalies",
+		r.Txns, r.AbortedTxns, r.Edges, len(r.Anomalies))
+}
+
+func (r *Report) addAnomaly(class Class, witness []Edge, format string, args ...interface{}) {
+	if len(r.Anomalies) >= maxAnomalies {
+		r.Truncated = true
+		return
+	}
+	r.Anomalies = append(r.Anomalies, Anomaly{Class: class, Message: fmt.Sprintf(format, args...), Witness: witness})
+}
+
+// writeInfo indexes one committed write by its stamp.
+type writeInfo struct {
+	txn  int64
+	prev int64
+	key  uint64
+	// intermediate marks a stamp the same transaction later overwrote on the
+	// same key — observable by others only as a G1b violation.
+	intermediate bool
+}
+
+// Check analyzes the recorded history and returns a report. It must be
+// called after all recording workers have quiesced. Attempts still open are
+// treated as aborted.
+//
+// final, when non-nil, maps each key to the version stamp read from the
+// database after the run; the checker then additionally verifies that every
+// key's reconstructed version chain ends at exactly that version (a
+// committed write beyond it, or a final version off the chain, is a lost
+// update). A nil final skips that cross-check.
+func (h *History) Check(final map[uint64]int64) *Report {
+	rep := &Report{}
+
+	// Gather committed transactions and aborted writes from every worker.
+	var txns []Txn
+	aborted := make(map[int64]abortedWrite)
+	for _, w := range h.workers {
+		if w.curStart >= 0 {
+			w.Abort()
+		}
+		for _, sp := range w.spans {
+			txns = append(txns, Txn{ID: sp.id, Ops: w.ops[sp.start:sp.end]})
+		}
+		for _, aw := range w.aborted {
+			aborted[aw.stamp] = aw
+		}
+	}
+	rep.Txns = len(txns)
+	rep.AbortedTxns = len(aborted)
+
+	// Index committed writes by stamp, marking intra-transaction
+	// intermediate versions.
+	writer := make(map[int64]writeInfo)
+	for _, tx := range txns {
+		for i, op := range tx.Ops {
+			if !op.Write {
+				continue
+			}
+			if w, dup := writer[op.Stamp]; dup {
+				rep.addAnomaly(ClassG0,
+					[]Edge{{From: w.txn, To: tx.ID, Kind: EdgeWW, Key: op.Key, Stamp: op.Stamp}},
+					"version %d written by both txn %d and txn %d", op.Stamp, w.txn, tx.ID)
+				continue
+			}
+			inter := false
+			for j := i + 1; j < len(tx.Ops); j++ {
+				if tx.Ops[j].Write && tx.Ops[j].Key == op.Key {
+					inter = true
+					break
+				}
+			}
+			writer[op.Stamp] = writeInfo{txn: tx.ID, prev: op.Prev, key: op.Key, intermediate: inter}
+		}
+	}
+
+	// Reconstruct per-key version chains: succ[key][v] is the committed
+	// version that overwrote v on key. Version 0 is per-key (the load
+	// state), so anti-dependencies on never-overwritten loader versions are
+	// tracked too — that is what makes fresh-key write skew visible.
+	succ := make(map[uint64]map[int64]int64)
+	for _, tx := range txns {
+		for _, op := range tx.Ops {
+			if !op.Write {
+				continue
+			}
+			m := succ[op.Key]
+			if m == nil {
+				m = make(map[int64]int64)
+				succ[op.Key] = m
+			}
+			if prior, dup := m[op.Prev]; dup {
+				rep.addAnomaly(ClassG0,
+					[]Edge{
+						{From: writer[prior].txn, To: tx.ID, Kind: EdgeWW, Key: op.Key, Stamp: op.Prev},
+					},
+					"key %d: version %d overwritten twice (by txn %d as v%d and txn %d as v%d): version fork / lost update",
+					op.Key, op.Prev, writer[prior].txn, prior, tx.ID, op.Stamp)
+				continue
+			}
+			m[op.Prev] = op.Stamp
+			if op.Prev == 0 {
+				continue
+			}
+			if aw, ok := aborted[op.Prev]; ok {
+				rep.addAnomaly(ClassG0,
+					[]Edge{{From: aw.txn, To: tx.ID, Kind: EdgeWW, Key: op.Key, Stamp: op.Prev}},
+					"key %d: txn %d overwrote version %d written by aborted txn %d (dirty write installed)",
+					op.Key, tx.ID, op.Prev, aw.txn)
+			} else if _, ok := writer[op.Prev]; !ok {
+				rep.addAnomaly(ClassG0,
+					[]Edge{{From: 0, To: tx.ID, Kind: EdgeWW, Key: op.Key, Stamp: op.Prev}},
+					"key %d: txn %d overwrote version %d which no recorded transaction wrote",
+					op.Key, tx.ID, op.Prev)
+			}
+		}
+	}
+
+	// Walk each chain from the load version: cycles and unreachable
+	// committed writes are structural G0 anomalies; with a final state the
+	// chain must end exactly at the observed version.
+	heads := make(map[uint64]int64, len(succ))
+	for key, m := range succ {
+		seen := make(map[int64]bool, len(m))
+		cur := int64(0)
+		for {
+			next, ok := m[cur]
+			if !ok {
+				break
+			}
+			if seen[next] {
+				rep.addAnomaly(ClassG0, []Edge{{From: writer[next].txn, To: writer[next].txn, Kind: EdgeWW, Key: key, Stamp: next}},
+					"key %d: cycle in version chain at v%d", key, next)
+				break
+			}
+			seen[next] = true
+			cur = next
+		}
+		heads[key] = cur
+		for prev, stamp := range m {
+			if !seen[stamp] {
+				w := writer[stamp]
+				rep.addAnomaly(ClassG0,
+					[]Edge{{From: w.txn, To: w.txn, Kind: EdgeWW, Key: key, Stamp: stamp}},
+					"key %d: committed version %d (txn %d, over v%d) unreachable from the load state: lost update",
+					key, stamp, w.txn, prev)
+			}
+		}
+	}
+	if final != nil {
+		keys := make([]uint64, 0, len(final))
+		for key := range final {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, key := range keys {
+			if got, want := final[key], heads[key]; got != want {
+				w := writer[want]
+				rep.addAnomaly(ClassG0,
+					[]Edge{{From: w.txn, To: w.txn, Kind: EdgeWW, Key: key, Stamp: want}},
+					"key %d: final database version is v%d but the version chain ends at v%d: lost update",
+					key, got, want)
+			}
+		}
+	}
+
+	// Build the dependency graph and flag read anomalies along the way.
+	adj := make(map[int64][]Edge)
+	dedup := make(map[Edge]bool)
+	addEdge := func(e Edge) {
+		if e.From == e.To || dedup[e] {
+			return
+		}
+		dedup[e] = true
+		adj[e.From] = append(adj[e.From], e)
+		rep.Edges++
+	}
+	for _, tx := range txns {
+		for _, op := range tx.Ops {
+			if op.Write {
+				if op.Prev != 0 {
+					if w, ok := writer[op.Prev]; ok {
+						addEdge(Edge{From: w.txn, To: tx.ID, Kind: EdgeWW, Key: op.Key, Stamp: op.Prev})
+					}
+				}
+				continue
+			}
+			if op.Stamp != 0 {
+				if aw, ok := aborted[op.Stamp]; ok {
+					rep.addAnomaly(ClassG1a,
+						[]Edge{{From: aw.txn, To: tx.ID, Kind: EdgeWR, Key: op.Key, Stamp: op.Stamp}},
+						"txn %d read version %d of key %d written by aborted txn %d",
+						tx.ID, op.Stamp, op.Key, aw.txn)
+				} else if w, ok := writer[op.Stamp]; ok {
+					if w.intermediate && w.txn != tx.ID {
+						rep.addAnomaly(ClassG1b,
+							[]Edge{{From: w.txn, To: tx.ID, Kind: EdgeWR, Key: op.Key, Stamp: op.Stamp}},
+							"txn %d read intermediate version %d of key %d (txn %d overwrote it within the same transaction)",
+							tx.ID, op.Stamp, op.Key, w.txn)
+					}
+					addEdge(Edge{From: w.txn, To: tx.ID, Kind: EdgeWR, Key: op.Key, Stamp: op.Stamp})
+				} else {
+					rep.addAnomaly(ClassG1a,
+						[]Edge{{From: 0, To: tx.ID, Kind: EdgeWR, Key: op.Key, Stamp: op.Stamp}},
+						"txn %d read version %d of key %d which no recorded transaction committed (dirty read)",
+						tx.ID, op.Stamp, op.Key)
+				}
+			}
+			if m := succ[op.Key]; m != nil {
+				if next, ok := m[op.Stamp]; ok {
+					if w, ok := writer[next]; ok {
+						addEdge(Edge{From: tx.ID, To: w.txn, Kind: EdgeRW, Key: op.Key, Stamp: op.Stamp})
+					}
+				}
+			}
+		}
+	}
+
+	// Layered cycle search, most specific class first: a cycle of ww edges
+	// alone is G0; one that needs wr edges is G1c; one that needs rw
+	// anti-dependencies is G2.
+	if cyc := findCycle(adj, func(k EdgeKind) bool { return k == EdgeWW }); cyc != nil {
+		rep.addAnomaly(ClassG0, cyc, "write-write dependency cycle through %d transactions", cycleLen(cyc))
+	} else if cyc := findCycle(adj, func(k EdgeKind) bool { return k != EdgeRW }); cyc != nil {
+		rep.addAnomaly(ClassG1c, cyc, "committed information-flow cycle through %d transactions", cycleLen(cyc))
+	} else if cyc := findCycle(adj, func(EdgeKind) bool { return true }); cyc != nil {
+		rep.addAnomaly(ClassG2, cyc, "serialization cycle with anti-dependencies through %d transactions", cycleLen(cyc))
+	}
+	return rep
+}
+
+func cycleLen(cyc []Edge) int { return len(cyc) }
+
+// findCycle searches the subgraph of edges whose kind passes allow and
+// returns one cycle as its edge sequence, or nil. Nodes are visited in
+// sorted order so a given history yields a deterministic witness.
+func findCycle(adj map[int64][]Edge, allow func(EdgeKind) bool) []Edge {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int64]int, len(adj))
+	nodes := make([]int64, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	var path []Edge
+	var cycle []Edge
+	var dfs func(n int64) bool
+	dfs = func(n int64) bool {
+		color[n] = gray
+		for _, e := range adj[n] {
+			if !allow(e.Kind) {
+				continue
+			}
+			switch color[e.To] {
+			case gray:
+				// Unwind the path back to where the cycle closes.
+				i := len(path)
+				for i > 0 && path[i-1].From != e.To {
+					i--
+				}
+				if i > 0 {
+					i--
+				}
+				cycle = append(append(cycle, path[i:]...), e)
+				return true
+			case white:
+				path = append(path, e)
+				if dfs(e.To) {
+					return true
+				}
+				path = path[:len(path)-1]
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			if dfs(n) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package verify
+
+import "testing"
+
+// The negative controls: hand-built histories with known anomalies must be
+// flagged with the right class and a concrete witness. A checker that cannot
+// detect the phenomena it claims to rule out proves nothing when it passes.
+
+// firstOfClass returns the first anomaly of the wanted class, failing the
+// test if none exists or its witness is empty.
+func firstOfClass(t *testing.T, rep *Report, class Class) Anomaly {
+	t.Helper()
+	for _, a := range rep.Anomalies {
+		if a.Class != class {
+			continue
+		}
+		if len(a.Witness) == 0 {
+			t.Fatalf("%s anomaly has no witness: %s", class, a.Message)
+		}
+		return a
+	}
+	t.Fatalf("no %s anomaly reported; got %d anomalies: %v", class, len(rep.Anomalies), rep.Anomalies)
+	return Anomaly{}
+}
+
+// TestCleanHistory: a serial history is anomaly-free and the report carries
+// the recorded counts.
+func TestCleanHistory(t *testing.T) {
+	h := NewHistory(1)
+	r := h.Recorder(0)
+
+	r.Begin()
+	r.Read(1, 0)
+	s1 := r.Write(1, 0)
+	r.Commit()
+
+	r.Begin()
+	r.Read(1, s1)
+	s2 := r.Write(1, s1)
+	r.Commit()
+
+	rep := h.Check(map[uint64]int64{1: s2})
+	if !rep.Ok() {
+		t.Fatalf("clean history reported anomalies: %v", rep.Anomalies)
+	}
+	if rep.Txns != 2 || rep.AbortedTxns != 0 {
+		t.Fatalf("counts: %s", rep)
+	}
+	if rep.Edges == 0 {
+		t.Fatal("no dependency edges built for a reads-from chain")
+	}
+}
+
+// TestDetectsG0DirtyWrite: two transactions whose writes interleave on two
+// keys form a ww-only cycle — the defining G0 history.
+func TestDetectsG0DirtyWrite(t *testing.T) {
+	h := NewHistory(2)
+	r1, r2 := h.Recorder(0), h.Recorder(1)
+
+	r1.Begin()
+	s1 := r1.Write(1, 0)
+	r2.Begin()
+	s2 := r2.Write(2, 0)
+	s3 := r1.Write(2, s2) // T1 overwrites T2's uncommitted write...
+	s4 := r2.Write(1, s1) // ...and vice versa
+	r1.Commit()
+	r2.Commit()
+
+	rep := h.Check(map[uint64]int64{1: s4, 2: s3})
+	a := firstOfClass(t, rep, ClassG0)
+	for _, e := range a.Witness {
+		if e.Kind != EdgeWW {
+			t.Fatalf("G0 witness contains a %s edge: %s", e.Kind, e)
+		}
+	}
+}
+
+// TestDetectsG0Fork: two committed writes overwriting the same version is a
+// version fork (split brain / lost update), structural G0.
+func TestDetectsG0Fork(t *testing.T) {
+	h := NewHistory(2)
+	r1, r2 := h.Recorder(0), h.Recorder(1)
+
+	r1.Begin()
+	s1 := r1.Write(1, 0)
+	r1.Commit()
+	r2.Begin()
+	r2.Write(1, 0) // same prev: the chain forks
+	r2.Commit()
+
+	rep := h.Check(map[uint64]int64{1: s1})
+	firstOfClass(t, rep, ClassG0)
+}
+
+// TestDetectsLostUpdate: a committed write whose version the final state
+// does not reach is a lost update.
+func TestDetectsLostUpdate(t *testing.T) {
+	h := NewHistory(1)
+	r := h.Recorder(0)
+
+	r.Begin()
+	r.Write(1, 0)
+	r.Commit()
+
+	rep := h.Check(map[uint64]int64{1: 0}) // database still at the load version
+	firstOfClass(t, rep, ClassG0)
+}
+
+// TestDetectsG1aAbortedRead: a committed transaction observing an aborted
+// transaction's write is an aborted read.
+func TestDetectsG1aAbortedRead(t *testing.T) {
+	h := NewHistory(2)
+	r1, r2 := h.Recorder(0), h.Recorder(1)
+
+	r1.Begin()
+	s1 := r1.Write(1, 0)
+	r2.Begin()
+	r2.Read(1, s1) // observes the uncommitted write...
+	r1.Abort()     // ...which then aborts
+	r2.Commit()
+
+	rep := h.Check(nil)
+	if rep.AbortedTxns != 1 {
+		t.Fatalf("aborted attempts: %s", rep)
+	}
+	firstOfClass(t, rep, ClassG1a)
+}
+
+// TestDetectsG1aOpenAttempt: an attempt never closed (worker died
+// mid-transaction) is treated as aborted, so reads of its writes are still
+// G1a.
+func TestDetectsG1aOpenAttempt(t *testing.T) {
+	h := NewHistory(2)
+	r1, r2 := h.Recorder(0), h.Recorder(1)
+
+	r1.Begin()
+	s1 := r1.Write(1, 0)
+	// r1 never commits or aborts.
+	r2.Begin()
+	r2.Read(1, s1)
+	r2.Commit()
+
+	rep := h.Check(nil)
+	firstOfClass(t, rep, ClassG1a)
+}
+
+// TestDetectsG1bIntermediateRead: observing a version its writer overwrote
+// within the same transaction is an intermediate read.
+func TestDetectsG1bIntermediateRead(t *testing.T) {
+	h := NewHistory(2)
+	r1, r2 := h.Recorder(0), h.Recorder(1)
+
+	r1.Begin()
+	s1 := r1.Write(1, 0)
+	r2.Begin()
+	r2.Read(1, s1) // observes T1's first write...
+	s2 := r1.Write(1, s1)
+	r1.Commit() // ...which was not T1's final state of key 1
+	r2.Commit()
+
+	rep := h.Check(map[uint64]int64{1: s2})
+	firstOfClass(t, rep, ClassG1b)
+}
+
+// TestOwnIntermediateReadOK: a transaction re-reading its own intermediate
+// write is not G1b.
+func TestOwnIntermediateReadOK(t *testing.T) {
+	h := NewHistory(1)
+	r := h.Recorder(0)
+
+	r.Begin()
+	s1 := r.Write(1, 0)
+	r.Read(1, s1)
+	s2 := r.Write(1, s1)
+	r.Commit()
+
+	rep := h.Check(map[uint64]int64{1: s2})
+	if !rep.Ok() {
+		t.Fatalf("own intermediate read flagged: %v", rep.Anomalies)
+	}
+}
+
+// TestDetectsG1cCycle: two transactions each reading the other's committed
+// write form a wr cycle — cyclic information flow without any ww cycle.
+func TestDetectsG1cCycle(t *testing.T) {
+	h := NewHistory(2)
+	r1, r2 := h.Recorder(0), h.Recorder(1)
+
+	r1.Begin()
+	s1 := r1.Write(1, 0)
+	r2.Begin()
+	s2 := r2.Write(2, 0)
+	r2.Read(1, s1) // T2 reads T1's write
+	r1.Read(2, s2) // T1 reads T2's write
+	r1.Commit()
+	r2.Commit()
+
+	rep := h.Check(map[uint64]int64{1: s1, 2: s2})
+	a := firstOfClass(t, rep, ClassG1c)
+	hasWR := false
+	for _, e := range a.Witness {
+		if e.Kind == EdgeRW {
+			t.Fatalf("G1c witness contains an rw edge: %s", e)
+		}
+		if e.Kind == EdgeWR {
+			hasWR = true
+		}
+	}
+	if !hasWR {
+		t.Fatalf("G1c witness has no wr edge: %v", a.Witness)
+	}
+}
+
+// TestDetectsG2WriteSkew: the canonical write skew — both transactions read
+// both keys' load versions and write disjoint keys. The cycle needs the rw
+// anti-dependencies on the loader versions, which is exactly the case the
+// old in-test checker could not see.
+func TestDetectsG2WriteSkew(t *testing.T) {
+	h := NewHistory(2)
+	r1, r2 := h.Recorder(0), h.Recorder(1)
+
+	r1.Begin()
+	r2.Begin()
+	r1.Read(1, 0)
+	r1.Read(2, 0)
+	r2.Read(1, 0)
+	r2.Read(2, 0)
+	s1 := r1.Write(1, 0)
+	s2 := r2.Write(2, 0)
+	r1.Commit()
+	r2.Commit()
+
+	rep := h.Check(map[uint64]int64{1: s1, 2: s2})
+	if len(rep.Anomalies) != 1 {
+		t.Fatalf("want exactly the G2 anomaly, got %v", rep.Anomalies)
+	}
+	a := firstOfClass(t, rep, ClassG2)
+	hasRW := false
+	for _, e := range a.Witness {
+		if e.Kind == EdgeRW {
+			hasRW = true
+		}
+	}
+	if !hasRW {
+		t.Fatalf("G2 witness has no rw edge: %v", a.Witness)
+	}
+}
+
+// TestWitnessCycleCloses: cycle witnesses must be walkable — each edge's To
+// is the next edge's From, and the last edge returns to the first.
+func TestWitnessCycleCloses(t *testing.T) {
+	h := NewHistory(2)
+	r1, r2 := h.Recorder(0), h.Recorder(1)
+
+	r1.Begin()
+	r2.Begin()
+	r1.Read(1, 0)
+	r2.Read(2, 0)
+	s2 := r2.Write(1, 0)
+	s1 := r1.Write(2, 0)
+	r1.Commit()
+	r2.Commit()
+
+	rep := h.Check(map[uint64]int64{1: s2, 2: s1})
+	a := firstOfClass(t, rep, ClassG2)
+	for i, e := range a.Witness {
+		next := a.Witness[(i+1)%len(a.Witness)]
+		if e.To != next.From {
+			t.Fatalf("witness does not chain at %d: %s then %s", i, e, next)
+		}
+	}
+}
+
+// TestRetriedAttemptRecording: Begin on an open attempt auto-aborts it, so a
+// retried body never leaks its first attempt's writes into the committed
+// history.
+func TestRetriedAttemptRecording(t *testing.T) {
+	h := NewHistory(1)
+	r := h.Recorder(0)
+
+	r.Begin()
+	r.Write(1, 0) // first attempt: aborted by the retry
+	r.Begin()
+	s2 := r.Write(1, 0)
+	r.Commit()
+
+	rep := h.Check(map[uint64]int64{1: s2})
+	if !rep.Ok() {
+		t.Fatalf("retried attempt flagged: %v", rep.Anomalies)
+	}
+	if rep.Txns != 1 || rep.AbortedTxns != 1 {
+		t.Fatalf("counts: %s", rep)
+	}
+}
