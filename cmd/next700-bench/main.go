@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"next700/internal/admission"
 	"next700/internal/cc"
 	"next700/internal/core"
 	"next700/internal/harness"
@@ -67,6 +68,18 @@ func main() {
 
 		doRecover = flag.Bool("recover", false, "after the run, replay the log into a fresh engine and print recovery stats (requires -log)")
 		tortureN  = flag.Int("torture", 0, "run N seeded crash-recovery torture iterations per log mode and exit")
+
+		// Deadlines, open-loop load, and admission control.
+		rate        = flag.Float64("rate", 0, "open-loop offered arrival rate in txns/sec (seeded Poisson); 0 = closed loop")
+		deadlineD   = flag.Duration("deadline", 0, "per-transaction deadline, enforced through every engine wait (0 = none)")
+		slo         = flag.Duration("slo", 0, "goodput window: commits slower than this (arrival to completion) count as late, not good (default -deadline)")
+		admit       = flag.Bool("admit", false, "gate transactions through an admission controller (bounded in-flight + queue-deadline shedding)")
+		admitMax    = flag.Int("admit-max", 0, "admission: max in-flight transactions (default 2×GOMAXPROCS)")
+		admitQueue  = flag.Duration("admit-queue", 0, "admission: max wait for a slot before shedding (0 = bounded only by -deadline)")
+		admitTarget = flag.Duration("admit-target", 0, "admission: AIMD target service latency; adapts the in-flight limit (0 = fixed limit)")
+
+		doOverload  = flag.Bool("overload", false, "run the overload sweep and exit: measure closed-loop capacity, then offer 1x/2x/3x that rate open-loop, unprotected vs deadline+admission")
+		overloadOut = flag.String("overload-out", "BENCH_overload.json", "output path for the -overload JSON report")
 	)
 	flag.Parse()
 
@@ -126,23 +139,49 @@ func main() {
 		fatal("unknown -workload %q", *wlName)
 	}
 
-	fmt.Printf("next700-bench: %s on %s, %d threads, %v\n",
-		*wlName, *protocol, *threads, *duration)
-	res, err := harness.Run(cfg, wl, harness.RunOptions{
+	if *doOverload {
+		runOverload(cfg, wl, overloadOpts{
+			Threads: *threads, Duration: *duration, Warmup: *warmup,
+			Seed: *seed, SLO: *slo, Out: *overloadOut,
+		})
+		return
+	}
+
+	opts := harness.RunOptions{
 		Threads: *threads, Duration: *duration, WarmupTxns: *warmup, Seed: *seed,
 		MeasureAllocs: *allocs,
 		Retry: core.RetryPolicy{
 			MaxAttempts: *retryAttempts, SpinAttempts: *retrySpin,
 			BaseDelay: *retryBase, MaxDelay: *retryMax,
 		},
-	})
+		OfferedRate:   *rate,
+		Deadline:      *deadlineD,
+		GoodputWindow: *slo,
+	}
+	if *admit {
+		opts.Admission = &admission.Config{
+			MaxInFlight: *admitMax, MaxQueueWait: *admitQueue, TargetLatency: *admitTarget,
+		}
+	}
+	fmt.Printf("next700-bench: %s on %s, %d threads, %v\n",
+		*wlName, *protocol, *threads, *duration)
+	res, err := harness.Run(cfg, wl, opts)
 	if err != nil {
 		fatal("%v", err)
 	}
 	fmt.Println(res)
-	fmt.Printf("  commits=%d aborts=%d user_aborts=%d fatal_aborts=%d waits=%d\n",
-		res.Commits, res.Aborts, res.UserAborts, res.FatalAborts, res.Waits)
+	fmt.Printf("  commits=%d aborts=%d user_aborts=%d fatal_aborts=%d deadline_aborts=%d shed=%d waits=%d\n",
+		res.Commits, res.Aborts, res.UserAborts, res.FatalAborts, res.DeadlineAborts, res.ShedAborts, res.Waits)
 	fmt.Printf("  latency: %s\n", res.Latency)
+	if *rate > 0 {
+		fmt.Printf("  open-loop: offered=%.0f/s arrivals=%d goodput=%.0f/s late=%d backlog=%d\n",
+			res.Offered, res.Arrivals, res.Goodput, res.LateCommits, res.Backlog)
+		fmt.Printf("  queue: %s\n", res.QueueLatency)
+		fmt.Printf("  e2e:   %s\n", res.E2ELatency)
+		if res.AdmissionLimit > 0 {
+			fmt.Printf("  admission limit: %d\n", res.AdmissionLimit)
+		}
+	}
 	if *doRecover {
 		if cfg.LogMode == wal.ModeNone {
 			fatal("-recover requires -log value|command")

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"next700/internal/admission"
+	"next700/internal/core"
+	"next700/internal/harness"
+	"next700/internal/workload"
+)
+
+// overloadOpts parameterizes the -overload sweep.
+type overloadOpts struct {
+	Threads  int
+	Duration time.Duration
+	Warmup   int
+	Seed     uint64
+	// SLO is the goodput window: a commit slower than this (arrival to
+	// completion) is late, not good. 0 selects 50ms.
+	SLO time.Duration
+	Out string
+}
+
+// overloadRow is one sweep measurement in the JSON report.
+type overloadRow struct {
+	// Mode is capacity (closed loop), unprotected (open loop, no deadline,
+	// no admission), or protected (enforced deadline + admission control).
+	Mode           string  `json:"mode"`
+	Multiplier     float64 `json:"multiplier,omitempty"`
+	OfferedTps     float64 `json:"offered_tps,omitempty"`
+	Tps            float64 `json:"tps"`
+	GoodputTps     float64 `json:"goodput_tps"`
+	GoodputVsPeak  float64 `json:"goodput_vs_peak"`
+	LateCommits    uint64  `json:"late_commits"`
+	DeadlineAborts uint64  `json:"deadline_aborts"`
+	ShedAborts     uint64  `json:"shed_aborts"`
+	Backlog        uint64  `json:"backlog"`
+	QueueP99Ms     float64 `json:"queue_p99_ms,omitempty"`
+	E2EP99Ms       float64 `json:"e2e_p99_ms,omitempty"`
+	AdmissionLimit int     `json:"admission_limit,omitempty"`
+}
+
+// overloadReport is the full sweep, written as one JSON document.
+type overloadReport struct {
+	Workload   string        `json:"workload"`
+	Protocol   string        `json:"protocol"`
+	Threads    int           `json:"threads"`
+	SLOMs      float64       `json:"slo_ms"`
+	DeadlineMs float64       `json:"deadline_ms"`
+	PeakTps    float64       `json:"peak_tps"`
+	Rows       []overloadRow `json:"rows"`
+}
+
+// runOverload measures closed-loop capacity, then offers 1x/2x/3x that rate
+// open-loop, once with no protection (every arrival is eventually executed,
+// however stale) and once with an enforced deadline plus admission control.
+// The contrast is the point of the experiment: the unprotected engine's raw
+// throughput survives overload but its goodput collapses — the queue grows
+// without bound, so everything it commits is already late — while the
+// protected engine sheds stale and excess work cheaply and keeps goodput
+// near the closed-loop peak.
+//
+// The protected rows enforce a deadline of SLO/2, not the SLO itself: under
+// sustained overload a FIFO queue serves arrivals right at the age-out
+// edge, so enforcing the SLO directly would commit mostly just-late work.
+// Enforcing at half leaves survivors headroom to land inside the SLO. The
+// open-loop rows run a worker pool twice the capacity configuration so the
+// admission semaphore (capped at the measured-capacity concurrency) is a
+// real constraint rather than a no-op behind the pool size.
+func runOverload(cfg core.Config, template workload.Workload, o overloadOpts) {
+	if o.SLO <= 0 {
+		o.SLO = 50 * time.Millisecond
+	}
+	deadline := o.SLO / 2
+	fmt.Printf("next700-bench: overload sweep, %s on %s, %d threads, %v per row, slo=%v deadline=%v\n",
+		template.Name(), cfg.Protocol, o.Threads, o.Duration, o.SLO, deadline)
+
+	base := harness.RunOptions{
+		Threads: o.Threads, Duration: o.Duration, WarmupTxns: o.Warmup, Seed: o.Seed,
+	}
+	peak, err := harness.Run(cfg, freshWorkload(template), base)
+	if err != nil {
+		fatal("overload capacity run: %v", err)
+	}
+	fmt.Printf("  closed-loop capacity: %.0f tps (p99 %v)\n",
+		peak.Tps, time.Duration(peak.Latency.P99))
+
+	rep := overloadReport{
+		Workload: template.Name(), Protocol: cfg.Protocol, Threads: o.Threads,
+		SLOMs:      float64(o.SLO) / float64(time.Millisecond),
+		DeadlineMs: float64(deadline) / float64(time.Millisecond),
+		PeakTps:    peak.Tps,
+		Rows: []overloadRow{{
+			Mode: "capacity", Tps: peak.Tps, GoodputTps: peak.Tps, GoodputVsPeak: 1,
+		}},
+	}
+
+	fmt.Printf("  %-12s %5s %12s %12s %12s %8s %10s %10s %10s %12s\n",
+		"mode", "mult", "offered/s", "tps", "goodput/s", "good%", "late", "dl_aborts", "shed", "e2e_p99")
+	for _, mult := range []float64{1, 2, 3} {
+		rate := mult * peak.Tps
+		open := base
+		open.Threads = 2 * o.Threads
+		open.OfferedRate = rate
+
+		un := open
+		un.GoodputWindow = o.SLO
+		resU, err := harness.Run(cfg, freshWorkload(template), un)
+		if err != nil {
+			fatal("overload unprotected %gx: %v", mult, err)
+		}
+		rep.Rows = append(rep.Rows, sweepRow("unprotected", mult, rate, peak.Tps, resU))
+		printSweepRow(rep.Rows[len(rep.Rows)-1])
+
+		pr := open
+		pr.Deadline = deadline
+		pr.GoodputWindow = o.SLO
+		pr.Admission = &admission.Config{
+			MaxInFlight:   o.Threads,
+			MaxQueueWait:  deadline / 2,
+			TargetLatency: deadline,
+		}
+		resP, err := harness.Run(cfg, freshWorkload(template), pr)
+		if err != nil {
+			fatal("overload protected %gx: %v", mult, err)
+		}
+		rep.Rows = append(rep.Rows, sweepRow("protected", mult, rate, peak.Tps, resP))
+		printSweepRow(rep.Rows[len(rep.Rows)-1])
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("overload report: %v", err)
+	}
+	if err := os.WriteFile(o.Out, append(out, '\n'), 0o644); err != nil {
+		fatal("overload report: %v", err)
+	}
+	fmt.Printf("  overload report: %s\n", o.Out)
+}
+
+func sweepRow(mode string, mult, rate, peakTps float64, res harness.Result) overloadRow {
+	return overloadRow{
+		Mode:           mode,
+		Multiplier:     mult,
+		OfferedTps:     rate,
+		Tps:            res.Tps,
+		GoodputTps:     res.Goodput,
+		GoodputVsPeak:  res.Goodput / peakTps,
+		LateCommits:    res.LateCommits,
+		DeadlineAborts: res.DeadlineAborts,
+		ShedAborts:     res.ShedAborts,
+		Backlog:        res.Backlog,
+		QueueP99Ms:     float64(res.QueueLatency.P99) / float64(time.Millisecond),
+		E2EP99Ms:       float64(res.E2ELatency.P99) / float64(time.Millisecond),
+		AdmissionLimit: res.AdmissionLimit,
+	}
+}
+
+func printSweepRow(r overloadRow) {
+	fmt.Printf("  %-12s %4gx %12.0f %12.0f %12.0f %7.1f%% %10d %10d %10d %10.1fms\n",
+		r.Mode, r.Multiplier, r.OfferedTps, r.Tps, r.GoodputTps, 100*r.GoodputVsPeak,
+		r.LateCommits, r.DeadlineAborts, r.ShedAborts, r.E2EP99Ms)
+}

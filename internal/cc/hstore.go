@@ -1,8 +1,10 @@
 package cc
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"next700/internal/storage"
 	"next700/internal/txn"
@@ -83,8 +85,8 @@ func (p *hstore) DeclarePartitions(tx *txn.Txn, parts []int) error {
 		if st.holds(part) {
 			continue
 		}
-		if !p.acquireOrdered(st, part) {
-			return txn.ErrConflict
+		if err := p.acquireOrdered(tx, st, part); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -92,16 +94,44 @@ func (p *hstore) DeclarePartitions(tx *txn.Txn, parts []int) error {
 
 // acquireOrdered takes a partition lock. If the partition id is above every
 // held lock the acquisition blocks (safe); otherwise it must try-lock to
-// stay deadlock-free and the transaction aborts on failure.
-func (p *hstore) acquireOrdered(st *hstoreState, part int) bool {
+// stay deadlock-free and the transaction aborts on failure. A transaction
+// with a deadline never parks on the mutex: it polls with backoff so a
+// stalled partition owner cannot strand it past its budget.
+func (p *hstore) acquireOrdered(tx *txn.Txn, st *hstoreState, part int) error {
 	if len(st.held) == 0 || part > st.held[len(st.held)-1] {
-		p.locks[part].Lock()
+		if dl := tx.Deadline; dl != 0 {
+			if err := lockWithDeadline(&p.locks[part], dl); err != nil {
+				return err
+			}
+		} else {
+			p.locks[part].Lock()
+		}
 	} else if !p.locks[part].TryLock() {
-		return false
+		return txn.ErrConflict
 	}
 	st.held = append(st.held, part)
 	sort.Ints(st.held)
-	return true
+	return nil
+}
+
+// lockWithDeadline acquires mu or gives up at the absolute deadline (Unix
+// nanoseconds). Contended acquisition spins with escalating sleeps — the
+// partition lock is mutex-based with no waiter queue to time out of, and
+// polling at ≤100µs granularity bounds both the overshoot and the wasted
+// spin.
+func lockWithDeadline(mu *sync.Mutex, deadline int64) error {
+	backoff := time.Microsecond
+	for !mu.TryLock() {
+		if time.Now().UnixNano() >= deadline {
+			return txn.ErrDeadlineExceeded
+		}
+		runtime.Gosched()
+		time.Sleep(backoff)
+		if backoff < 100*time.Microsecond {
+			backoff *= 2
+		}
+	}
+	return nil
 }
 
 // LoadRecord implements the engine's bulk-load hook: tag the record's
@@ -133,11 +163,11 @@ func (p *hstore) ensure(tx *txn.Txn, tbl *storage.Table, rid storage.RecordID) e
 	if st.holds(part) {
 		return nil
 	}
-	if !p.acquireOrdered(st, part) {
+	if err := p.acquireOrdered(tx, st, part); err != nil {
 		if tx.Counter != nil {
 			tx.Counter.Waits++
 		}
-		return txn.ErrConflict
+		return err
 	}
 	return nil
 }

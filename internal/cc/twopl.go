@@ -2,6 +2,7 @@ package cc
 
 import (
 	"sync"
+	"time"
 
 	"next700/internal/storage"
 	"next700/internal/txn"
@@ -54,6 +55,31 @@ func (st *lockState) wait() {
 		st.cond = sync.NewCond(&st.mu)
 	}
 	st.cond.Wait()
+}
+
+// waitDeadline is wait with an absolute deadline (Unix nanoseconds): a
+// timer broadcasts the condition at the deadline so a waiter whose holder
+// never releases still wakes. Returns false when the deadline has already
+// passed (no wait happened). Spurious wakeups of co-waiters on the same
+// record are possible and harmless — they re-check and wait again. The
+// timer allocation happens only on the blocked (slow) path; deadline-free
+// waits take the allocation-free wait() above.
+func (st *lockState) waitDeadline(deadline int64) bool {
+	remaining := deadline - time.Now().UnixNano()
+	if remaining <= 0 {
+		return false
+	}
+	if st.cond == nil {
+		st.cond = sync.NewCond(&st.mu)
+	}
+	t := time.AfterFunc(time.Duration(remaining), func() {
+		st.mu.Lock()
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	})
+	st.cond.Wait()
+	t.Stop()
+	return true
 }
 
 func (st *lockState) hasReader(id uint64) bool {
@@ -220,7 +246,16 @@ func (p *twoPL) acquire(tx *txn.Txn, st *lockState, exclusive bool) error {
 			if tx.Counter != nil {
 				tx.Counter.Waits++
 			}
-			st.wait()
+			if dl := tx.Deadline; dl != 0 {
+				if !st.waitDeadline(dl) {
+					// Expired while blocked: no lock request is queued
+					// (waiters re-poll), so simply stop waiting. Locks
+					// acquired earlier are released by the engine's Abort.
+					return txn.ErrDeadlineExceeded
+				}
+			} else {
+				st.wait()
+			}
 		case variantDLDetect:
 			holders = st.conflictHolders(holders[:0], me, exclusive)
 			if p.graph.addWouldCycle(me, holders) {
@@ -229,8 +264,20 @@ func (p *twoPL) acquire(tx *txn.Txn, st *lockState, exclusive bool) error {
 			if tx.Counter != nil {
 				tx.Counter.Waits++
 			}
-			st.wait()
-			p.graph.clear(me)
+			if dl := tx.Deadline; dl != 0 {
+				waited := st.waitDeadline(dl)
+				// The waits-for edges must come out whether the wait ended
+				// by grant, by broadcast, or by deadline — an expired waiter
+				// must never leave dangling edges that strand later cycle
+				// checks.
+				p.graph.clear(me)
+				if !waited {
+					return txn.ErrDeadlineExceeded
+				}
+			} else {
+				st.wait()
+				p.graph.clear(me)
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"time"
 
@@ -58,6 +59,32 @@ func (e *Engine) NewTx(threadID int, seed uint64) *Tx {
 
 // RNG returns the worker-local random source.
 func (t *Tx) RNG() *xrand.RNG { return t.inner.RNG }
+
+// SetDeadline sets the absolute deadline for subsequent transactions run on
+// this context. Every blocking site — lock waits, durability waits, retry
+// backoff — charges against it, and Run returns an error satisfying
+// errors.Is(err, ErrDeadlineExceeded) once the budget is gone. The deadline
+// is a plain int64 (Unix nanoseconds) on the descriptor: no context.Context,
+// no allocation, and with no deadline set the hot path pays one branch.
+// The deadline persists across Run calls until changed or cleared.
+func (t *Tx) SetDeadline(at time.Time) { t.inner.Deadline = at.UnixNano() }
+
+// SetDeadlineAfter sets the deadline d from now.
+func (t *Tx) SetDeadlineAfter(d time.Duration) {
+	t.inner.Deadline = time.Now().Add(d).UnixNano()
+}
+
+// SetDeadlineNanos sets the deadline as absolute Unix nanoseconds
+// (0 clears it). This is the allocation-free form harness layers use to
+// derive per-transaction deadlines from queue-arrival timestamps.
+func (t *Tx) SetDeadlineNanos(nanos int64) { t.inner.Deadline = nanos }
+
+// ClearDeadline removes any deadline.
+func (t *Tx) ClearDeadline() { t.inner.Deadline = 0 }
+
+// DeadlineNanos returns the current absolute deadline in Unix nanoseconds
+// (0 = none).
+func (t *Tx) DeadlineNanos() int64 { return t.inner.Deadline }
 
 // Counter returns the per-worker statistics counter.
 func (t *Tx) Counter() *stats.Counter { return t.inner.Counter }
@@ -290,6 +317,12 @@ func (t *Tx) ScanIndex(tbl *Table, indexName string, lo, hi uint64, desc bool,
 // policy's attempt budget without committing.
 var ErrLivelock = errors.New("core: transaction livelocked")
 
+// ErrDeadlineExceeded is the terminal deadline abort class: Run returns an
+// error satisfying errors.Is(err, ErrDeadlineExceeded) when the
+// transaction's deadline expires while queued, blocked, backing off, or
+// waiting for durability.
+var ErrDeadlineExceeded = txn.ErrDeadlineExceeded
+
 // Run executes body as a transaction, retrying transient (conflict) aborts
 // under the engine's RetryPolicy with bounded exponential backoff and full
 // jitter. Non-transient errors — user aborts, application errors, sticky
@@ -318,11 +351,26 @@ func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 		if attempt > 0 {
 			runtime.Gosched()
 			if d := pol.Delay(inner.RNG, attempt); d > 0 {
+				// Backoff is charged against the deadline budget: a sleep
+				// that would end at or past the deadline is not taken at
+				// all, because the retry it precedes could never finish in
+				// time.
+				if dl := inner.Deadline; dl != 0 {
+					if remaining := time.Duration(dl - time.Now().UnixNano()); d >= remaining {
+						return t.deadlineAbort()
+					}
+				}
 				time.Sleep(d)
 			}
 			if attempt >= pol.MaxAttempts {
 				return ErrLivelock
 			}
+		}
+		if inner.Expired() {
+			// Expired before the attempt could start (e.g. the transaction
+			// aged out while queued, or a previous attempt consumed the
+			// budget blocking on a lock).
+			return t.deadlineAbort()
 		}
 		inner.Reset()
 		e.proto.Begin(inner)
@@ -358,13 +406,25 @@ func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 			continue
 		}
 		inner.ClearPriority()
-		if errors.Is(err, txn.ErrUserAbort) {
+		switch {
+		case errors.Is(err, txn.ErrUserAbort):
 			inner.Counter.UserAborts++
-		} else {
+		case errors.Is(err, txn.ErrDeadlineExceeded):
+			inner.Counter.DeadlineAborts++
+		default:
 			inner.Counter.FatalAborts++
 		}
 		return err
 	}
+}
+
+// deadlineAbort accounts a terminal deadline abort. Any prior attempt was
+// already rolled back before the retry loop re-entered, so there is no
+// protocol state to release here.
+func (t *Tx) deadlineAbort() error {
+	t.inner.ClearPriority()
+	t.inner.Counter.DeadlineAborts++
+	return txn.ErrDeadlineExceeded
 }
 
 // commit drives the protocol commit, post-commit index maintenance, and
@@ -469,8 +529,24 @@ func (t *Tx) appendLog(procID int32, params []byte) error {
 	if err != nil {
 		return err
 	}
+	if dl := inner.Deadline; dl != 0 {
+		if werr := e.logw.WaitDurableUntil(lsn, dl); werr != nil {
+			if errors.Is(werr, wal.ErrWaitDeadline) {
+				return errDurabilityDeadline
+			}
+			return werr
+		}
+		return nil
+	}
 	return e.logw.WaitDurable(lsn)
 }
+
+// errDurabilityDeadline is the pre-built (allocation-free) error returned
+// when the deadline expires while waiting for WAL durability. The
+// transaction is committed in memory and its record stays staged, so the
+// outcome is indeterminate — it may yet become durable — which is why Run
+// still counts the commit while surfacing the deadline class to the caller.
+var errDurabilityDeadline = fmt.Errorf("core: commit durability wait: %w", txn.ErrDeadlineExceeded)
 
 // retractInserts undoes index publication for the aborted transaction's
 // inserts. Protocol state was already released by Abort (or by the failed

@@ -41,6 +41,16 @@ type Plan struct {
 	// TransientSyncProb additionally fails each Sync with this probability,
 	// drawn from the seeded RNG (still deterministic given the Plan).
 	TransientSyncProb float64
+	// StallSyncAt, when > 0, hangs the device starting at the Nth Sync call
+	// (1-based): the sync neither fails nor completes until Release is
+	// called. Unlike a crash or sticky failure, a stall is the "gray
+	// failure" a deadline must bound — the writer is healthy as far as
+	// error reporting goes, it just never comes back.
+	StallSyncAt int
+	// StallRelease, when > 0, schedules an automatic Release that long
+	// after the stall begins, so a seeded plan can model a device that
+	// freezes and recovers without test orchestration.
+	StallRelease time.Duration
 	// WriteLatency and SyncLatency delay each operation; LatencyJitter adds
 	// a seeded uniform extra in [0, LatencyJitter) on top of both.
 	WriteLatency  time.Duration
@@ -101,11 +111,13 @@ type Device struct {
 	inner wal.Device
 	plan  Plan
 
-	mu      sync.Mutex
-	rng     *xrand.RNG
-	written int64
-	syncs   int
-	crashed bool
+	mu       sync.Mutex
+	rng      *xrand.RNG
+	written  int64
+	syncs    int
+	crashed  bool
+	stallCh  chan struct{} // non-nil once a stall has begun; closed on release
+	released bool          // Release called: no further stalls
 }
 
 // NewDevice builds a chaos device over inner following plan.
@@ -137,7 +149,10 @@ func (d *Device) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Sync implements wal.Device with planned transient failures.
+// Sync implements wal.Device with planned transient failures and stalls.
+// A stalled Sync parks until Release (explicit or via Plan.StallRelease)
+// and then completes normally — the hang is invisible to error handling,
+// which is exactly what makes it dangerous to unbounded waiters.
 func (d *Device) Sync() error {
 	d.delay(d.plan.SyncLatency)
 	d.mu.Lock()
@@ -146,6 +161,23 @@ func (d *Device) Sync() error {
 		return ErrCrashed
 	}
 	d.syncs++
+	if at := d.plan.StallSyncAt; at > 0 && d.syncs >= at && !d.released {
+		if d.stallCh == nil {
+			d.stallCh = make(chan struct{})
+			if d.plan.StallRelease > 0 {
+				time.AfterFunc(d.plan.StallRelease, d.Release)
+			}
+		}
+		ch := d.stallCh
+		// Park outside the mutex so observers (Stalled, Written, Release
+		// itself) stay responsive while the device hangs.
+		d.mu.Unlock()
+		<-ch
+		d.mu.Lock()
+		if d.crashed {
+			return ErrCrashed
+		}
+	}
 	if n := d.plan.TransientSyncEvery; n > 0 && d.syncs%n == 0 {
 		return ErrTransientSync
 	}
@@ -153,6 +185,29 @@ func (d *Device) Sync() error {
 		return ErrTransientSync
 	}
 	return d.inner.Sync()
+}
+
+// Release unblocks a stalled Sync and disarms any further planned stalls.
+// Safe to call at any time, from any goroutine, more than once.
+func (d *Device) Release() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.released = true
+	if d.stallCh != nil {
+		select {
+		case <-d.stallCh:
+			// already closed
+		default:
+			close(d.stallCh)
+		}
+	}
+}
+
+// Stalled reports whether a Sync is currently parked on the stall.
+func (d *Device) Stalled() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stallCh != nil && !d.released
 }
 
 // Crashed reports whether the planned crash point has been reached.

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeviceStallAndRelease(t *testing.T) {
+	mem := &MemDevice{}
+	d := NewDevice(mem, Plan{StallSyncAt: 2})
+	if _, err := d.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	// First sync is before the planned stall.
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stalled() {
+		t.Fatal("stalled before the planned sync")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- d.Sync() }()
+	// The second sync parks: it neither fails nor completes.
+	deadline := time.Now().Add(2 * time.Second)
+	for !d.Stalled() {
+		if time.Now().After(deadline) {
+			t.Fatal("second sync never stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("stalled sync returned early: %v", err)
+	default:
+	}
+
+	// Release unblocks it and the sync completes normally — the hang was
+	// invisible to error handling.
+	d.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released sync err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sync still parked after Release")
+	}
+	if mem.Syncs() != 2 {
+		t.Fatalf("inner syncs = %d, want 2", mem.Syncs())
+	}
+
+	// Release disarms further planned stalls and is idempotent.
+	d.Release()
+	if err := d.Sync(); err != nil {
+		t.Fatalf("post-release sync err = %v", err)
+	}
+	if d.Stalled() {
+		t.Fatal("stalled after release disarmed the plan")
+	}
+}
+
+func TestDeviceStallAutoRelease(t *testing.T) {
+	d := NewDevice(&MemDevice{}, Plan{StallSyncAt: 1, StallRelease: 20 * time.Millisecond})
+	start := time.Now()
+	if err := d.Sync(); err != nil {
+		t.Fatalf("auto-released sync err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("sync returned in %v, too fast to have stalled", elapsed)
+	}
+	// The auto-release disarmed the plan: later syncs run clean.
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,11 +4,13 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"next700/internal/admission"
 	"next700/internal/core"
 	"next700/internal/stats"
 	"next700/internal/verify"
@@ -44,6 +46,35 @@ type RunOptions struct {
 	// lands in Result.Verification. Strictly opt-in: when false, no
 	// recording state exists anywhere near the engine's commit path.
 	Verify bool
+
+	// OfferedRate, when > 0, switches the run to open-loop mode: seeded
+	// Poisson arrivals are generated at this rate (txns/sec) regardless of
+	// completion rate, workers drain the arrival queue, and queue latency
+	// (arrival → execution start) is recorded separately from service
+	// latency. This is the regime where overload is measurable: a
+	// closed-loop run can never offer more than capacity.
+	OfferedRate float64
+	// Deadline, when > 0, is the enforced per-transaction deadline: from
+	// arrival in open-loop mode, from execution start in closed-loop mode.
+	// Expired transactions abort with the deadline class (engine-level
+	// waits included) instead of blocking; a worker treats the deadline
+	// abort as a per-transaction outcome, not a run failure.
+	Deadline time.Duration
+	// GoodputWindow classifies commits as goodput without enforcing
+	// anything: a commit whose arrival → completion time exceeds the
+	// window counts as late, not good. Defaults to Deadline. Setting only
+	// GoodputWindow measures how an unprotected engine's output decays
+	// under overload — the baseline the admission rows are judged against.
+	// When both are set, the window classifies and the (typically tighter)
+	// deadline enforces: under sustained overload a FIFO queue serves
+	// entries right at the age-out edge, so an engine enforcing the SLO
+	// itself as the deadline commits mostly just-late work; enforcing at a
+	// fraction of the SLO leaves the survivors headroom to land inside it.
+	GoodputWindow time.Duration
+	// Admission, when non-nil, gates every transaction through an
+	// admission controller built from this config; rejected transactions
+	// count as ShedAborts and never touch the engine.
+	Admission *admission.Config
 }
 
 // Result is one measurement row.
@@ -58,10 +89,39 @@ type Result struct {
 	Aborts      uint64
 	UserAborts  uint64
 	FatalAborts uint64
-	Waits       uint64
-	Tps         float64
-	AbortRate   float64
-	Latency     stats.Summary
+	// DeadlineAborts counts transactions terminated by deadline expiry
+	// (queued past the deadline, blocked past it, or out of retry budget);
+	// ShedAborts counts admission-control rejections. Both are terminal
+	// and never touched — or immediately released — engine state.
+	DeadlineAborts uint64
+	ShedAborts     uint64
+	Waits          uint64
+	Tps            float64
+	AbortRate      float64
+	Latency        stats.Summary
+
+	// Open-loop fields, set when RunOptions.OfferedRate > 0.
+	//
+	// Offered is the configured arrival rate; Arrivals the transactions
+	// actually generated; Backlog the arrivals never picked up before the
+	// window closed (plus any dropped on a full arrival queue).
+	Offered  float64
+	Arrivals uint64
+	Backlog  uint64
+	// Goodput is commits completing within the goodput window per second
+	// (== Tps when no window is configured); LateCommits are commits that
+	// finished but missed the window.
+	Goodput     float64
+	LateCommits uint64
+	// QueueLatency is arrival → execution start for executed transactions;
+	// E2ELatency is arrival → completion for committed ones. Service
+	// latency stays in Latency.
+	QueueLatency stats.Summary
+	E2ELatency   stats.Summary
+	// AdmissionLimit is the controller's concurrency limit at the end of
+	// the run (0 = no controller) — under AIMD this is the operating point
+	// the controller converged to.
+	AdmissionLimit int
 	// AllocsPerTxn / BytesPerTxn are heap allocations and bytes per
 	// committed transaction across the whole process during the measurement
 	// window (set only when RunOptions.MeasureAllocs is on). Aborted
@@ -113,7 +173,12 @@ func Run(cfg core.Config, wl workload.Workload, opts RunOptions) (Result, error)
 	if err := wl.Setup(e); err != nil {
 		return Result{}, err
 	}
-	res, err := drive(e, wl, opts)
+	var res Result
+	if opts.OfferedRate > 0 {
+		res, err = driveOpen(e, wl, opts)
+	} else {
+		res, err = drive(e, wl, opts)
+	}
 	res.Protocol = e.Protocol()
 	res.Workload = wl.Name()
 	if err == nil && hist != nil {
@@ -175,19 +240,32 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 				} else if stopped(stop) {
 					break
 				}
+				if opts.Deadline > 0 {
+					tx.SetDeadlineAfter(opts.Deadline)
+				}
 				t0 := time.Now()
 				if err := wl.RunOne(tx); err != nil {
+					if errors.Is(err, core.ErrDeadlineExceeded) {
+						// A deadline abort is a measured per-transaction
+						// outcome (already accounted by the engine), not a
+						// run failure.
+						n++
+						continue
+					}
 					outs[id].err = err
 					break
 				}
 				hist.RecordDuration(time.Since(t0))
 				n++
 			}
+			tx.ClearDeadline()
 			c := *tx.Counter()
 			c.Commits -= base.Commits
 			c.Aborts -= base.Aborts
 			c.UserAborts -= base.UserAborts
 			c.FatalAborts -= base.FatalAborts
+			c.DeadlineAborts -= base.DeadlineAborts
+			c.ShedAborts -= base.ShedAborts
 			c.Reads -= base.Reads
 			c.Writes -= base.Writes
 			c.Inserts -= base.Inserts
@@ -228,16 +306,19 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 		}
 	}
 	res := Result{
-		Threads:     threads,
-		Elapsed:     elapsed,
-		Commits:     total.Commits,
-		Aborts:      total.Aborts,
-		UserAborts:  total.UserAborts,
-		FatalAborts: total.FatalAborts,
-		Waits:       total.Waits,
-		Tps:         float64(total.Commits) / elapsed.Seconds(),
-		AbortRate:   total.AbortRate(),
-		Latency:     hist.Summarize(),
+		Threads:        threads,
+		Elapsed:        elapsed,
+		Commits:        total.Commits,
+		Aborts:         total.Aborts,
+		UserAborts:     total.UserAborts,
+		FatalAborts:    total.FatalAborts,
+		DeadlineAborts: total.DeadlineAborts,
+		ShedAborts:     total.ShedAborts,
+		Waits:          total.Waits,
+		Tps:            float64(total.Commits) / elapsed.Seconds(),
+		Goodput:        float64(total.Commits) / elapsed.Seconds(),
+		AbortRate:      total.AbortRate(),
+		Latency:        hist.Summarize(),
 	}
 	if opts.MeasureAllocs && total.Commits > 0 {
 		res.AllocsPerTxn = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total.Commits)

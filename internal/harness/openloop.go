@@ -1,0 +1,241 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"next700/internal/admission"
+	"next700/internal/core"
+	"next700/internal/stats"
+	"next700/internal/workload"
+	"next700/internal/xrand"
+)
+
+// maxArrivalQueue bounds the arrival channel: past this many undrained
+// arrivals the generator counts drops into the backlog instead of buffering
+// — the run is already deep in collapse territory by then and the exact
+// queue contents no longer change the story.
+const maxArrivalQueue = 1 << 20
+
+// driveOpen is the open-loop counterpart of drive: a seeded Poisson
+// generator offers transactions at opts.OfferedRate regardless of how fast
+// they complete, workers drain the arrival queue, and queue latency is
+// recorded separately from service latency. Closed-loop measurement caps
+// offered load at capacity by construction; this mode is what makes
+// overload — goodput, shedding, latency collapse — observable at all.
+func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error) {
+	threads := opts.Threads
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	// The goodput window classifies, the deadline enforces. When only a
+	// deadline is set it plays both roles; when both are set the deadline is
+	// typically tighter (enforce early, leave SLO headroom for the work that
+	// survives).
+	budget := opts.GoodputWindow
+	if budget == 0 {
+		budget = opts.Deadline
+	}
+	var ctrl *admission.Controller
+	if opts.Admission != nil {
+		ctrl = admission.New(*opts.Admission)
+	}
+
+	type workerOut struct {
+		counter         stats.Counter
+		svc, queue, e2e *stats.Histogram
+		good, late      uint64
+		err             error
+	}
+	outs := make([]workerOut, threads)
+
+	qcap := int(opts.OfferedRate*opts.Duration.Seconds()*1.25) + 1024
+	if qcap > maxArrivalQueue {
+		qcap = maxArrivalQueue
+	}
+	arrivals := make(chan int64, qcap)
+	stop := make(chan struct{})
+
+	var warm sync.WaitGroup
+	warm.Add(threads)
+	begin := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := e.NewTx(id, opts.Seed*1_000_003+uint64(id)+1)
+			out := &outs[id]
+			out.svc, out.queue, out.e2e = stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
+			for w := 0; w < opts.WarmupTxns; w++ {
+				if err := wl.RunOne(tx); err != nil {
+					out.err = err
+					warm.Done()
+					return
+				}
+			}
+			warm.Done()
+			<-begin
+			base := *tx.Counter()
+			ctr := tx.Counter()
+		loop:
+			for {
+				var a int64
+				select {
+				case <-stop:
+					break loop
+				case got, ok := <-arrivals:
+					if !ok {
+						break loop
+					}
+					a = got
+				}
+				start := time.Now().UnixNano()
+				var dl int64
+				if opts.Deadline > 0 {
+					dl = a + int64(opts.Deadline)
+					if start >= dl {
+						// Aged out while queued: shed for free, before the
+						// engine sees it.
+						ctr.DeadlineAborts++
+						continue
+					}
+				}
+				tx.SetDeadlineNanos(dl)
+				if ctrl != nil {
+					if err := ctrl.Acquire(dl); err != nil {
+						ctr.ShedAborts++
+						continue
+					}
+				}
+				out.queue.Record(time.Now().UnixNano() - a)
+				commitsBefore := ctr.Commits
+				t0 := time.Now()
+				err := wl.RunOne(tx)
+				svc := time.Since(t0)
+				if ctrl != nil {
+					ctrl.Release(svc)
+				}
+				if err != nil && !errors.Is(err, core.ErrDeadlineExceeded) {
+					out.err = err
+					break loop
+				}
+				if ctr.Commits > commitsBefore {
+					out.svc.RecordDuration(svc)
+					e2e := time.Now().UnixNano() - a
+					out.e2e.Record(e2e)
+					if budget > 0 && e2e > int64(budget) {
+						out.late++
+					} else {
+						out.good++
+					}
+				}
+			}
+			tx.ClearDeadline()
+			c := *tx.Counter()
+			c.Commits -= base.Commits
+			c.Aborts -= base.Aborts
+			c.UserAborts -= base.UserAborts
+			c.FatalAborts -= base.FatalAborts
+			c.DeadlineAborts -= base.DeadlineAborts
+			c.ShedAborts -= base.ShedAborts
+			c.Reads -= base.Reads
+			c.Writes -= base.Writes
+			c.Inserts -= base.Inserts
+			c.Deletes -= base.Deletes
+			c.Scans -= base.Scans
+			c.Waits -= base.Waits
+			out.counter = c
+		}(i)
+	}
+	warm.Wait()
+	start := time.Now()
+	close(begin)
+
+	// The arrival generator: exponential inter-arrival times from a seeded
+	// RNG make the offered process Poisson and the run replayable. Sleeps
+	// under ~2ms are skipped (the OS timer would oversleep them), so high
+	// rates arrive in millisecond-scale bursts — far below the latency
+	// scales being measured.
+	var generated, dropped uint64
+	genDone := make(chan struct{})
+	genRNG := xrand.New(opts.Seed*9_176_867 + 0xfeed)
+	go func() {
+		defer close(genDone)
+		defer close(arrivals)
+		next := time.Now()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := genRNG.Float64()
+			if u > 0.999999 {
+				u = 0.999999
+			}
+			next = next.Add(time.Duration(-math.Log(1-u) / opts.OfferedRate * float64(time.Second)))
+			if d := time.Until(next); d > 2*time.Millisecond {
+				select {
+				case <-stop:
+					return
+				case <-time.After(d):
+				}
+			}
+			generated++
+			select {
+			case arrivals <- next.UnixNano():
+			default:
+				dropped++
+			}
+		}
+	}()
+	time.AfterFunc(opts.Duration, func() { close(stop) })
+	<-genDone
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total stats.Counter
+	svcH, queueH, e2eH := stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
+	var good, late uint64
+	var firstErr error
+	for i := range outs {
+		total.Add(&outs[i].counter)
+		svcH.Merge(outs[i].svc)
+		queueH.Merge(outs[i].queue)
+		e2eH.Merge(outs[i].e2e)
+		good += outs[i].good
+		late += outs[i].late
+		if outs[i].err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("worker %d: %w", i, outs[i].err)
+		}
+	}
+	res := Result{
+		Threads:        threads,
+		Elapsed:        elapsed,
+		Commits:        total.Commits,
+		Aborts:         total.Aborts,
+		UserAborts:     total.UserAborts,
+		FatalAborts:    total.FatalAborts,
+		DeadlineAborts: total.DeadlineAborts,
+		ShedAborts:     total.ShedAborts,
+		Waits:          total.Waits,
+		Tps:            float64(total.Commits) / elapsed.Seconds(),
+		AbortRate:      total.AbortRate(),
+		Latency:        svcH.Summarize(),
+		Offered:        opts.OfferedRate,
+		Arrivals:       generated,
+		Backlog:        uint64(len(arrivals)) + dropped,
+		Goodput:        float64(good) / elapsed.Seconds(),
+		LateCommits:    late,
+		QueueLatency:   queueH.Summarize(),
+		E2ELatency:     e2eH.Summarize(),
+	}
+	if ctrl != nil {
+		res.AdmissionLimit = ctrl.Limit()
+	}
+	return res, firstErr
+}

@@ -232,7 +232,14 @@ type Counter struct {
 	Aborts      uint64
 	UserAborts  uint64 // aborts requested by the transaction body itself
 	FatalAborts uint64 // non-retryable failures surfaced through Run (log death, application errors)
-	Reads       uint64
+	// DeadlineAborts counts transactions terminated because their deadline
+	// expired — while queued, blocked on a lock or durability wait, or in
+	// retry backoff — without committing.
+	DeadlineAborts uint64
+	// ShedAborts counts transactions rejected by admission control before
+	// execution (queue-deadline or concurrency-limit shedding).
+	ShedAborts uint64
+	Reads      uint64
 	Writes      uint64
 	Inserts     uint64
 	Deletes     uint64
@@ -246,6 +253,8 @@ func (c *Counter) Add(other *Counter) {
 	c.Aborts += other.Aborts
 	c.UserAborts += other.UserAborts
 	c.FatalAborts += other.FatalAborts
+	c.DeadlineAborts += other.DeadlineAborts
+	c.ShedAborts += other.ShedAborts
 	c.Reads += other.Reads
 	c.Writes += other.Writes
 	c.Inserts += other.Inserts

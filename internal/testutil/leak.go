@@ -1,0 +1,54 @@
+// Package testutil holds shared test helpers. It must only be imported
+// from _test files.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and returns a function to
+// defer: it fails the test if, after a grace period, more goroutines are
+// alive than at the snapshot. Use it around engine/writer lifecycles to
+// prove that expired waiters and closed flushers do not stay parked on a
+// cond or channel:
+//
+//	defer testutil.CheckGoroutines(t)()
+//
+// The checker polls because legitimately finished goroutines (timer
+// callbacks, just-closed flushers) take a scheduler beat to unwind; only a
+// count still elevated after ~2s is a leak.
+func CheckGoroutines(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if after > before {
+			t.Errorf("goroutine leak: %d before, %d after\n%s",
+				before, after, stacks())
+		}
+	}
+}
+
+// stacks dumps all goroutine stacks, trimmed to keep failure output
+// readable.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	s := string(buf[:n])
+	if i := strings.Index(s, "\n\ngoroutine"); i > 0 && len(s) > 16*1024 {
+		s = s[:16*1024] + "\n... (truncated)"
+	}
+	return s
+}

@@ -12,6 +12,7 @@ package txn
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"next700/internal/stats"
 	"next700/internal/storage"
@@ -30,6 +31,11 @@ var ErrUserAbort = errors.New("txn: aborted by user")
 // ErrNotFound is returned by reads of keys that do not exist. It is not
 // retried.
 var ErrNotFound = errors.New("txn: key not found")
+
+// ErrDeadlineExceeded is returned when a transaction's deadline expires
+// while it is blocked (lock wait, durability wait, retry backoff) or before
+// an attempt can start. It is terminal: retrying cannot recover the budget.
+var ErrDeadlineExceeded = errors.New("txn: deadline exceeded")
 
 // ErrDuplicate is returned by inserts of keys that already exist. It is not
 // retried.
@@ -97,6 +103,13 @@ type Txn struct {
 	ThreadID int
 	// Epoch is the Silo epoch observed at Begin.
 	Epoch uint64
+	// Deadline is the absolute wall-clock deadline in Unix nanoseconds
+	// (0 = none). It survives Reset so every retry of the same logical
+	// transaction charges against one budget; protocols consult it before
+	// blocking and the engine's retry loop charges backoff sleeps to it.
+	// A plain int64 rather than a context.Context keeps the hot path
+	// allocation- and interface-free.
+	Deadline int64
 
 	// Accesses is the ordered access set.
 	Accesses []Access
@@ -138,6 +151,13 @@ func (t *Txn) Reset() {
 // ClearPriority forgets the wait-die age stamp; the next Begin assigns a
 // fresh one.
 func (t *Txn) ClearPriority() { t.Priority = 0 }
+
+// Expired reports whether the transaction's deadline has passed. The clock
+// is read only when a deadline is set, so deadline-free transactions pay a
+// single predictable branch.
+func (t *Txn) Expired() bool {
+	return t.Deadline != 0 && time.Now().UnixNano() >= t.Deadline
+}
 
 // Buf bump-allocates n bytes from the descriptor arena, growing it if
 // needed. The memory is valid until Reset.

@@ -273,13 +273,52 @@ func (w *Writer) Append(rec []byte) (uint64, error) {
 // that wait is the group-commit latency the window trades for sync
 // amortization; in immediate mode (window 0) the flusher is kicked.
 func (w *Writer) WaitDurable(lsn uint64) error {
+	return w.waitDurable(lsn, 0)
+}
+
+// ErrWaitDeadline is returned by WaitDurableUntil when the deadline passes
+// before the record becomes durable. The record stays staged: it may still
+// reach the device later, so the caller's outcome is indeterminate (the
+// classic commit-wait timeout), but the caller is never stranded on a
+// stalled — as opposed to poisoned — device.
+var ErrWaitDeadline = errors.New("wal: durability wait deadline exceeded")
+
+// WaitDurableUntil is WaitDurable bounded by an absolute deadline in Unix
+// nanoseconds (0 means wait forever). A timer broadcast wakes the waiter
+// even when the device is hung mid-Sync and the flusher can make no
+// progress.
+func (w *Writer) WaitDurableUntil(lsn uint64, deadline int64) error {
+	return w.waitDurable(lsn, deadline)
+}
+
+func (w *Writer) waitDurable(lsn uint64, deadline int64) error {
+	var timer *time.Timer
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for w.durable < lsn && w.err == nil && !w.closed {
+		if deadline != 0 {
+			remaining := deadline - time.Now().UnixNano()
+			if remaining <= 0 {
+				if timer != nil {
+					timer.Stop()
+				}
+				return ErrWaitDeadline
+			}
+			if timer == nil {
+				timer = time.AfterFunc(time.Duration(remaining), func() {
+					w.mu.Lock()
+					w.cond.Broadcast()
+					w.mu.Unlock()
+				})
+			}
+		}
 		if w.window == 0 {
 			w.kick()
 		}
 		w.cond.Wait()
+	}
+	if timer != nil {
+		timer.Stop()
 	}
 	if w.durable >= lsn {
 		// The record made it to the device; a later failure does not

@@ -112,6 +112,11 @@ var (
 	// ErrConflict is the retryable serialization failure (normally handled
 	// internally by Tx.Run).
 	ErrConflict = txn.ErrConflict
+	// ErrDeadlineExceeded is the terminal deadline abort class returned by
+	// Tx.Run when a transaction's deadline (Tx.SetDeadline and friends)
+	// expires while queued, blocked on a lock, backing off between
+	// retries, or waiting for log durability.
+	ErrDeadlineExceeded = txn.ErrDeadlineExceeded
 )
 
 // Core data types, re-exported from the engine kernel.
