@@ -41,6 +41,19 @@ type overloadRow struct {
 	QueueP99Ms     float64 `json:"queue_p99_ms,omitempty"`
 	E2EP99Ms       float64 `json:"e2e_p99_ms,omitempty"`
 	AdmissionLimit int     `json:"admission_limit,omitempty"`
+	// AdmissionTimeline is the per-window controller trace for protected
+	// rows: how the AIMD limit, the latency EWMA, and the shed rate moved
+	// over the run (harness.Result.AdmissionTimeline in report form).
+	AdmissionTimeline []admissionPoint `json:"admission_timeline,omitempty"`
+}
+
+// admissionPoint is one admission-timeline sample in report form.
+type admissionPoint struct {
+	OffsetMs float64 `json:"offset_ms"`
+	Limit    int     `json:"limit"`
+	InFlight int     `json:"in_flight"`
+	EWMAMs   float64 `json:"ewma_ms"`
+	ShedRate float64 `json:"shed_rate"`
 }
 
 // overloadReport is the full sweep, written as one JSON document.
@@ -142,20 +155,31 @@ func runOverload(cfg core.Config, template workload.Workload, o overloadOpts) {
 }
 
 func sweepRow(mode string, mult, rate, peakTps float64, res harness.Result) overloadRow {
+	var tl []admissionPoint
+	for _, s := range res.AdmissionTimeline {
+		tl = append(tl, admissionPoint{
+			OffsetMs: float64(s.Offset) / float64(time.Millisecond),
+			Limit:    s.Limit,
+			InFlight: s.InFlight,
+			EWMAMs:   float64(s.LatencyEWMA) / float64(time.Millisecond),
+			ShedRate: s.ShedRate,
+		})
+	}
 	return overloadRow{
-		Mode:           mode,
-		Multiplier:     mult,
-		OfferedTps:     rate,
-		Tps:            res.Tps,
-		GoodputTps:     res.Goodput,
-		GoodputVsPeak:  res.Goodput / peakTps,
-		LateCommits:    res.LateCommits,
-		DeadlineAborts: res.DeadlineAborts,
-		ShedAborts:     res.ShedAborts,
-		Backlog:        res.Backlog,
-		QueueP99Ms:     float64(res.QueueLatency.P99) / float64(time.Millisecond),
-		E2EP99Ms:       float64(res.E2ELatency.P99) / float64(time.Millisecond),
-		AdmissionLimit: res.AdmissionLimit,
+		Mode:              mode,
+		Multiplier:        mult,
+		OfferedTps:        rate,
+		Tps:               res.Tps,
+		GoodputTps:        res.Goodput,
+		GoodputVsPeak:     res.Goodput / peakTps,
+		LateCommits:       res.LateCommits,
+		DeadlineAborts:    res.DeadlineAborts,
+		ShedAborts:        res.ShedAborts,
+		Backlog:           res.Backlog,
+		QueueP99Ms:        float64(res.QueueLatency.P99) / float64(time.Millisecond),
+		E2EP99Ms:          float64(res.E2ELatency.P99) / float64(time.Millisecond),
+		AdmissionLimit:    res.AdmissionLimit,
+		AdmissionTimeline: tl,
 	}
 }
 

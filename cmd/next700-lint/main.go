@@ -1,0 +1,77 @@
+// next700-lint statically enforces the engine's component contracts: the
+// zero-allocation hot path, the bounded-wait (deadline) contract, typed
+// abort classes, a cycle-free lock order, and atomic-field alignment.
+//
+// Usage:
+//
+//	go run ./cmd/next700-lint ./...
+//	go run ./cmd/next700-lint -analyzers hotpath,lockorder ./internal/cc/...
+//	go run ./cmd/next700-lint -list
+//
+// Exit status is 1 when any diagnostic is reported, 2 on usage or load
+// errors, mirroring the go/analysis multichecker convention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"next700/internal/analysis"
+)
+
+func main() {
+	var (
+		names = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list  = flag.Bool("list", false, "list analyzers and exit")
+		dir   = flag.String("C", ".", "directory to resolve patterns in (the module root)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: next700-lint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := analysis.All()
+	if *names != "" {
+		suite = suite[:0]
+		for _, name := range strings.Split(*names, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "next700-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	prog, err := analysis.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "next700-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := prog.Run(suite...)
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "next700-lint:", err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "next700-lint: %d issue(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// AbortClassAnalyzer enforces the typed abort-class taxonomy: inside the
+// engine packages (internal/cc, internal/wal, internal/core, internal/txn,
+// internal/admission), errors minted inside function bodies must be
+// classifiable — a caller has to be able to errors.Is them against a class
+// sentinel (txn.ErrConflict, txn.ErrDeadlineExceeded, admission.ErrShed,
+// wal.ErrLogFailed, ...) or classify them via fault.IsTransient. Flagged:
+//
+//   - errors.New inside a function body (an anonymous one-off error no
+//     caller can classify; hoist it to a package-level sentinel — that IS
+//     the class — or wrap an existing class)
+//   - fmt.Errorf whose format string carries no %w verb (context without a
+//     wrapped class strips classifiability)
+//
+// Package-level `var ErrX = errors.New(...)` declarations are the classes
+// themselves and are never flagged. Escape hatch:
+// //next700:allowabort(reason) on the function or line, for config-time
+// validation errors that no abort path ever sees.
+var AbortClassAnalyzer = &Analyzer{
+	Name: "abortclass",
+	Doc:  "errors minted on engine abort paths must be typed classes or wrap one",
+	Run:  runAbortClass,
+}
+
+var abortClassScope = []string{
+	"internal/cc", "internal/wal", "internal/core", "internal/txn", "internal/admission",
+}
+
+func runAbortClass(pass *Pass) error {
+	prog := pass.Prog
+	ann := prog.Annotations()
+	for _, node := range prog.Graph().Nodes {
+		if !inScope(prog, node.Pkg, abortClassScope) {
+			continue
+		}
+		if node.Obj != nil && ann.FuncHas(node.Obj, "allowabort") {
+			continue
+		}
+		body := node.Body()
+		if body == nil {
+			continue
+		}
+		info := node.Pkg.Info
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n != node.Lit {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			if ann.LineHas(prog.Fset, call.Pos(), "allowabort") {
+				return true
+			}
+			switch fn.Origin().FullName() {
+			case "errors.New":
+				pass.Reportf(call.Pos(), "unclassified error: errors.New inside a function body cannot be matched by callers; hoist to a package-level sentinel class or wrap a class with fmt.Errorf(\"...: %%w\", ErrX)")
+			case "fmt.Errorf":
+				if !errorfWrapsClass(info, call) {
+					pass.Reportf(call.Pos(), "unclassified abort error: fmt.Errorf without %%w strips the abort class; wrap a typed class sentinel")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorfWrapsClass reports whether the fmt.Errorf call's format string
+// contains a %w verb (so the produced error wraps — and remains
+// classifiable as — one of its argument errors). Non-constant format
+// strings are given the benefit of the doubt.
+func errorfWrapsClass(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return true
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%w")
+}

@@ -1,0 +1,150 @@
+// Package analysis is the static-analysis counterpart of the engine's
+// runtime gates: a small suite of whole-program analyzers that enforce, at
+// lint time, the contracts every pluggable component must obey — the
+// allocation-free commit hot path (bench/alloc_test.go checks it at
+// runtime; the hotpath analyzer proves it over the call graph), the
+// bounded-wait contract from the overload work (every blocking site
+// deadline-aware or explicitly audited), typed abort classes, a
+// cycle-free lock-acquisition order, and atomic-field alignment.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer / Pass / Diagnostic) but is built on the standard
+// library alone: packages are enumerated with `go list -export -deps`,
+// parsed with go/parser, and type-checked with go/types against the gc
+// export data the toolchain already produced. That keeps the module free
+// of third-party dependencies while remaining a drop-in conceptual match
+// for go/analysis should the x/tools dependency ever be vendored; only
+// the `go vet -vettool` unitchecker protocol is out of scope (it requires
+// x/tools). Unlike go/analysis, a Pass here sees the whole program, not
+// one package: the hot-path and lock-order contracts are transitive
+// properties of the in-module call graph and cannot be checked
+// package-by-package without a facts store.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a loaded Program.
+type Analyzer struct {
+	// Name is the canonical analyzer name (e.g. "hotpath").
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// Run executes the check, reporting findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries a loaded program plus the reporting sink for one analyzer
+// execution.
+type Pass struct {
+	Prog *Program
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one type-checked package of the analyzed module.
+type Package struct {
+	// Path is the import path (e.g. "next700/internal/cc").
+	Path string
+	// Dir is the on-disk package directory.
+	Dir string
+	// Files are the parsed compiled Go files (tests excluded).
+	Files []*ast.File
+	// Types and Info are the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded, type-checked module (or a filtered subset of its
+// packages) plus the shared artifacts analyzers draw on: the annotation
+// index and the lazily built call graph.
+type Program struct {
+	Fset *token.FileSet
+	// ModulePath is the module path of the analyzed tree (annotation scopes
+	// and abort-class identities are expressed relative to it).
+	ModulePath string
+	Packages   []*Package
+
+	ann   *Annotations
+	graph *CallGraph
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package {
+	for _, pkg := range p.Packages {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers in order over the program and returns all
+// diagnostics sorted by position. Annotation-grammar problems are surfaced
+// under the analyzer that owns the offending verb, but only when that
+// analyzer is part of this run (so a corpus for one analyzer is not
+// polluted by another's annotation diagnostics).
+func (p *Program) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Prog: p, analyzer: a, diags: &diags}
+		for _, prob := range p.Annotations().Problems {
+			if prob.Analyzer == a.Name {
+				diags = append(diags, prob)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// All returns the full analyzer suite in presentation order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotPathAnalyzer,
+		BoundedWaitAnalyzer,
+		AbortClassAnalyzer,
+		LockOrderAnalyzer,
+		AtomicAlignAnalyzer,
+	}
+}
+
+// ByName resolves an analyzer from the suite, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

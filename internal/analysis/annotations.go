@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The annotation grammar. Every directive is a line comment of the form
+//
+//	//next700:verb            (marker verbs)
+//	//next700:verb(args)      (verbs carrying a reason or parameter)
+//
+// attached either to a declaration (in its doc comment — applies to the whole
+// function or type) or to a statement (same line or the line immediately
+// above — applies to that line only). Verbs:
+//
+//	hotpath             — this function must not allocate, transitively.
+//	allowalloc(reason)  — audited allocation; suppresses hotpath findings
+//	                      for the annotated function or line.
+//	allowwait(reason)   — audited unbounded wait; suppresses boundedwait.
+//	allowabort(reason)  — audited unclassified error; suppresses abortclass.
+//	lockorder(ordered)  — acquisitions in this function are internally
+//	                      ordered (e.g. by sorted partition index); the
+//	                      lockorder analyzer skips its self-edges.
+//	cachepad(N)         — this type is cache-line padded to N bytes;
+//	                      atomicalign checks the claim instead of guessing.
+//
+// Reasons are mandatory for the allow* verbs: an escape hatch without an
+// audit trail is how contracts rot.
+const annotationPrefix = "//next700:"
+
+// Directive verbs and the analyzer that owns each (annotation-grammar
+// problems are reported under the owner).
+var verbOwner = map[string]string{
+	"hotpath":    "hotpath",
+	"allowalloc": "hotpath",
+	"allowwait":  "boundedwait",
+	"allowabort": "abortclass",
+	"lockorder":  "lockorder",
+	"cachepad":   "atomicalign",
+}
+
+// verbsNeedingArgs lists verbs whose parenthesized argument is required.
+var verbsNeedingArgs = map[string]bool{
+	"allowalloc": true,
+	"allowwait":  true,
+	"allowabort": true,
+	"lockorder":  true,
+	"cachepad":   true,
+}
+
+var directiveRE = regexp.MustCompile(`^//next700:([a-z]+)(?:\((.*)\))?\s*$`)
+
+// Directive is one parsed //next700: annotation.
+type Directive struct {
+	Verb string
+	// Arg is the parenthesized argument (reason text, padding size, ...).
+	Arg string
+	Pos token.Pos
+}
+
+// Annotations indexes every //next700: directive in the program three ways:
+// by annotated function, by annotated type, and by source line (for
+// statement-level escapes).
+type Annotations struct {
+	// Funcs maps a function's types.Func (Origin) to its doc directives.
+	Funcs map[*types.Func][]Directive
+	// FuncDecls maps the declaring ast.FuncDecl to the same directives
+	// (used when resolving bodies back to annotations without re-deriving
+	// the object).
+	FuncDecls map[*ast.FuncDecl][]Directive
+	// Types maps a named type's object to its doc directives.
+	Types map[types.Object][]Directive
+	// Lines maps "file:line" to directives that apply to that source line.
+	// A directive on its own line applies to the following line as well.
+	Lines map[string][]Directive
+	// Problems are grammar violations (unknown verb, missing reason),
+	// attributed to the owning analyzer.
+	Problems []Diagnostic
+}
+
+// Annotations parses (once) and returns the program's annotation index.
+func (p *Program) Annotations() *Annotations {
+	if p.ann != nil {
+		return p.ann
+	}
+	ann := &Annotations{
+		Funcs:     make(map[*types.Func][]Directive),
+		FuncDecls: make(map[*ast.FuncDecl][]Directive),
+		Types:     make(map[types.Object][]Directive),
+		Lines:     make(map[string][]Directive),
+	}
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ann.indexFile(p.Fset, pkg, file)
+		}
+	}
+	p.ann = ann
+	return ann
+}
+
+func (a *Annotations) indexFile(fset *token.FileSet, pkg *Package, file *ast.File) {
+	// Declaration-level directives live in doc comments.
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			dirs := a.parseGroup(d.Doc)
+			if len(dirs) == 0 {
+				continue
+			}
+			a.FuncDecls[d] = dirs
+			if obj, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+				a.Funcs[obj.Origin()] = dirs
+			}
+		case *ast.GenDecl:
+			// A doc comment on the GenDecl applies to a sole spec; per-spec
+			// docs win when present.
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(d.Specs) == 1 {
+					doc = d.Doc
+				}
+				dirs := a.parseGroup(doc)
+				if len(dirs) == 0 {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[ts.Name]; ok {
+					a.Types[obj] = dirs
+				}
+			}
+		}
+	}
+	// Line-level directives: every comment anywhere in the file, indexed by
+	// its own line and the next (a trailing comment annotates its line; a
+	// standalone comment annotates the statement below it).
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			dir, ok := a.parseOne(c)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				key := lineKey(pos.Filename, line)
+				a.Lines[key] = append(a.Lines[key], dir)
+			}
+		}
+	}
+}
+
+func (a *Annotations) parseGroup(doc *ast.CommentGroup) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var dirs []Directive
+	for _, c := range doc.List {
+		if dir, ok := a.parseOne(c); ok {
+			dirs = append(dirs, dir)
+		}
+	}
+	return dirs
+}
+
+func (a *Annotations) parseOne(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, annotationPrefix) {
+		return Directive{}, false
+	}
+	m := directiveRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		a.Problems = append(a.Problems, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: "hotpath",
+			Message:  "malformed next700 directive: want //next700:verb or //next700:verb(args)",
+		})
+		return Directive{}, false
+	}
+	verb, arg := m[1], strings.TrimSpace(m[2])
+	owner, known := verbOwner[verb]
+	if !known {
+		a.Problems = append(a.Problems, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: "hotpath",
+			Message:  "unknown next700 directive verb " + strconv.Quote(verb),
+		})
+		return Directive{}, false
+	}
+	if verbsNeedingArgs[verb] && arg == "" {
+		a.Problems = append(a.Problems, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: owner,
+			Message:  "next700:" + verb + " requires a reason argument: //next700:" + verb + "(why this is safe)",
+		})
+		return Directive{}, false
+	}
+	return Directive{Verb: verb, Arg: arg, Pos: c.Pos()}, true
+}
+
+func lineKey(filename string, line int) string {
+	return filename + ":" + strconv.Itoa(line)
+}
+
+// FuncHas reports whether fn (by Origin) carries a directive with verb.
+func (a *Annotations) FuncHas(fn *types.Func, verb string) bool {
+	if fn == nil {
+		return false
+	}
+	for _, d := range a.Funcs[fn.Origin()] {
+		if d.Verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// DeclHas reports whether the declaration carries a directive with verb.
+func (a *Annotations) DeclHas(decl *ast.FuncDecl, verb string) bool {
+	for _, d := range a.FuncDecls[decl] {
+		if d.Verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// LineHas reports whether the source line of pos carries a directive with
+// verb (same line or the line above).
+func (a *Annotations) LineHas(fset *token.FileSet, pos token.Pos, verb string) bool {
+	p := fset.Position(pos)
+	for _, d := range a.Lines[lineKey(p.Filename, p.Line)] {
+		if d.Verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeDirective returns the first directive with verb on the named type's
+// object, if any.
+func (a *Annotations) TypeDirective(obj types.Object, verb string) (Directive, bool) {
+	for _, d := range a.Types[obj] {
+		if d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AtomicAlignAnalyzer enforces two layout contracts on shared counters:
+//
+//  1. Any struct field passed by address to a 64-bit sync/atomic operation
+//     (atomic.AddUint64(&s.f, ...) and friends) must be 64-bit-aligned on
+//     32-bit platforms, where Go only guarantees 4-byte struct alignment —
+//     misalignment panics at runtime there (the condition staticcheck
+//     SA1027 describes). Offsets are computed under GOARCH=386 sizes.
+//     Fields of the atomic.Int64/Uint64 wrapper types are always safe (the
+//     runtime aligns them) and never flagged.
+//
+//  2. Struct types used as slice elements while containing atomically
+//     accessed fields are adjacent in memory and will false-share cache
+//     lines between workers (the stats.CounterSet lesson). Such types must
+//     be padded and annotated //next700:cachepad(N); the analyzer then
+//     checks the claim — sizeof(T) must be a multiple of N — instead of
+//     trusting it.
+var AtomicAlignAnalyzer = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "atomic fields must be 64-bit aligned; atomic slice elements cache-line padded",
+	Run:  runAtomicAlign,
+}
+
+// atomic64Ops are the sync/atomic functions taking a *int64/*uint64 whose
+// pointee must be 8-byte aligned.
+var atomic64Ops = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+func runAtomicAlign(pass *Pass) error {
+	prog := pass.Prog
+	ann := prog.Annotations()
+
+	// 32-bit sizes expose the alignment hazard; 64-bit platforms align
+	// every word to 8 bytes anyway.
+	sizes32 := types.SizesFor("gc", "386")
+	sizes64 := types.SizesFor("gc", "amd64")
+
+	// Step 1: find every struct field whose address flows into a 64-bit
+	// atomic op, and every named struct type containing atomic-accessed
+	// fields (any width) for the false-sharing check.
+	type fieldUse struct {
+		field *types.Var
+		pos   ast.Expr
+	}
+	var uses []fieldUse
+	atomicOwner := make(map[*types.Named]bool)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			info := pkg.Info
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					s := info.Selections[sel]
+					if s == nil || s.Kind() != types.FieldVal {
+						continue
+					}
+					field, ok := s.Obj().(*types.Var)
+					if !ok {
+						continue
+					}
+					if owner := namedRecv(s.Recv()); owner != nil {
+						atomicOwner[owner] = true
+					}
+					if atomic64Ops[fn.Name()] {
+						uses = append(uses, fieldUse{field, sel})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Step 2: alignment check per 64-bit-accessed field under 32-bit sizes.
+	reportedField := make(map[*types.Var]bool)
+	for _, u := range uses {
+		if reportedField[u.field] {
+			continue
+		}
+		st, idx := owningStruct(prog, u.field)
+		if st == nil {
+			continue
+		}
+		off := fieldOffset(sizes32, st, idx)
+		if off < 0 || off%8 == 0 {
+			continue
+		}
+		reportedField[u.field] = true
+		pass.Reportf(u.field.Pos(),
+			"atomic 64-bit field %s is at offset %d under 32-bit alignment rules; move it to the front of the struct or pad so the offset is a multiple of 8 (or use atomic.Int64/Uint64)",
+			u.field.Name(), off)
+	}
+
+	// Step 3: cachepad claims + false-sharing heuristic. Collect named
+	// struct types used as direct slice element types anywhere in the
+	// program.
+	sliceElems := make(map[*types.Named]ast.Expr)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			info := pkg.Info
+			ast.Inspect(file, func(n ast.Node) bool {
+				at, ok := n.(*ast.ArrayType)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[at.Elt]
+				if !ok {
+					return true
+				}
+				if named, ok := tv.Type.(*types.Named); ok {
+					if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+						if _, seen := sliceElems[named]; !seen {
+							sliceElems[named] = at.Elt
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for named, site := range sliceElems {
+		// Does this element type (or an embedded field) own atomic fields?
+		if !containsAtomicOwner(named, atomicOwner) {
+			continue
+		}
+		if _, padded := ann.TypeDirective(named.Obj(), "cachepad"); !padded {
+			pass.Reportf(site.Pos(),
+				"type %s has atomically accessed fields and is a slice element: adjacent instances false-share cache lines; pad it and annotate //next700:cachepad(N)",
+				named.Obj().Name())
+		}
+	}
+
+	// Every cachepad claim is verified, whether or not the heuristic above
+	// demanded it — an annotation that drifts from the actual layout is
+	// worse than none.
+	for obj, dirs := range ann.Types {
+		for _, dir := range dirs {
+			if dir.Verb != "cachepad" {
+				continue
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(dir.Arg))
+			if err != nil || n <= 0 {
+				pass.Reportf(dir.Pos, "next700:cachepad argument must be a positive byte count, got %q", dir.Arg)
+				continue
+			}
+			sz := sizes64.Sizeof(obj.Type().Underlying())
+			if sz%int64(n) != 0 {
+				pass.Reportf(obj.Pos(),
+					"type %s claims //next700:cachepad(%d) but sizeof is %d (not a multiple of %d); fix the padding array",
+					obj.Name(), n, sz, n)
+			}
+		}
+	}
+	return nil
+}
+
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// containsAtomicOwner reports whether named (or a struct-typed field of it,
+// embedded or not) is in the atomic-owner set — atomic.CounterSet wraps
+// paddedCounter wraps Counter, and the atomic ops name Counter.
+func containsAtomicOwner(named *types.Named, owners map[*types.Named]bool) bool {
+	return containsAtomicOwnerRec(named, owners, make(map[*types.Named]bool))
+}
+
+func containsAtomicOwnerRec(named *types.Named, owners map[*types.Named]bool, seen map[*types.Named]bool) bool {
+	if seen[named] {
+		return false
+	}
+	seen[named] = true
+	if owners[named] {
+		return true
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if inner := namedRecv(ft); inner != nil {
+			if _, isStruct := inner.Underlying().(*types.Struct); isStruct {
+				if containsAtomicOwnerRec(inner, owners, seen) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// owningStruct finds the struct type declaring field and its index.
+func owningStruct(prog *Program, field *types.Var) (*types.Struct, int) {
+	for _, pkg := range prog.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == field {
+					return st, i
+				}
+			}
+		}
+	}
+	return nil, -1
+}
+
+// fieldOffset computes the byte offset of field idx in st under sizes.
+func fieldOffset(sizes types.Sizes, st *types.Struct, idx int) int64 {
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := sizes.Offsetsof(fields)
+	if idx >= len(offsets) {
+		return -1
+	}
+	return offsets[idx]
+}

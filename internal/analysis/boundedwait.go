@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BoundedWaitAnalyzer enforces the deadline contract introduced with the
+// overload work: inside internal/cc, internal/wal, and internal/core, no
+// code may wait without a bound. Flagged constructs:
+//
+//   - sync.Cond.Wait — use the deadline-aware timed variant (the 2PL
+//     waitDeadline pattern: AfterFunc broadcast + deadline re-check)
+//   - sync.(RW)Mutex.Lock / RLock calls with no matching Unlock in the same
+//     function body ("escaping" locks — these are transaction-duration
+//     acquisitions that can block behind a stalled peer indefinitely; the
+//     conformant pattern is TryLock + deadline-budgeted backoff)
+//   - bare channel receives outside select (a select with several cases or
+//     a default is a scheduling choice, not an unbounded wait)
+//
+// Escape hatch: //next700:allowwait(reason) on the function or line, for
+// audited shutdown joins and test-only paths.
+var BoundedWaitAnalyzer = &Analyzer{
+	Name: "boundedwait",
+	Doc:  "blocking waits in internal/{cc,wal,core} must be deadline-aware",
+	Run:  runBoundedWait,
+}
+
+// boundedWaitScope lists the package-path suffixes (relative to the module
+// root) the contract applies to.
+var boundedWaitScope = []string{"internal/cc", "internal/wal", "internal/core"}
+
+func inScope(prog *Program, pkg *Package, scope []string) bool {
+	rel := strings.TrimPrefix(pkg.Path, prog.ModulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	for _, s := range scope {
+		if rel == s || strings.HasPrefix(rel, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runBoundedWait(pass *Pass) error {
+	prog := pass.Prog
+	ann := prog.Annotations()
+	for _, node := range prog.Graph().Nodes {
+		if !inScope(prog, node.Pkg, boundedWaitScope) {
+			continue
+		}
+		if node.Obj != nil && ann.FuncHas(node.Obj, "allowwait") {
+			continue
+		}
+		checkWaits(pass, node)
+	}
+	return nil
+}
+
+func checkWaits(pass *Pass, node *FuncNode) {
+	body := node.Body()
+	if body == nil {
+		return
+	}
+	prog := pass.Prog
+	ann := prog.Annotations()
+	info := node.Pkg.Info
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if ann.LineHas(prog.Fset, pos, "allowwait") {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+
+	// First pass: collect lock/unlock call sites on sync mutexes, keyed by
+	// the rendered receiver expression, so escaping locks can be detected.
+	type lockSite struct {
+		pos  token.Pos
+		call string // "Lock", "RLock", "Unlock", "RUnlock", "TryLock", ...
+	}
+	locksByRecv := make(map[string][]lockSite)
+	selectDepth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if n != node.Lit {
+				return false // literals are separate analysis roots
+			}
+		case *ast.SelectStmt:
+			selectDepth++
+			for _, clause := range x.Body.List {
+				ast.Inspect(clause, walk)
+			}
+			selectDepth--
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && selectDepth == 0 {
+				report(x.Pos(), "unbounded channel receive; select with a deadline/stop case or annotate //next700:allowwait(reason)")
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			recv := methodRecvNamed(fn)
+			if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != "sync" {
+				return true
+			}
+			switch recv.Obj().Name() {
+			case "Cond":
+				if fn.Name() == "Wait" {
+					report(x.Pos(), "unbounded sync.Cond.Wait; use the deadline-aware timed wait (AfterFunc broadcast + deadline re-check) or annotate //next700:allowwait(reason)")
+				}
+			case "Mutex", "RWMutex":
+				key := exprString(prog.Fset, sel.X)
+				locksByRecv[key] = append(locksByRecv[key], lockSite{x.Pos(), fn.Name()})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	// An acquisition with no release on the same receiver anywhere in the
+	// body (defer included — ast.Inspect saw those calls too) escapes the
+	// function: it is a transaction-duration blocking acquire.
+	for recv, sites := range locksByRecv {
+		released := false
+		for _, s := range sites {
+			if s.call == "Unlock" || s.call == "RUnlock" {
+				released = true
+			}
+		}
+		if released {
+			continue
+		}
+		for _, s := range sites {
+			if s.call == "Lock" || s.call == "RLock" {
+				report(s.pos, "blocking %s.%s() escapes the function with no deadline bound; use TryLock with deadline-budgeted backoff or annotate //next700:allowwait(reason)", recv, s.call)
+			}
+		}
+	}
+}
+
+// methodRecvNamed returns the named type of fn's receiver (pointer
+// dereferenced), or nil for non-methods.
+func methodRecvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FuncNode is one analyzable function body: a declared function or method,
+// or a function literal (literals are their own roots — a closure's body is
+// not inlined into its enclosing function, which matters for lock-order
+// analysis where e.g. a timer callback runs on a different goroutine).
+type FuncNode struct {
+	// Key uniquely identifies the function across packages; for declared
+	// functions it is types.Func.FullName of the Origin, for literals a
+	// synthetic "lit@file:line:col".
+	Key string
+	// Obj is the declared function's object (nil for literals).
+	Obj *types.Func
+	// Decl / Lit hold the syntax (exactly one is non-nil).
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Pkg is the declaring package.
+	Pkg *Package
+	// Callees are resolved static call edges, in source order, including
+	// CHA-expanded interface-method edges. Deduplicated per callee.
+	Callees []*CallEdge
+}
+
+// CallEdge is one static call from a FuncNode.
+type CallEdge struct {
+	// Pos is the call site.
+	Pos token.Pos
+	// Callee is the in-program target, nil when the target is outside the
+	// loaded program (its Obj is still recorded for identification).
+	Callee *FuncNode
+	// Obj is the target function object (nil for calls through function
+	// values that CHA cannot resolve).
+	Obj *types.Func
+	// ViaInterface marks edges added by class-hierarchy expansion of an
+	// interface method call (the callee is a possible, not certain, target).
+	ViaInterface bool
+}
+
+// Body returns the function's body block (may be nil for bodyless decls).
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Pos returns the function's declaration position.
+func (n *FuncNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// Name returns a human-readable name for diagnostics.
+func (n *FuncNode) Name() string {
+	if n.Obj != nil {
+		return relFullName(n.Obj, n.Pkg)
+	}
+	return "function literal"
+}
+
+// relFullName renders fn like types.Func.FullName but with the module path
+// stripped for readability ((next700/internal/cc.*twopl).acquire →
+// (cc.*twopl).acquire is too lossy; keep package-qualified short form).
+func relFullName(fn *types.Func, pkg *Package) string {
+	name := fn.FullName()
+	if pkg != nil && pkg.Types != nil {
+		// Trim "modulepath/" prefixes inside the rendered name.
+		if i := strings.LastIndex(pkg.Path, "/"); i >= 0 {
+			name = strings.ReplaceAll(name, pkg.Path[:i+1], "")
+		}
+	}
+	return name
+}
+
+// CallGraph is the static call graph over every function body in the loaded
+// program, with interface-method calls to in-program interfaces expanded to
+// all in-program implementations (class hierarchy analysis).
+type CallGraph struct {
+	// Nodes maps FuncNode.Key to the node.
+	Nodes map[string]*FuncNode
+	// ByObj maps a declared function's Origin object to its node.
+	ByObj map[*types.Func]*FuncNode
+}
+
+// Graph builds (once) and returns the program's call graph.
+func (p *Program) Graph() *CallGraph {
+	if p.graph != nil {
+		return p.graph
+	}
+	g := &CallGraph{
+		Nodes: make(map[string]*FuncNode),
+		ByObj: make(map[*types.Func]*FuncNode),
+	}
+
+	// Pass 1: collect nodes for every declared function and function
+	// literal in the program.
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			pkg := pkg
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					obj, _ := pkg.Info.Defs[fn.Name].(*types.Func)
+					if obj == nil {
+						return true
+					}
+					node := &FuncNode{
+						Key:  obj.Origin().FullName(),
+						Obj:  obj.Origin(),
+						Decl: fn,
+						Pkg:  pkg,
+					}
+					g.Nodes[node.Key] = node
+					g.ByObj[obj.Origin()] = node
+				case *ast.FuncLit:
+					pos := p.Fset.Position(fn.Pos())
+					node := &FuncNode{
+						Key: fmt.Sprintf("lit@%s:%d:%d", pos.Filename, pos.Line, pos.Column),
+						Lit: fn,
+						Pkg: pkg,
+					}
+					g.Nodes[node.Key] = node
+				}
+				return true
+			})
+		}
+	}
+
+	// CHA preparation: map every in-program interface method to the set of
+	// in-program concrete methods that can satisfy it.
+	impls := g.buildCHA(p)
+
+	// Pass 2: add call edges.
+	for _, node := range g.Nodes {
+		body := node.Body()
+		if body == nil {
+			continue
+		}
+		pkg := node.Pkg
+		seen := make(map[string]bool)
+		addEdge := func(pos token.Pos, obj *types.Func, callee *FuncNode, viaIface bool) {
+			key := "?"
+			if callee != nil {
+				key = callee.Key
+			} else if obj != nil {
+				key = obj.FullName()
+			} else {
+				key = fmt.Sprintf("indirect@%d", pos)
+			}
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			node.Callees = append(node.Callees, &CallEdge{Pos: pos, Callee: callee, Obj: obj, ViaInterface: viaIface})
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n != node.Lit {
+				// Literal bodies are separate roots; but record an edge from
+				// the enclosing function so transitive hot-path analysis
+				// follows closures that are defined (and typically invoked
+				// or deferred) here.
+				pos := p.Fset.Position(n.Pos())
+				key := fmt.Sprintf("lit@%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+				addEdge(n.Pos(), nil, g.Nodes[key], false)
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			callee = callee.Origin()
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+					if types.IsInterface(s.Recv().Underlying()) {
+						// Interface method call: expand via CHA when the
+						// interface is in-program; otherwise record the
+						// abstract callee only.
+						for _, m := range impls[callee] {
+							addEdge(call.Pos(), m.Obj, m, true)
+						}
+						addEdge(call.Pos(), callee, g.ByObj[callee], true)
+						return true
+					}
+				}
+			}
+			addEdge(call.Pos(), callee, g.ByObj[callee], false)
+			return true
+		})
+	}
+	p.graph = g
+	return g
+}
+
+// calleeFunc resolves the called function object for static and method
+// calls; nil for calls through function-typed values and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// buildCHA maps every interface method declared in the program to the
+// concrete in-program methods implementing it.
+func (g *CallGraph) buildCHA(p *Program) map[*types.Func][]*FuncNode {
+	// Collect in-program interfaces and named concrete types.
+	type ifaceRec struct {
+		iface *types.Interface
+	}
+	var ifaces []*types.Interface
+	var concretes []types.Type
+	for _, pkg := range p.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				ifaces = append(ifaces, iface)
+			} else {
+				concretes = append(concretes, named, types.NewPointer(named))
+			}
+		}
+	}
+	impls := make(map[*types.Func][]*FuncNode)
+	for _, iface := range ifaces {
+		for _, ct := range concretes {
+			if !types.Implements(ct, iface) {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				im := iface.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(ct, true, im.Pkg(), im.Name())
+				m, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				node := g.ByObj[m.Origin()]
+				if node == nil {
+					continue
+				}
+				found := false
+				for _, existing := range impls[im.Origin()] {
+					if existing == node {
+						found = true
+						break
+					}
+				}
+				if !found {
+					impls[im.Origin()] = append(impls[im.Origin()], node)
+				}
+			}
+		}
+	}
+	return impls
+}

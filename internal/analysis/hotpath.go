@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAnalyzer enforces the engine's zero-allocation commit-path
+// contract at lint time. Functions annotated //next700:hotpath must not
+// allocate, transitively through every in-module callee (interface method
+// calls expanded by CHA over the loaded program). Flagged constructs:
+//
+//   - make / new and pointer-to-composite or reference-kind composite
+//     literals (&T{...}, []T{...}, map[...]{...})
+//   - interface boxing: explicit conversions to interface types, and
+//     non-pointer-shaped arguments passed to interface parameters
+//   - closures (the func value itself allocates) and defer inside loops
+//     (a straight-line defer is open-coded and free since go1.14; one in a
+//     loop falls back to a heap-linked defer record per iteration)
+//   - calls into fmt, errors.New, sort.Slice/SliceStable, and
+//     time.Now/After/NewTimer/AfterFunc/Tick
+//   - string<->[]byte conversions
+//
+// Escape hatch: //next700:allowalloc(reason) on a function (audited slow
+// path — e.g. the 2PL timed-wait timer) or on the offending line.
+//
+// Out-of-module callees not on the banned list are assumed allocation-free;
+// the runtime alloc gate (bench/alloc_test.go) closes that soundness gap.
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "functions annotated //next700:hotpath must not allocate, transitively",
+	Run:  runHotPath,
+}
+
+// bannedCalls maps full function names to the reason they are banned on hot
+// paths. These are out-of-module functions whose bodies the analyzer cannot
+// see but which are known to allocate or to take unbounded time.
+var bannedCalls = map[string]string{
+	"errors.New":       "allocates a new error",
+	"sort.Slice":       "allocates a closure-backed sort.Interface",
+	"sort.SliceStable": "allocates a closure-backed sort.Interface",
+	"time.Now":         "vDSO call + monotonic read on every transaction",
+	"time.After":       "allocates a timer and channel that outlive the wait",
+	"time.NewTimer":    "allocates a timer",
+	"time.AfterFunc":   "allocates a timer",
+	"time.Tick":        "leaks a ticker",
+}
+
+func runHotPath(pass *Pass) error {
+	prog := pass.Prog
+	ann := prog.Annotations()
+	graph := prog.Graph()
+
+	// Roots: every declared function carrying //next700:hotpath.
+	var roots []*FuncNode
+	for fn := range ann.Funcs {
+		if ann.FuncHas(fn, "hotpath") && graph.ByObj[fn] != nil {
+			roots = append(roots, graph.ByObj[fn])
+		}
+	}
+
+	// BFS the in-module call graph from all roots; each reachable function
+	// is checked once, attributed to the first root that reached it.
+	type work struct {
+		node *FuncNode
+		root *FuncNode
+	}
+	visited := make(map[*FuncNode]bool)
+	var queue []work
+	for _, r := range roots {
+		queue = append(queue, work{r, r})
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if visited[w.node] {
+			continue
+		}
+		visited[w.node] = true
+		if w.node.Obj != nil && ann.FuncHas(w.node.Obj, "allowalloc") {
+			// Whole function audited: neither its body nor its callees are
+			// held to the contract.
+			continue
+		}
+		checkHotBody(pass, w.node, w.root)
+		for _, e := range w.node.Callees {
+			if e.Callee == nil || visited[e.Callee] {
+				continue
+			}
+			if ann.LineHas(prog.Fset, e.Pos, "allowalloc") {
+				// The call site is audited; don't descend.
+				continue
+			}
+			queue = append(queue, work{e.Callee, w.root})
+		}
+	}
+	return nil
+}
+
+// checkHotBody scans one function body for allocation sites.
+func checkHotBody(pass *Pass, node *FuncNode, root *FuncNode) {
+	body := node.Body()
+	if body == nil {
+		return
+	}
+	prog := pass.Prog
+	ann := prog.Annotations()
+	info := node.Pkg.Info
+	via := ""
+	if node != root {
+		via = " (on hot path from " + root.Name() + ")"
+	}
+	report := func(pos token.Pos, what string) {
+		if ann.LineHas(prog.Fset, pos, "allowalloc") {
+			return
+		}
+		pass.Reportf(pos, "hot path allocates: %s%s", what, via)
+	}
+
+	// Loop body spans, for the defer-in-loop rule: a defer whose position
+	// falls inside any for/range body is not open-coded and allocates a
+	// defer record every iteration.
+	type span struct{ lo, hi token.Pos }
+	var loops []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{x.Body.Pos(), x.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{x.Body.Pos(), x.Body.End()})
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, s := range loops {
+			if s.lo <= pos && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			report(x.Pos(), "closure creation")
+			return false // the literal is its own call-graph root
+		case *ast.DeferStmt:
+			if inLoop(x.Pos()) {
+				report(x.Pos(), "defer inside a loop (heap-allocates a defer record per iteration)")
+			}
+		case *ast.GoStmt:
+			report(x.Pos(), "goroutine launch")
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x.Pos(), "pointer to composite literal escapes")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[x]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(x.Pos(), "slice literal")
+				case *types.Map:
+					report(x.Pos(), "map literal")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, node, x, report)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, node *FuncNode, call *ast.CallExpr, report func(token.Pos, string)) {
+	info := node.Pkg.Info
+
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make")
+			case "new":
+				report(call.Pos(), "new")
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		// Explicit conversion T(x).
+		to := tv.Type
+		from := info.Types[call.Args[0]].Type
+		if from == nil {
+			return
+		}
+		if types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) && !pointerShaped(from) {
+			report(call.Pos(), "interface conversion boxes a value")
+		}
+		if isString(to) && isByteSlice(from) || isByteSlice(to) && isString(from) {
+			report(call.Pos(), "string<->[]byte conversion copies")
+		}
+		return
+	}
+
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	full := fn.Origin().FullName()
+	if reason, banned := bannedCalls[full]; banned {
+		report(call.Pos(), full+" ("+reason+")")
+		return
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		report(call.Pos(), "fmt."+fn.Name()+" (reflection-based formatting allocates)")
+		return
+	}
+
+	// Interface boxing at call boundaries: a non-pointer-shaped concrete
+	// argument passed to an interface parameter is heap-boxed.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing here
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) || pointerShaped(at) {
+			continue
+		}
+		if bt, ok := at.Underlying().(*types.Basic); ok && bt.Info()&types.IsUntyped != 0 {
+			continue // untyped constants box to smalls or are folded
+		}
+		report(arg.Pos(), "argument boxed into interface parameter")
+	}
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without heap boxing (pointers, channels, maps, funcs, unsafe pointers).
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

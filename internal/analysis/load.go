@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Module     *struct {
+		Path string
+	}
+	Error *struct {
+		Err string
+	}
+	DepOnly bool
+}
+
+// Load enumerates, parses, and type-checks the packages matched by patterns
+// (e.g. "./...") in the module rooted at or containing dir. Dependencies are
+// imported from gc export data (compiled as a side effect of the enumeration),
+// so no network or module cache beyond the build cache is needed.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One invocation produces both the target list and the export-data map
+	// for every dependency: -deps includes the transitive closure, -export
+	// forces compilation so .Export is populated, -e tolerates packages
+	// with type errors (the dirty corpora are expected to be broken in
+	// controlled ways, but export data is still demanded for deps).
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Module,Error,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var targets []*listedPackage
+	exportFor := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if lp.Export != "" {
+			exportFor[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			p := lp
+			targets = append(targets, &p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("analysis: no packages matched %v in %s", patterns, dir)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	prog := &Program{Fset: token.NewFileSet()}
+	if targets[0].Module != nil {
+		prog.ModulePath = targets[0].Module.Path
+	}
+
+	// The gc importer resolves dependency packages from the export files go
+	// list just reported; source-level targets are checked below in
+	// dependency order and take precedence via the cache inside the
+	// importer wrapper.
+	checked := make(map[string]*types.Package)
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exportFor[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	base := importer.ForCompiler(prog.Fset, "gc", lookup)
+	imp := &programImporter{base: base, checked: checked}
+
+	// Targets must be checked in dependency order so intra-module imports
+	// resolve to the source-checked package, keeping annotation positions
+	// meaningful. go list -deps already emits dependencies first, and
+	// targets preserved that order before sorting — recompute it here by
+	// simple fixpoint over import errors instead of threading the original
+	// order through: check packages whose intra-target imports are done.
+	remaining := append([]*listedPackage(nil), targets...)
+	targetSet := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		targetSet[t.ImportPath] = true
+	}
+	for len(remaining) > 0 {
+		progress := false
+		var next []*listedPackage
+		for _, lp := range remaining {
+			if !depsReady(lp, targetSet, checked, prog.Fset) {
+				next = append(next, lp)
+				continue
+			}
+			pkg, err := checkOne(prog.Fset, lp, imp)
+			if err != nil {
+				return nil, err
+			}
+			checked[lp.ImportPath] = pkg.Types
+			prog.Packages = append(prog.Packages, pkg)
+			progress = true
+		}
+		if !progress {
+			// Import cycle or unparseable dependency: check the rest in
+			// listed order and let type errors surface naturally.
+			for _, lp := range next {
+				pkg, err := checkOne(prog.Fset, lp, imp)
+				if err != nil {
+					return nil, err
+				}
+				checked[lp.ImportPath] = pkg.Types
+				prog.Packages = append(prog.Packages, pkg)
+			}
+			next = nil
+		}
+		remaining = next
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, nil
+}
+
+// depsReady reports whether every intra-target import of lp is already
+// source-checked (exports of non-target deps are always available).
+func depsReady(lp *listedPackage, targetSet map[string]bool, checked map[string]*types.Package, fset *token.FileSet) bool {
+	for _, gf := range lp.GoFiles {
+		src, err := parser.ParseFile(fset, filepath.Join(lp.Dir, gf), nil, parser.ImportsOnly)
+		if err != nil {
+			continue
+		}
+		for _, spec := range src.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if targetSet[path] && checked[path] == nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// programImporter serves source-checked target packages from the cache and
+// everything else from gc export data.
+type programImporter struct {
+	base    types.Importer
+	checked map[string]*types.Package
+}
+
+func (pi *programImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := pi.checked[path]; ok {
+		return pkg, nil
+	}
+	return pi.base.Import(path)
+}
+
+func checkOne(fset *token.FileSet, lp *listedPackage, imp types.Importer) (*Package, error) {
+	if lp.Error != nil && len(lp.GoFiles) == 0 {
+		return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+	}
+	var files []*ast.File
+	for _, gf := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, gf), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", gf, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(error) {}, // collect what checks; analyzers tolerate partial info
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrderAnalyzer builds the static lock-acquisition graph across
+// internal/cc and internal/wal and flags order inversions. Lock identity is
+// the *lock class* "Type.field" — every sync.Mutex/RWMutex field of a named
+// struct type is one class (all instances share it, so locking two
+// different lockState.mu instances in an unordered way is still a
+// same-class cycle). Edges:
+//
+//   - direct: class B locked while class A is held in the same body
+//     (linear statement scan with a held-set; Unlock releases)
+//   - transitive: an in-module call made while A is held contributes
+//     A → C for every class C the callee (transitively) acquires
+//
+// Any cycle in the resulting class graph — including self-loops from
+// acquiring two instances of the same class — is reported once per
+// participating edge. //next700:lockorder(ordered) on a function asserts
+// its same-class acquisitions are internally ordered (e.g. by sorted
+// partition index) and suppresses the self-loop contribution; function
+// literals are separate roots (a timer callback re-locking its parent's
+// mutex runs on another goroutine and is not a nested acquisition).
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition order across internal/cc and internal/wal must be cycle-free",
+	Run:  runLockOrder,
+}
+
+var lockOrderScope = []string{"internal/cc", "internal/wal"}
+
+// lockEdge is one A-held→B-acquired observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	// viaCall names the callee for transitive edges ("" for direct).
+	viaCall string
+}
+
+func runLockOrder(pass *Pass) error {
+	prog := pass.Prog
+	ann := prog.Annotations()
+	graph := prog.Graph()
+
+	// Scope the analysis to functions in the target packages.
+	var nodes []*FuncNode
+	for _, n := range graph.Nodes {
+		if inScope(prog, n.Pkg, lockOrderScope) {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Key < nodes[j].Key })
+
+	// Per-function direct acquisitions and the held-set edge scan need the
+	// transitive acquire sets of callees; compute those by fixpoint.
+	acquires := make(map[*FuncNode]map[string]bool)
+	for _, n := range nodes {
+		acquires[n] = directLockClasses(prog, n)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			for _, e := range n.Callees {
+				if e.Callee == nil || e.Callee.Lit != nil {
+					// Function-literal edges are excluded: the closures on
+					// these paths (timer broadcasts, flusher bodies) run on
+					// their own goroutines, where re-locking the parent's
+					// mutex is a handoff, not a nested acquisition.
+					continue
+				}
+				callee, ok := acquires[e.Callee]
+				if !ok {
+					continue
+				}
+				for c := range callee {
+					if !acquires[n][c] {
+						acquires[n][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge collection.
+	var edges []lockEdge
+	for _, n := range nodes {
+		ordered := n.Decl != nil && ann.DeclHas(n.Decl, "lockorder")
+		edges = append(edges, scanLockEdges(prog, n, acquires, ordered)...)
+	}
+
+	// Cycle detection over the class graph: report every edge that sits on
+	// a cycle (both A→B and B→A present for some chain). Use the strongly
+	// connected components of the directed class graph.
+	adj := make(map[string]map[string]lockEdge)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]lockEdge)
+		}
+		if _, dup := adj[e.from][e.to]; !dup {
+			adj[e.from][e.to] = e
+		}
+	}
+	sccOf := cyclicNodes(adj)
+	reported := make(map[string]bool)
+	for _, e := range edges {
+		onCycle := e.from == e.to || (sccOf[e.from] != 0 && sccOf[e.from] == sccOf[e.to])
+		if !onCycle {
+			continue
+		}
+		key := e.from + "->" + e.to
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		if e.from == e.to {
+			if e.viaCall != "" {
+				pass.Reportf(e.pos, "lock-order cycle: %s re-acquired via call to %s while already held; order instances explicitly and annotate //next700:lockorder(ordered)", e.from, e.viaCall)
+			} else {
+				pass.Reportf(e.pos, "lock-order cycle: second %s instance acquired while one is held with no canonical order; sort instances first and annotate //next700:lockorder(ordered)", e.from)
+			}
+		} else if e.viaCall != "" {
+			pass.Reportf(e.pos, "lock-order cycle: %s acquired (via %s) while holding %s, but the reverse order also exists", e.to, e.viaCall, e.from)
+		} else {
+			pass.Reportf(e.pos, "lock-order cycle: %s acquired while holding %s, but the reverse order also exists", e.to, e.from)
+		}
+	}
+	return nil
+}
+
+// cyclicNodes runs Tarjan's SCC over the class graph and maps each node in
+// a non-trivial SCC (size > 1, or self-loop) to its component id; nodes in
+// trivial components map to 0.
+func cyclicNodes(adj map[string]map[string]lockEdge) map[string]int {
+	sccID := make(map[string]int)
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 1
+	compID := 0
+
+	var nodesList []string
+	seen := make(map[string]bool)
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			nodesList = append(nodesList, from)
+		}
+		for to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodesList = append(nodesList, to)
+			}
+		}
+	}
+	sort.Strings(nodesList)
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if index[w] == 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			compID++
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			selfLoop := len(comp) == 1 && hasEdge(adj, comp[0], comp[0])
+			if len(comp) > 1 || selfLoop {
+				for _, w := range comp {
+					sccID[w] = compID
+				}
+			}
+		}
+	}
+	for _, v := range nodesList {
+		if index[v] == 0 {
+			strongconnect(v)
+		}
+	}
+	return sccID
+}
+
+func hasEdge(adj map[string]map[string]lockEdge, from, to string) bool {
+	_, ok := adj[from][to]
+	return ok
+}
+
+// lockClassOf returns the lock class ("Type.field") for the receiver of a
+// sync.Mutex/RWMutex method call, or "" when the receiver is not a field
+// selector on a named struct type (e.g. a local mutex).
+func lockClassOf(info *types.Info, recv ast.Expr) string {
+	recv = ast.Unparen(recv)
+	// Strip an index: p.locks[i] → p.locks.
+	if ix, ok := recv.(*ast.IndexExpr); ok {
+		recv = ast.Unparen(ix.X)
+	}
+	sel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return ""
+	}
+	// Owner type: the named type the (possibly embedded) field chain starts
+	// from.
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name() + "." + sel.Sel.Name
+}
+
+// directLockClasses returns the classes directly locked anywhere in n.
+func directLockClasses(prog *Program, n *FuncNode) map[string]bool {
+	classes := make(map[string]bool)
+	body := n.Body()
+	if body == nil {
+		return classes
+	}
+	info := n.Pkg.Info
+	ast.Inspect(body, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok && node != n.Lit {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, class := lockCall(info, call); kind == "Lock" || kind == "RLock" || kind == "TryLock" || kind == "TryRLock" {
+			if class != "" {
+				classes[class] = true
+			}
+		}
+		return true
+	})
+	return classes
+}
+
+// lockCall classifies a call as a sync mutex operation, returning the
+// method name and the receiver's lock class.
+func lockCall(info *types.Info, call *ast.CallExpr) (kind, class string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	recv := methodRecvNamed(fn)
+	if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != "sync" {
+		return "", ""
+	}
+	if name := recv.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", ""
+	}
+	return fn.Name(), lockClassOf(info, sel.X)
+}
+
+// scanLockEdges walks n's body in source order maintaining the held-set and
+// emits edges for nested acquisitions and for calls made under a lock.
+func scanLockEdges(prog *Program, n *FuncNode, acquires map[*FuncNode]map[string]bool, ordered bool) []lockEdge {
+	body := n.Body()
+	if body == nil {
+		return nil
+	}
+	info := n.Pkg.Info
+	var edges []lockEdge
+	held := make(map[string]int) // class -> acquisition count
+	var deferred []string        // classes with a deferred Unlock (held to return)
+
+	heldClasses := func() []string {
+		var out []string
+		for c, cnt := range held {
+			if cnt > 0 {
+				out = append(out, c)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	var walk func(node ast.Node) bool
+	walk = func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			if node != n.Lit {
+				return false
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps mu held for the rest of the scan but
+			// does not release it at this point; other deferred calls are
+			// ignored for the held-set.
+			if kind, class := lockCall(info, x.Call); class != "" && (kind == "Unlock" || kind == "RUnlock") {
+				deferred = append(deferred, class)
+			}
+			return false
+		case *ast.CallExpr:
+			kind, class := lockCall(info, x)
+			switch kind {
+			case "Lock", "RLock":
+				for _, h := range heldClasses() {
+					if h == class && ordered {
+						continue
+					}
+					edges = append(edges, lockEdge{from: h, to: class, pos: x.Pos()})
+				}
+				if class != "" {
+					held[class]++
+				}
+				return true
+			case "TryLock", "TryRLock":
+				// Non-blocking: acquisition order is irrelevant for
+				// deadlock (a TryLock failure is handled, not waited on),
+				// but the class still becomes held on the success path.
+				// Without path sensitivity, treat it as held from here.
+				if class != "" {
+					held[class]++
+				}
+				return true
+			case "Unlock", "RUnlock":
+				if class != "" && held[class] > 0 {
+					held[class]--
+				}
+				return true
+			}
+			// A call made while holding locks contributes transitive edges
+			// to everything the callee acquires.
+			if len(held) > 0 {
+				if callee := resolveCalleeNode(prog, n, x); callee != nil {
+					calleeName := callee.Name()
+					for c := range acquires[callee] {
+						for _, h := range heldClasses() {
+							if h == c && ordered {
+								continue
+							}
+							edges = append(edges, lockEdge{from: h, to: c, pos: x.Pos(), viaCall: calleeName})
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	// Statement-ordered traversal: ast.Inspect visits in source order for
+	// a single body, which approximates the linear held-set scan (branches
+	// are merged optimistically — a lock released on one branch counts as
+	// released).
+	ast.Inspect(body, walk)
+	_ = deferred
+	return edges
+}
+
+// resolveCalleeNode maps a call expression to its in-program FuncNode (nil
+// for out-of-program and unresolved calls). Interface calls resolve to nil
+// here; their CHA expansion already exists as call-graph edges used by the
+// transitive-acquires fixpoint, so held-set edges for interface calls are
+// approximated through the caller's own acquire set.
+func resolveCalleeNode(prog *Program, n *FuncNode, call *ast.CallExpr) *FuncNode {
+	fn := calleeFunc(n.Pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	return prog.Graph().ByObj[fn.Origin()]
+}

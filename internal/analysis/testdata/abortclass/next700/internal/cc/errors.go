@@ -1,0 +1,45 @@
+// Package cc exercises the abortclass analyzer inside its scope: ad-hoc
+// errors minted in function bodies, context-only fmt.Errorf, class wrapping,
+// and the allowabort escape hatches.
+package cc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConflict is a class sentinel: package-level errors.New IS the class and
+// is never flagged.
+var ErrConflict = errors.New("cc: conflict")
+
+func adhoc() error {
+	return errors.New("one-off") // want `unclassified error: errors\.New inside a function body`
+}
+
+func contextOnly(err error) error {
+	return fmt.Errorf("commit failed: %v", err) // want `unclassified abort error: fmt\.Errorf without %w`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("commit failed: %w", ErrConflict) // clean: wraps a class
+}
+
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err) // clean: non-constant formats get the benefit of the doubt
+}
+
+// validated is a whole-function escape hatch for config-time errors.
+//
+//next700:allowabort(corpus: config-time validation, no abort path)
+func validated() error {
+	return errors.New("bad config") // clean: function audited
+}
+
+func lineEscape() error {
+	return errors.New("probe") //next700:allowabort(corpus: audited line)
+}
+
+//next700:allowabort
+// want:-1 `next700:allowabort requires a reason argument`
+
+var keepVet = 0

@@ -1,0 +1,9 @@
+// Package util sits outside the abortclass scope; ad-hoc errors are clean
+// here.
+package util
+
+import "errors"
+
+func adhoc() error {
+	return errors.New("utility error") // clean: out of scope
+}

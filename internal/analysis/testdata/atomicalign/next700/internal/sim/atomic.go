@@ -1,0 +1,76 @@
+// Package sim exercises the atomicalign analyzer: 32-bit misalignment of
+// 64-bit atomic fields, the false-sharing slice-element heuristic, and
+// verification of cachepad claims.
+package sim
+
+import "sync/atomic"
+
+// misaligned puts a uint64 at offset 4 under 32-bit struct layout rules.
+type misaligned struct {
+	flag uint32
+	n    uint64 // want `atomic 64-bit field n is at offset 4 under 32-bit alignment rules`
+}
+
+func bump(m *misaligned) {
+	atomic.AddUint64(&m.n, 1)
+}
+
+// aligned leads with the 64-bit field: offset 0 on every platform.
+type aligned struct {
+	n    uint64
+	flag uint32
+}
+
+func bumpAligned(a *aligned) {
+	atomic.AddUint64(&a.n, 1) // clean: offset 0
+}
+
+// wrapped uses the atomic wrapper type, which the runtime always aligns.
+type wrapped struct {
+	flag uint32
+	n    atomic.Uint64
+}
+
+func bumpWrapped(w *wrapped) {
+	w.n.Add(1) // clean: atomic.Uint64 is never flagged
+}
+
+// counter has atomically accessed fields and appears as a slice element
+// below without a cachepad annotation.
+type counter struct {
+	hits uint64
+}
+
+func hit(c *counter) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+var shared []counter // want `type counter has atomically accessed fields and is a slice element`
+
+// padded owns its cache lines and says so; the claim checks out (sizeof 64).
+//
+//next700:cachepad(64)
+type padded struct {
+	hits uint64
+	_    [56]byte
+}
+
+func hitPadded(p *padded) {
+	atomic.AddUint64(&p.hits, 1)
+}
+
+var sharedPadded []padded // clean: annotated and the claim is true
+
+// wrongpad claims padding it does not have: sizeof is 16, not a multiple
+// of 64.
+//
+//next700:cachepad(64)
+type wrongpad struct { // want `type wrongpad claims //next700:cachepad\(64\) but sizeof is 16`
+	hits uint64
+	_    [8]byte
+}
+
+//next700:cachepad(zero)
+type badarg struct{ hits uint64 }
+
+// want:-3 `next700:cachepad argument must be a positive byte count`

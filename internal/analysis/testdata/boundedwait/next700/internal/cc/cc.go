@@ -1,0 +1,59 @@
+// Package cc exercises the boundedwait analyzer inside its scope
+// (internal/cc): unbounded condition waits, escaping locks, bare channel
+// receives, and the allowwait escape hatches.
+package cc
+
+import "sync"
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+}
+
+func (q *queue) waitCond() {
+	q.cond.Wait() // want `unbounded sync\.Cond\.Wait`
+}
+
+func (q *queue) escapingLock() {
+	q.mu.Lock() // want `blocking q\.mu\.Lock\(\) escapes the function with no deadline bound`
+}
+
+func (q *queue) pairedLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock() // clean: released in the same body
+}
+
+func (q *queue) tryLock() bool {
+	return q.mu.TryLock() // clean: non-blocking acquisition
+}
+
+func (q *queue) bareRecv() int {
+	return <-q.ch // want `unbounded channel receive`
+}
+
+func (q *queue) selectRecv(stop chan struct{}) int {
+	// clean: a select is a scheduling choice, not an unbounded wait.
+	select {
+	case v := <-q.ch:
+		return v
+	case <-stop:
+		return 0
+	}
+}
+
+// waitAudited is a whole-function escape hatch.
+//
+//next700:allowwait(corpus: audited shutdown join)
+func (q *queue) waitAudited() {
+	<-q.ch // clean: function-level allowwait
+}
+
+func (q *queue) lineAudited() int {
+	return <-q.ch //next700:allowwait(corpus: audited receive)
+}
+
+//next700:allowwait
+// want:-1 `next700:allowwait requires a reason argument`
+
+var keepVet = 0

@@ -1,0 +1,18 @@
+// Package other sits outside the boundedwait scope (internal/{cc,wal,core});
+// the same constructs are clean here.
+package other
+
+import "sync"
+
+type q struct {
+	cond *sync.Cond
+	ch   chan int
+}
+
+func (x *q) wait() {
+	x.cond.Wait() // clean: out of scope
+}
+
+func (x *q) recv() int {
+	return <-x.ch // clean: out of scope
+}

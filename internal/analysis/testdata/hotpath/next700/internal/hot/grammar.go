@@ -1,0 +1,17 @@
+package hot
+
+// Annotation-grammar problems are attributed to the verb's owning analyzer;
+// unknown and malformed directives default to hotpath. The directives below
+// are standalone comments (blank-line separated from declarations) so each
+// is parsed exactly once.
+
+//next700:bogus
+// want:-1 `unknown next700 directive verb "bogus"`
+
+//next700:HotPath(x)
+// want:-1 `malformed next700 directive`
+
+//next700:allowalloc
+// want:-1 `next700:allowalloc requires a reason argument`
+
+var keepVet = 0

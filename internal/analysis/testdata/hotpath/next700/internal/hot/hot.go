@@ -1,0 +1,119 @@
+// Package hot exercises the hotpath analyzer: every allocation construct,
+// transitive descent through calls and interface dispatch, both escape
+// hatches, and the annotation grammar.
+package hot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+type Sink interface {
+	Push(v int)
+}
+
+type slowSink struct{ buf []int }
+
+// Push is reached from Commit through the Sink interface (CHA expansion).
+func (s *slowSink) Push(v int) {
+	s.buf = append(s.buf, make([]int, 1)...) // want `hot path allocates: make`
+}
+
+var global []byte
+
+//next700:hotpath
+func Commit(n int, s Sink) {
+	b := make([]byte, n) // want `hot path allocates: make`
+	global = b
+	_ = new(int)      // want `hot path allocates: new`
+	_ = []int{1, 2}   // want `hot path allocates: slice literal`
+	_ = map[int]int{} // want `hot path allocates: map literal`
+	_ = &slowSink{}   // want `hot path allocates: pointer to composite literal escapes`
+	s.Push(n)
+}
+
+//next700:hotpath
+func Launch(f func()) {
+	go f() // want `hot path allocates: goroutine launch`
+}
+
+//next700:hotpath
+func Transitive() {
+	helper()
+}
+
+func helper() {
+	_ = errors.New("x") // want `errors\.New \(allocates a new error\) \(on hot path from hot\.Transitive\)`
+}
+
+// SortedWriteIndices mimics the engine's write-index path: reintroducing
+// sort.Slice there must be caught (acceptance criterion).
+//
+//next700:hotpath
+func SortedWriteIndices(idx []int) {
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] }) // want `sort\.Slice \(allocates a closure-backed sort\.Interface\)` `hot path allocates: closure creation`
+}
+
+//next700:hotpath
+func Stamp(msg string) {
+	_ = time.Now()   // want `time\.Now \(vDSO call`
+	fmt.Println(msg) // want `fmt\.Println \(reflection-based formatting allocates\)`
+	b := []byte(msg) // want `string<->\[\]byte conversion copies`
+	_ = string(b)    // want `string<->\[\]byte conversion copies`
+}
+
+func take(x interface{}) {}
+
+//next700:hotpath
+func Box() {
+	v := 7
+	take(v) // want `argument boxed into interface parameter`
+}
+
+//next700:hotpath
+func Convert(v int) {
+	_ = any(v) // want `interface conversion boxes a value`
+}
+
+//next700:hotpath
+func Defers(mu *sync.Mutex, n int) {
+	mu.Lock()
+	defer mu.Unlock() // clean: a straight-line defer is open-coded since go1.14
+	for i := 0; i < n; i++ {
+		defer release(mu) // want `defer inside a loop`
+	}
+}
+
+func release(mu *sync.Mutex) {}
+
+// Audited is a whole-function escape hatch: neither its body nor its callees
+// are checked.
+//
+//next700:hotpath
+//next700:allowalloc(corpus: audited slow path)
+func Audited() {
+	_ = make([]byte, 1) // clean: whole function audited
+	helperAudited()
+}
+
+func helperAudited() {
+	_ = make([]byte, 1) // clean: only reachable through Audited
+}
+
+//next700:hotpath
+func LineEscape() {
+	_ = make([]byte, 8) //next700:allowalloc(corpus: audited line)
+	callAudited()       //next700:allowalloc(corpus: callee audited at the call site)
+}
+
+func callAudited() {
+	_ = make([]byte, 8) // clean: descent stopped at the audited call site
+}
+
+// NotAnnotated allocates freely: without //next700:hotpath nothing applies.
+func NotAnnotated() []byte {
+	return make([]byte, 64)
+}

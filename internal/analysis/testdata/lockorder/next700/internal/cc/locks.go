@@ -1,0 +1,81 @@
+// Package cc exercises the lockorder analyzer: a direct two-class
+// inversion, a same-class self-loop, a transitive inversion through a call,
+// and the lockorder(ordered) suppression.
+package cc
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle: B\.mu acquired while holding A\.mu, but the reverse order also exists`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock-order cycle: A\.mu acquired while holding B\.mu, but the reverse order also exists`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func lockTwoInstances(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock-order cycle: second A\.mu instance acquired while one is held with no canonical order`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// lockOrderedPair acquires two instances of one class under an explicit
+// order, so its self-edge is suppressed.
+//
+//next700:lockorder(ordered)
+func lockOrderedPair(x, y *B) {
+	x.mu.Lock()
+	y.mu.Lock() // clean: annotated ordered
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+func lockCThenCallD(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want `lock-order cycle: D\.mu acquired \(via cc\.lockD\) while holding C\.mu`
+	c.mu.Unlock()
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockDThenC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want `lock-order cycle: C\.mu acquired while holding D\.mu, but the reverse order also exists`
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+// lockEF is the only function relating E and F: one direction, no cycle.
+func lockEF(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock() // clean: consistent order, no reverse edge anywhere
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+//next700:lockorder
+// want:-1 `next700:lockorder requires a reason argument`
+
+var keepVet = 0

@@ -104,7 +104,10 @@ func (p *hstore) acquireOrdered(tx *txn.Txn, st *hstoreState, part int) error {
 				return err
 			}
 		} else {
-			p.locks[part].Lock()
+			// Transaction-duration partition lock, released by release():
+			// deadline-free transactions block behind the owner by design
+			// (H-Store's single-owner partition model).
+			p.locks[part].Lock() //next700:allowwait(deadline-free transactions opt out; ascending partition order keeps this deadlock-free and release() frees it at txn end)
 		}
 	} else if !p.locks[part].TryLock() {
 		return txn.ErrConflict
@@ -119,6 +122,7 @@ func (p *hstore) acquireOrdered(tx *txn.Txn, st *hstoreState, part int) error {
 // partition lock is mutex-based with no waiter queue to time out of, and
 // polling at ≤100µs granularity bounds both the overshoot and the wasted
 // spin.
+//next700:allowalloc(contended path only: the TryLock fast path costs nothing; polling while blocked needs the clock)
 func lockWithDeadline(mu *sync.Mutex, deadline int64) error {
 	backoff := time.Microsecond
 	for !mu.TryLock() {

@@ -155,7 +155,9 @@ func New(name string, env *Env) (Protocol, error) {
 	case "HSTORE":
 		return newHStore(env), nil
 	default:
-		return nil, fmt.Errorf("cc: unknown protocol %q", name)
+		// Config-time validation, never an abort path: no transaction is
+		// running when protocol construction fails.
+		return nil, fmt.Errorf("cc: unknown protocol %q", name) //next700:allowabort(config-time constructor error; no abort path reaches this)
 	}
 }
 
@@ -242,7 +244,7 @@ func (mt *metaTable[T]) grow(idx int) {
 	defer mt.mu.Unlock()
 	chunks := *mt.chunks.Load()
 	for idx >= len(chunks) {
-		grown := append(chunks, new([metaChunkSize]T))
+		grown := append(chunks, new([metaChunkSize]T)) //next700:allowalloc(per-record metadata chunk growth, amortized over the table lifetime)
 		mt.chunks.Store(&grown)
 		chunks = grown
 	}

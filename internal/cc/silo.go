@@ -232,7 +232,7 @@ func (p *silo) Commit(tx *txn.Txn) error {
 			// committed image must be freshly owned, never a view of the
 			// transaction's arena. The alloc gate (bench/alloc_test.go) pins
 			// this budget at exactly 2/write.
-			cp := make([]byte, len(a.Data))
+			cp := make([]byte, len(a.Data)) //next700:allowalloc(the documented per-write publish copy, pinned by the alloc-gate budget)
 			copy(cp, a.Data)
 			m.data.Store(&cp)
 			if a.Kind == txn.KindInsert {

@@ -50,6 +50,12 @@ func (st *lockState) broadcast() {
 	}
 }
 
+// wait parks the caller until a holder releases or aborts (broadcast).
+// Deadline-free transactions opt out of bounded waiting by contract; their
+// progress is bounded by policy instead — WAIT_DIE wound-ordering kills
+// younger waiters, DL_DETECT clears its waits-for edges on every exit path.
+//
+//next700:allowwait(deadline-free transactions opt out; WAIT_DIE/DL_DETECT policies bound progress, deadline path uses waitDeadline)
 func (st *lockState) wait() {
 	if st.cond == nil {
 		st.cond = sync.NewCond(&st.mu)
@@ -64,6 +70,7 @@ func (st *lockState) wait() {
 // record are possible and harmless — they re-check and wait again. The
 // timer allocation happens only on the blocked (slow) path; deadline-free
 // waits take the allocation-free wait() above.
+//next700:allowalloc(the audited timed-wait timer: allocation happens only on the blocked path, documented above)
 func (st *lockState) waitDeadline(deadline int64) bool {
 	remaining := deadline - time.Now().UnixNano()
 	if remaining <= 0 {
@@ -77,7 +84,7 @@ func (st *lockState) waitDeadline(deadline int64) bool {
 		st.cond.Broadcast()
 		st.mu.Unlock()
 	})
-	st.cond.Wait()
+	st.cond.Wait() //next700:allowwait(the AfterFunc broadcast above bounds this wait at the deadline)
 	t.Stop()
 	return true
 }
@@ -132,6 +139,7 @@ func newWaitsFor() *waitsFor {
 // addWouldCycle installs edges me->holders and reports whether doing so
 // closes a cycle through me. If it does, the edges are removed again and
 // true is returned (the caller must die rather than wait).
+//next700:allowalloc(deadlock-detection bookkeeping runs only on the conflict path, never on uncontended acquires)
 func (w *waitsFor) addWouldCycle(me uint64, holders []uint64) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -17,6 +17,7 @@ import (
 	"next700/internal/index"
 	"next700/internal/stats"
 	"next700/internal/storage"
+	"next700/internal/txn"
 	"next700/internal/wal"
 )
 
@@ -73,7 +74,7 @@ func (c *Config) normalize() error {
 	}
 	c.Retry = c.Retry.normalized()
 	if c.LogMode != wal.ModeNone && c.LogDevice == nil {
-		return fmt.Errorf("core: LogMode %v requires a LogDevice", c.LogMode)
+		return fmt.Errorf("core: LogMode %v requires a LogDevice: %w", c.LogMode, ErrInvalidUsage)
 	}
 	return nil
 }
@@ -198,7 +199,7 @@ func (e *Engine) Close() error {
 	e.closed = true
 	e.mu.Unlock()
 	close(e.stopTick)
-	<-e.tickDone
+	<-e.tickDone //next700:allowwait(shutdown join: stopTick close guarantees the epoch ticker exits)
 	if e.logw != nil {
 		return e.logw.Close()
 	}
@@ -240,7 +241,7 @@ func (e *Engine) CreateTable(sch *storage.Schema, primary IndexKind) (*Table, er
 	case IndexBTree:
 		t.primary = index.NewBTree(sch.Name() + ".pk")
 	default:
-		return nil, fmt.Errorf("core: unknown index kind %d", primary)
+		return nil, fmt.Errorf("core: unknown index kind %d: %w", primary, ErrInvalidUsage)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -270,7 +271,7 @@ func (e *Engine) AddIndex(t *Table, name string, kind IndexKind,
 	case IndexBTree:
 		idx = index.NewBTree(t.Name() + "." + name)
 	default:
-		return fmt.Errorf("core: unknown index kind %d", kind)
+		return fmt.Errorf("core: unknown index kind %d: %w", kind, ErrInvalidUsage)
 	}
 	var backfillErr error
 	if t.tbl.NumRows() > 0 {
@@ -280,8 +281,8 @@ func (e *Engine) AddIndex(t *Table, name string, kind IndexKind,
 				return true
 			}
 			if _, ok := idx.Insert(extract(t.sch, t.tbl.Row(rid), key), rid); !ok {
-				backfillErr = fmt.Errorf("core: duplicate key backfilling index %s.%s (pk %d)",
-					t.Name(), name, key)
+				backfillErr = fmt.Errorf("core: duplicate key backfilling index %s.%s (pk %d): %w",
+					t.Name(), name, key, txn.ErrDuplicate)
 				return false
 			}
 			return true
@@ -328,12 +329,12 @@ func (t *Table) findSecondary(name string) *secondary {
 // It must not run concurrently with transactions.
 func (e *Engine) Load(t *Table, key uint64, row storage.Row) error {
 	if len(row) != t.sch.RowSize() {
-		return fmt.Errorf("core: row size %d != schema %d for %q", len(row), t.sch.RowSize(), t.Name())
+		return fmt.Errorf("core: row size %d != schema %d for %q: %w", len(row), t.sch.RowSize(), t.Name(), ErrInvalidUsage)
 	}
 	rid := t.tbl.Alloc()
 	copy(t.tbl.Row(rid), row)
 	if _, ok := t.primary.Insert(key, rid); !ok {
-		return fmt.Errorf("core: duplicate key %d loading %q", key, t.Name())
+		return fmt.Errorf("core: duplicate key %d loading %q: %w", key, t.Name(), txn.ErrDuplicate)
 	}
 	for i := range t.secondaries {
 		s := &t.secondaries[i]
@@ -361,12 +362,12 @@ func (e *Engine) SetPartitioner(fn func(tbl *Table, key uint64) int) {
 // recovery. IDs must be stable across restarts.
 func (e *Engine) RegisterProc(id int32, fn Proc) error {
 	if id == 0 {
-		return fmt.Errorf("core: proc id 0 is reserved")
+		return fmt.Errorf("core: proc id 0 is reserved: %w", ErrInvalidUsage)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.procs[id]; dup {
-		return fmt.Errorf("core: proc %d already registered", id)
+		return fmt.Errorf("core: proc %d already registered: %w", id, ErrInvalidUsage)
 	}
 	e.procs[id] = fn
 	return nil

@@ -51,7 +51,7 @@ func (e *Engine) Recover(log io.Reader) (RecoveryStats, error) {
 	case wal.ModeCommand:
 		return e.recoverCommand(log)
 	default:
-		return rs, fmt.Errorf("core: recovery requires a logging mode, have %v", e.cfg.LogMode)
+		return rs, fmt.Errorf("core: recovery requires a logging mode, have %v: %w", e.cfg.LogMode, ErrInvalidUsage)
 	}
 }
 
@@ -80,7 +80,10 @@ func (e *Engine) recoverValue(log io.Reader) (RecoveryStats, error) {
 			en := &cr.Entries[i]
 			th := e.tableByID(int(en.Table))
 			if th == nil {
-				return fmt.Errorf("core: recovery references unknown table %d", en.Table)
+				// A structurally valid record naming a table this engine
+				// does not have means the log and the schema diverged —
+				// classified as log corruption for the caller.
+				return fmt.Errorf("core: recovery references unknown table %d: %w", en.Table, wal.ErrCorrupt)
 			}
 			if !versions.newer(en.Table, en.RID, cr.TxnID) {
 				rs.Skipped++

@@ -111,6 +111,8 @@ func (t *Tx) lookup(tbl *Table, key uint64) (storage.RecordID, bool) {
 
 // Read returns the row image for key. The returned slice is read-only and
 // valid until the transaction ends.
+//
+//next700:hotpath
 func (t *Tx) Read(tbl *Table, key uint64) (storage.Row, error) {
 	t.inner.Counter.Reads++
 	rid, ok := t.lookup(tbl, key)
@@ -137,6 +139,8 @@ func (t *Tx) readRID(tbl *Table, rid storage.RecordID) (storage.Row, error) {
 
 // Update returns a writable after-image for key; mutations become visible
 // atomically at commit.
+//
+//next700:hotpath
 func (t *Tx) Update(tbl *Table, key uint64) (storage.Row, error) {
 	t.inner.Counter.Writes++
 	rid, ok := t.lookup(tbl, key)
@@ -167,7 +171,7 @@ func (t *Tx) Update(tbl *Table, key uint64) (storage.Row, error) {
 func (t *Tx) Insert(tbl *Table, key uint64, row storage.Row) error {
 	t.inner.Counter.Inserts++
 	if len(row) != tbl.sch.RowSize() {
-		return errors.New("core: insert row size mismatch")
+		return errInsertSize
 	}
 	rid := tbl.tbl.Alloc()
 	tbl.tbl.SetTombstone(rid, true)
@@ -228,7 +232,7 @@ func (t *Tx) scan(tbl *Table, lo, hi uint64, desc bool, fn func(key uint64, row 
 	t.inner.Counter.Scans++
 	r, ok := tbl.ranger()
 	if !ok {
-		return errors.New("core: table " + tbl.Name() + " primary index does not support scans")
+		return fmt.Errorf("core: table %s primary index does not support scans: %w", tbl.Name(), ErrInvalidUsage)
 	}
 	defer t.trimScanScratch()
 	// Collect matches first so no index latches are held while protocol
@@ -264,7 +268,7 @@ func (t *Tx) scan(tbl *Table, lo, hi uint64, desc bool, fn func(key uint64, row 
 func (t *Tx) LookupIndex(tbl *Table, indexName string, key uint64) (storage.Row, error) {
 	s := tbl.findSecondary(indexName)
 	if s == nil {
-		return nil, errors.New("core: no index " + indexName + " on " + tbl.Name())
+		return nil, fmt.Errorf("core: no index %s on %s: %w", indexName, tbl.Name(), ErrInvalidUsage)
 	}
 	rid, ok := s.idx.Lookup(key)
 	if !ok {
@@ -279,11 +283,11 @@ func (t *Tx) ScanIndex(tbl *Table, indexName string, lo, hi uint64, desc bool,
 	fn func(indexKey uint64, row storage.Row) bool) error {
 	s := tbl.findSecondary(indexName)
 	if s == nil {
-		return errors.New("core: no index " + indexName + " on " + tbl.Name())
+		return fmt.Errorf("core: no index %s on %s: %w", indexName, tbl.Name(), ErrInvalidUsage)
 	}
 	r, ok := s.idx.(index.Ranger)
 	if !ok {
-		return errors.New("core: index " + indexName + " does not support scans")
+		return fmt.Errorf("core: index %s does not support scans: %w", indexName, ErrInvalidUsage)
 	}
 	defer t.trimScanScratch()
 	t.scanKeys = t.scanKeys[:0]
@@ -317,6 +321,20 @@ func (t *Tx) ScanIndex(tbl *Table, indexName string, lo, hi uint64, desc bool,
 // policy's attempt budget without committing.
 var ErrLivelock = errors.New("core: transaction livelocked")
 
+// ErrInvalidUsage is the API-misuse class: statement- or setup-level errors
+// caused by the caller (wrong row size, unknown index or proc, logging-mode
+// misconfiguration) rather than by data or contention. It is never produced
+// by a well-formed workload, so harness workers treat it as a run failure,
+// not a per-transaction outcome. All such errors wrap it; match with
+// errors.Is(err, core.ErrInvalidUsage).
+var ErrInvalidUsage = errors.New("core: invalid usage")
+
+// errNeedRunProc is prebuilt because appendLog sits on the commit hot path.
+var errNeedRunProc = fmt.Errorf("core: command logging requires RunProc: %w", ErrInvalidUsage)
+
+// errInsertSize is prebuilt because Insert sits on workload hot paths.
+var errInsertSize = fmt.Errorf("core: insert row size mismatch: %w", ErrInvalidUsage)
+
 // ErrDeadlineExceeded is the terminal deadline abort class: Run returns an
 // error satisfying errors.Is(err, ErrDeadlineExceeded) when the
 // transaction's deadline expires while queued, blocked, backing off, or
@@ -338,7 +356,7 @@ func (t *Tx) Run(body func(tx *Tx) error) error {
 func (t *Tx) RunProc(procID int32, params []byte) error {
 	fn := t.eng.proc(procID)
 	if fn == nil {
-		return errors.New("core: unknown proc")
+		return fmt.Errorf("core: unknown proc %d: %w", procID, ErrInvalidUsage)
 	}
 	return t.run(func(tx *Tx) error { return fn(tx, params) }, procID, params)
 }
@@ -430,6 +448,8 @@ func (t *Tx) deadlineAbort() error {
 // commit drives the protocol commit, post-commit index maintenance, and
 // write-ahead logging. committed reports whether the protocol commit
 // succeeded (after which errors are logging failures, not rollbacks).
+//
+//next700:hotpath
 func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 	e := t.eng
 	inner := t.inner
@@ -495,7 +515,7 @@ func (t *Tx) appendLog(procID int32, params []byte) error {
 	cr.Entries = cr.Entries[:0]
 	if e.cfg.LogMode == wal.ModeCommand {
 		if procID == 0 {
-			return errors.New("core: command logging requires RunProc")
+			return errNeedRunProc
 		}
 		cr.Proc = procID
 		cr.Params = params

@@ -142,7 +142,7 @@ func (d *Device) Write(p []byte) (int, error) {
 			d.written += int64(n)
 		}
 		d.crashed = true
-		return keep, fmt.Errorf("%w (torn write at byte %d)", ErrCrashed, c)
+		return keep, fmt.Errorf("%w (torn write at byte %d)", ErrCrashed, c) //next700:allowalloc(chaos apparatus: the planned crash fires once per torture iteration)
 	}
 	n, err := d.inner.Write(p)
 	d.written += int64(n)
@@ -163,9 +163,9 @@ func (d *Device) Sync() error {
 	d.syncs++
 	if at := d.plan.StallSyncAt; at > 0 && d.syncs >= at && !d.released {
 		if d.stallCh == nil {
-			d.stallCh = make(chan struct{})
+			d.stallCh = make(chan struct{}) //next700:allowalloc(chaos apparatus: the planned stall allocates once when it first fires)
 			if d.plan.StallRelease > 0 {
-				time.AfterFunc(d.plan.StallRelease, d.Release)
+				time.AfterFunc(d.plan.StallRelease, d.Release) //next700:allowalloc(chaos apparatus: release timer for the planned stall)
 			}
 		}
 		ch := d.stallCh

@@ -75,6 +75,31 @@ type RunOptions struct {
 	// admission controller built from this config; rejected transactions
 	// count as ShedAborts and never touch the engine.
 	Admission *admission.Config
+	// AdmissionSampleEvery is the sampling interval for the admission
+	// timeline recorded during open-loop runs with a controller; zero
+	// defaults to Duration/16. Each interval contributes one
+	// Result.AdmissionTimeline sample.
+	AdmissionSampleEvery time.Duration
+}
+
+// AdmissionSample is one periodic observation of the admission controller
+// during an open-loop run.
+type AdmissionSample struct {
+	// Offset is the sample time relative to measurement start.
+	Offset time.Duration
+	// Limit and InFlight are the AIMD concurrency limit and the number of
+	// admissions currently executing; LatencyEWMA is the controller's
+	// smoothed service latency — the signal AIMD steers on.
+	Limit       int
+	InFlight    int
+	LatencyEWMA time.Duration
+	// Admitted and Shed are cumulative counts at the sample instant.
+	Admitted uint64
+	Shed     uint64
+	// ShedRate is the shed fraction within this sample's window alone
+	// (delta-based, not cumulative): shed / (admitted + shed) since the
+	// previous sample.
+	ShedRate float64
 }
 
 // Result is one measurement row.
@@ -122,6 +147,11 @@ type Result struct {
 	// the run (0 = no controller) — under AIMD this is the operating point
 	// the controller converged to.
 	AdmissionLimit int
+	// AdmissionTimeline traces the controller over the run: one sample per
+	// RunOptions.AdmissionSampleEvery plus a closing sample, capturing how
+	// the AIMD limit, the latency EWMA, and the shed rate evolved. Set only
+	// for open-loop runs with a controller configured.
+	AdmissionTimeline []AdmissionSample
 	// AllocsPerTxn / BytesPerTxn are heap allocations and bytes per
 	// committed transaction across the whole process during the measurement
 	// window (set only when RunOptions.MeasureAllocs is on). Aborted

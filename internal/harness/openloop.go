@@ -155,6 +155,58 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 	start := time.Now()
 	close(begin)
 
+	// The admission sampler turns the controller's Snapshot into a
+	// per-window timeline: AIMD limit and latency EWMA at each instant,
+	// plus the shed rate within each window (delta-based, so a burst of
+	// early shedding does not mask late-run health). The closing sample
+	// (on stop) records the operating point the controller converged to.
+	var timeline []AdmissionSample
+	samplerDone := make(chan struct{})
+	if ctrl != nil {
+		every := opts.AdmissionSampleEvery
+		if every <= 0 {
+			every = opts.Duration / 16
+		}
+		if every < time.Millisecond {
+			every = time.Millisecond
+		}
+		go func() {
+			defer close(samplerDone)
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			var prev admission.Stats
+			sample := func() {
+				s := ctrl.Snapshot()
+				dAdmitted, dShed := s.Admitted-prev.Admitted, s.Shed-prev.Shed
+				rate := 0.0
+				if dAdmitted+dShed > 0 {
+					rate = float64(dShed) / float64(dAdmitted+dShed)
+				}
+				timeline = append(timeline, AdmissionSample{
+					Offset:      time.Since(start),
+					Limit:       s.Limit,
+					InFlight:    s.InFlight,
+					LatencyEWMA: s.LatencyEWMA,
+					Admitted:    s.Admitted,
+					Shed:        s.Shed,
+					ShedRate:    rate,
+				})
+				prev = s
+			}
+			for {
+				select {
+				case <-stop:
+					sample()
+					return
+				case <-tick.C:
+					sample()
+				}
+			}
+		}()
+	} else {
+		close(samplerDone)
+	}
+
 	// The arrival generator: exponential inter-arrival times from a seeded
 	// RNG make the offered process Poisson and the run replayable. Sleeps
 	// under ~2ms are skipped (the OS timer would oversleep them), so high
@@ -235,7 +287,9 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 		E2ELatency:     e2eH.Summarize(),
 	}
 	if ctrl != nil {
+		<-samplerDone
 		res.AdmissionLimit = ctrl.Limit()
+		res.AdmissionTimeline = timeline
 	}
 	return res, firstErr
 }

@@ -97,3 +97,52 @@ func TestClosedLoopDeadlineHarmless(t *testing.T) {
 		t.Fatalf("commits=%d deadline_aborts=%d", res.Commits, res.DeadlineAborts)
 	}
 }
+
+// TestAdmissionTimeline checks the per-window controller trace: samples are
+// time-ordered, carry a live limit, are cumulative-consistent, and the
+// closing sample agrees with the Result's final operating point.
+func TestAdmissionTimeline(t *testing.T) {
+	res, err := Run(core.Config{Protocol: "SILO"},
+		workload.NewYCSB(workload.YCSBConfig{Records: 1024, OpsPerTxn: 4}),
+		RunOptions{
+			Threads:              2,
+			Duration:             300 * time.Millisecond,
+			WarmupTxns:           20,
+			Seed:                 1,
+			OfferedRate:          2000,
+			Deadline:             20 * time.Millisecond,
+			Admission:            &admission.Config{MaxQueueWait: 10 * time.Millisecond},
+			AdmissionSampleEvery: 25 * time.Millisecond,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.AdmissionTimeline
+	if len(tl) < 2 {
+		t.Fatalf("timeline has %d samples, want >= 2", len(tl))
+	}
+	for i, s := range tl {
+		if s.Limit <= 0 {
+			t.Fatalf("sample %d: limit = %d", i, s.Limit)
+		}
+		if s.ShedRate < 0 || s.ShedRate > 1 {
+			t.Fatalf("sample %d: shed rate = %v", i, s.ShedRate)
+		}
+		if i == 0 {
+			continue
+		}
+		if s.Offset <= tl[i-1].Offset {
+			t.Fatalf("sample %d: offset %v not after %v", i, s.Offset, tl[i-1].Offset)
+		}
+		if s.Admitted < tl[i-1].Admitted || s.Shed < tl[i-1].Shed {
+			t.Fatalf("sample %d: cumulative counters went backwards", i)
+		}
+	}
+	final := tl[len(tl)-1]
+	if final.Limit != res.AdmissionLimit {
+		t.Fatalf("closing sample limit %d != final AdmissionLimit %d", final.Limit, res.AdmissionLimit)
+	}
+	if final.Admitted == 0 {
+		t.Fatal("controller admitted nothing")
+	}
+}

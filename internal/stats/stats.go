@@ -84,6 +84,8 @@ func leadingZeros64(x uint64) int {
 }
 
 // Record adds a single observation.
+//
+//next700:hotpath
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0
@@ -283,6 +285,8 @@ const counterAlign = 128
 const counterPad = (counterAlign - unsafe.Sizeof(Counter{})%counterAlign) % counterAlign
 
 // paddedCounter is a Counter that owns its cache lines.
+//
+//next700:cachepad(128)
 type paddedCounter struct {
 	Counter
 	_ [counterPad]byte
@@ -308,6 +312,8 @@ func (s *CounterSet) Len() int { return len(s.slots) }
 
 // Slot returns worker i's counter. The slot is not thread-safe; it must be
 // incremented only by the worker that owns it.
+//
+//next700:hotpath
 func (s *CounterSet) Slot(i int) *Counter {
 	return &s.slots[i].Counter
 }

@@ -95,6 +95,7 @@ func (t *Table) ensureChunk(rid RecordID) {
 // requires. Panics if rid was never allocated.
 func (t *Table) Row(rid RecordID) Row {
 	if uint64(rid) >= t.next.Load() {
+		//next700:allowalloc(panic path: formatting a programming-error message happens at most once)
 		panic(fmt.Sprintf("storage: table %q row %d out of range (allocated %d)",
 			t.Name(), rid, t.next.Load()))
 	}

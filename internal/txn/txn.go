@@ -169,7 +169,7 @@ func (t *Txn) Buf(n int) []byte {
 		for size < n {
 			size *= 2
 		}
-		t.arena = make([]byte, size)
+		t.arena = make([]byte, size) //next700:allowalloc(arena growth is amortized by doubling; the steady state reuses retained capacity)
 		t.arenaOff = 0
 	}
 	b := t.arena[t.arenaOff : t.arenaOff+n : t.arenaOff+n]
@@ -179,6 +179,8 @@ func (t *Txn) Buf(n int) []byte {
 
 // AddAccess appends an entry to the access set and returns a pointer to it
 // (stable only until the next AddAccess).
+//
+//next700:hotpath
 func (t *Txn) AddAccess(a Access) *Txn {
 	t.Accesses = append(t.Accesses, a)
 	return t
@@ -201,6 +203,8 @@ func (t *Txn) FindWrite(table *storage.Table, rid storage.RecordID) *Access {
 // by OCC commit phases. The returned slice is descriptor-owned scratch,
 // valid until the next call; capacity is retained across transactions so the
 // steady state allocates nothing.
+//
+//next700:hotpath
 func (t *Txn) SortedWriteIndices() []int {
 	idxs := t.writeIdx[:0]
 	for i := range t.Accesses {

@@ -1,0 +1,32 @@
+package wal
+
+// Regression tests for the ErrClosed shutdown class (surfaced by the
+// abortclass analyzer): a writer that has been Closed must fail operations
+// with an error classifiable as ErrClosed, never a bare sentinel-free error.
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAppendAfterCloseIsErrClosed(t *testing.T) {
+	w := NewWriter(&memDevice{}, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte{1, 2, 3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestWaitDurableAfterCloseWrapsErrClosed(t *testing.T) {
+	w := NewWriter(&memDevice{}, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// An LSN beyond anything appended can never become durable on a closed
+	// writer; the wait must fail with the shutdown class, not hang.
+	if err := w.WaitDurable(1 << 20); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitDurable after Close = %v, want ErrClosed", err)
+	}
+}

@@ -90,6 +90,8 @@ const (
 
 // Encode serializes the record into buf (reusing its storage) and returns
 // the framed bytes.
+//
+//next700:hotpath
 func (cr *CommitRecord) Encode(buf []byte) []byte {
 	b := buf[:0]
 	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
@@ -122,6 +124,16 @@ func (cr *CommitRecord) Encode(buf []byte) []byte {
 // ErrCorrupt reports a CRC mismatch inside the log (as opposed to a clean
 // torn tail, which Replay treats as end-of-log).
 var ErrCorrupt = errors.New("wal: corrupt record")
+
+// ErrClosed is returned by operations on a Writer after Close: Append
+// rejects new records and waiters that cannot become durable report it
+// (wrapped). It is a typed class — callers distinguish an orderly shutdown
+// from a device failure (ErrLogFailed) with errors.Is.
+var ErrClosed = errors.New("wal: writer closed")
+
+// errClosedBeforeDurable is the prebuilt waiter-side wrapping of ErrClosed
+// (prebuilt so the durability wait path stays allocation-free).
+var errClosedBeforeDurable = fmt.Errorf("wal: writer closed before durability: %w", ErrClosed)
 
 // ErrLogFailed is the sticky writer error: once the device has failed
 // non-transiently, every Append and WaitDurable wraps it, all blocked
@@ -250,11 +262,13 @@ func NewWriter(dev Device, window time.Duration) *Writer {
 
 // Append stages an encoded record and returns the LSN a caller must wait
 // for to know it is durable.
+//
+//next700:hotpath
 func (w *Writer) Append(rec []byte) (uint64, error) {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		return 0, errors.New("wal: writer closed")
+		return 0, ErrClosed
 	}
 	if w.err != nil {
 		err := w.err
@@ -291,6 +305,7 @@ func (w *Writer) WaitDurableUntil(lsn uint64, deadline int64) error {
 	return w.waitDurable(lsn, deadline)
 }
 
+//next700:allowalloc(blocked path only: the deadline timer and clock reads happen while parked, never on a commit that finds its LSN durable)
 func (w *Writer) waitDurable(lsn uint64, deadline int64) error {
 	var timer *time.Timer
 	w.mu.Lock()
@@ -315,7 +330,11 @@ func (w *Writer) waitDurable(lsn uint64, deadline int64) error {
 		if w.window == 0 {
 			w.kick()
 		}
-		w.cond.Wait()
+		// Deadline-aware by construction when deadline != 0: the AfterFunc
+		// broadcast above re-wakes this Wait and the loop head re-checks the
+		// deadline. The deadline==0 form is the caller's explicit opt-out
+		// (WaitDurable), kept for loaders and tests.
+		w.cond.Wait() //next700:allowwait(timer broadcast re-wakes; deadline re-checked at loop head; deadline==0 is the caller's opt-out)
 	}
 	if timer != nil {
 		timer.Stop()
@@ -328,7 +347,7 @@ func (w *Writer) waitDurable(lsn uint64, deadline int64) error {
 	if w.err != nil {
 		return w.err
 	}
-	return errors.New("wal: writer closed before durability")
+	return errClosedBeforeDurable
 }
 
 // kick nudges the flusher without blocking.
@@ -369,6 +388,8 @@ const maxRetainedBatchCap = 4 << 20
 // flush writes and syncs the staged buffer. The flushed batch and the
 // staging buffer ping-pong so the steady state appends into retained
 // capacity instead of reallocating per group commit.
+//
+//next700:hotpath
 func (w *Writer) flush() {
 	w.mu.Lock()
 	if w.err != nil {
@@ -404,6 +425,8 @@ func (w *Writer) flush() {
 
 	w.mu.Lock()
 	if err != nil {
+		//next700:allowalloc(device-failure path: the sticky error is built once, after which the writer is dead)
+		//next700:allowalloc(device-failure path: the sticky error is built once, after which the writer is dead)
 		w.err = fmt.Errorf("%w: %w", ErrLogFailed, err)
 		w.failed.Store(true)
 	} else {
@@ -428,7 +451,7 @@ func (w *Writer) Close() error {
 	w.closed = true
 	w.mu.Unlock()
 	close(w.wake)
-	<-w.done
+	<-w.done //next700:allowwait(shutdown join: closing wake guarantees the flusher drains and exits)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.cond.Broadcast()
