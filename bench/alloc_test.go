@@ -55,10 +55,17 @@ func readOnlyYCSBAllocs(t *testing.T, protocol string) float64 {
 // updateTxnAllocs measures steady-state heap allocations per transaction
 // for a fixed 8-update transaction (every record pre-touched, so only the
 // inherent per-commit cost of the protocol and log mode remains).
-func updateTxnAllocs(t *testing.T, protocol string, logMode wal.Mode) float64 {
+func updateTxnAllocs(t *testing.T, protocol string, logMode wal.Mode, streams int) float64 {
 	t.Helper()
 	cfg := core.Config{Protocol: protocol, Threads: 1, Partitions: 1, LogMode: logMode}
-	if logMode != wal.ModeNone {
+	switch {
+	case streams > 1:
+		cfg.WALStreams = streams
+		cfg.LogDevices = make([]wal.Device, streams)
+		for i := range cfg.LogDevices {
+			cfg.LogDevices[i] = discardDev{}
+		}
+	case logMode != wal.ModeNone:
 		cfg.LogDevice = discardDev{}
 	}
 	e, err := core.Open(cfg)
@@ -146,7 +153,7 @@ func TestTxnAllocBudgets(t *testing.T) {
 	}
 	t.Run("Update", func(t *testing.T) {
 		for _, proto := range cc.Names() {
-			got := updateTxnAllocs(t, proto, wal.ModeNone)
+			got := updateTxnAllocs(t, proto, wal.ModeNone, 1)
 			if got > budgets[proto]+slack {
 				t.Errorf("%s: %.2f allocs per 8-update txn, budget %.0f", proto, got, budgets[proto])
 			}
@@ -155,11 +162,23 @@ func TestTxnAllocBudgets(t *testing.T) {
 
 	t.Run("UpdateValueLogged", func(t *testing.T) {
 		for _, proto := range []string{"SILO", "TICTOC", "NO_WAIT"} {
-			got := updateTxnAllocs(t, proto, wal.ModeValue)
+			got := updateTxnAllocs(t, proto, wal.ModeValue, 1)
 			if got > budgets[proto]+slack {
 				t.Errorf("%s+value-log: %.2f allocs per 8-update txn, budget %.0f (logging must add none)",
 					proto, got, budgets[proto])
 			}
+		}
+	})
+
+	// The parallel WAL's commit path — append to the worker's own stream,
+	// wait on the epoch frontier — must hold the same budget as the
+	// single-stream writer: the stream buffer is reused ping-pong and the
+	// epoch patch happens in place.
+	t.Run("UpdateStreamLogged", func(t *testing.T) {
+		got := updateTxnAllocs(t, "SILO", wal.ModeValue, 4)
+		if got > budgets["SILO"]+slack {
+			t.Errorf("SILO+4-stream-log: %.2f allocs per 8-update txn, budget %.0f (parallel WAL must add none)",
+				got, budgets["SILO"])
 		}
 	})
 }

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -38,7 +39,8 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "random seed")
 		logMode    = flag.String("log", "none", "durability: none | value | command")
 		logPath    = flag.String("logpath", "", "WAL file path (required for -log != none)")
-		gcWindow   = flag.Duration("groupcommit", time.Millisecond, "group commit window")
+		gcWindow   = flag.Duration("groupcommit", time.Millisecond, "group commit window (epoch advance period when -wal-streams > 1)")
+		walStreams = flag.Int("wal-streams", 1, "parallel WAL stream count: >1 splits the log across <logpath>.<i> files with an epoch-based durable frontier and writes <logpath>.manifest.json for -recover")
 
 		// YCSB knobs.
 		records = flag.Uint64("records", 262144, "ycsb: table size")
@@ -78,11 +80,23 @@ func main() {
 		admitQueue  = flag.Duration("admit-queue", 0, "admission: max wait for a slot before shedding (0 = bounded only by -deadline)")
 		admitTarget = flag.Duration("admit-target", 0, "admission: AIMD target service latency; adapts the in-flight limit (0 = fixed limit)")
 
+		admitParts = flag.Bool("admit-partitioned", false, "admission: one controller per engine partition (home-partition gating) instead of one global limit")
+
 		doOverload  = flag.Bool("overload", false, "run the overload sweep and exit: measure closed-loop capacity, then offer 1x/2x/3x that rate open-loop, unprotected vs deadline+admission")
 		overloadOut = flag.String("overload-out", "BENCH_overload.json", "output path for the -overload JSON report")
+
+		doWALSweep = flag.Bool("wal-sweep", false, "run the parallel-WAL scaling sweep and exit: SILO + value logging on a bandwidth-limited simulated device at 1/2/4 streams; writes -wal-out")
+		walOut     = flag.String("wal-out", "BENCH_wal.json", "output path for the -wal-sweep JSON report")
 	)
 	flag.Parse()
 
+	if *doWALSweep {
+		runWALSweep(walSweepOpts{
+			Threads: *threads, Duration: *duration, Warmup: *warmup,
+			Seed: *seed, Out: *walOut,
+		})
+		return
+	}
 	if *tortureN > 0 {
 		runTorture(*protocol, *tortureN, *seed)
 		return
@@ -112,12 +126,35 @@ func main() {
 		if *logPath == "" {
 			fatal("-log %s requires -logpath", *logMode)
 		}
-		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-		if err != nil {
-			fatal("open log: %v", err)
+		if *walStreams > 1 {
+			devs := make([]wal.Device, *walStreams)
+			for i := range devs {
+				f, err := os.OpenFile(fmt.Sprintf("%s.%d", *logPath, i),
+					os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+				if err != nil {
+					fatal("open log stream %d: %v", i, err)
+				}
+				defer f.Close()
+				devs[i] = f
+			}
+			mf, err := os.Create(*logPath + ".manifest.json")
+			if err != nil {
+				fatal("create manifest: %v", err)
+			}
+			if err := wal.WriteManifest(mf, wal.Manifest{Streams: *walStreams, Mode: *logMode}); err != nil {
+				fatal("write manifest: %v", err)
+			}
+			mf.Close()
+			cfg.WALStreams = *walStreams
+			cfg.LogDevices = devs
+		} else {
+			f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+			if err != nil {
+				fatal("open log: %v", err)
+			}
+			defer f.Close()
+			cfg.LogDevice = f
 		}
-		defer f.Close()
-		cfg.LogDevice = f
 	}
 
 	var wl workload.Workload
@@ -162,6 +199,7 @@ func main() {
 		opts.Admission = &admission.Config{
 			MaxInFlight: *admitMax, MaxQueueWait: *admitQueue, TargetLatency: *admitTarget,
 		}
+		opts.AdmissionPerPartition = *admitParts
 	}
 	fmt.Printf("next700-bench: %s on %s, %d threads, %v\n",
 		*wlName, *protocol, *threads, *duration)
@@ -181,12 +219,15 @@ func main() {
 		if res.AdmissionLimit > 0 {
 			fmt.Printf("  admission limit: %d\n", res.AdmissionLimit)
 		}
+		if len(res.AdmissionLimits) > 0 {
+			fmt.Printf("  per-partition limits: %v\n", res.AdmissionLimits)
+		}
 	}
 	if *doRecover {
 		if cfg.LogMode == wal.ModeNone {
 			fatal("-recover requires -log value|command")
 		}
-		printRecovery(cfg, wl, *logPath)
+		printRecovery(cfg, wl, *logPath, *walStreams)
 	}
 	if *allocs {
 		fmt.Printf("  allocs/txn=%.2f bytes/txn=%.1f\n", res.AllocsPerTxn, res.BytesPerTxn)
@@ -273,9 +314,15 @@ func runTorture(protocol string, iters int, seed uint64) {
 
 // printRecovery replays the just-written log into a fresh engine (same
 // deterministic workload load) and prints what recovery saw, including the
-// damage accounting for torn tails and CRC-corrupt final records.
-func printRecovery(cfg core.Config, template workload.Workload, logPath string) {
-	cfg.LogDevice = discardDevice{} // the replay engine's own log is irrelevant
+// damage accounting for torn tails and CRC-corrupt final records. With
+// streams > 1 it pairs the manifest with the per-stream files and merges by
+// epoch instead.
+func printRecovery(cfg core.Config, template workload.Workload, logPath string, streams int) {
+	// The replay engine's own log is irrelevant: run it single-stream into
+	// a discard device regardless of how the recovered log was sharded.
+	cfg.LogDevice = discardDevice{}
+	cfg.WALStreams = 0
+	cfg.LogDevices = nil
 	e, err := core.Open(cfg)
 	if err != nil {
 		fatal("recover open: %v", err)
@@ -284,19 +331,49 @@ func printRecovery(cfg core.Config, template workload.Workload, logPath string) 
 	if err := freshWorkload(template).Setup(e); err != nil {
 		fatal("recover setup: %v", err)
 	}
-	lf, err := os.Open(logPath)
-	if err != nil {
-		fatal("recover: %v", err)
-	}
-	defer lf.Close()
 	t0 := time.Now()
-	st, err := e.Recover(lf)
-	if err != nil {
-		fatal("recover: %v", err)
+	var st core.RecoveryStats
+	if streams > 1 {
+		mf, err := os.Open(logPath + ".manifest.json")
+		if err != nil {
+			fatal("recover: %v", err)
+		}
+		m, err := wal.ReadManifest(mf)
+		mf.Close()
+		if err != nil {
+			fatal("recover: %v", err)
+		}
+		readers := make([]io.Reader, m.Streams)
+		for i := range readers {
+			lf, err := os.Open(fmt.Sprintf("%s.%d", logPath, i))
+			if err != nil {
+				fatal("recover stream %d: %v", i, err)
+			}
+			defer lf.Close()
+			readers[i] = lf
+		}
+		st, err = e.RecoverStreams(readers)
+		if err != nil {
+			fatal("recover: %v", err)
+		}
+	} else {
+		lf, err := os.Open(logPath)
+		if err != nil {
+			fatal("recover: %v", err)
+		}
+		defer lf.Close()
+		st, err = e.Recover(lf)
+		if err != nil {
+			fatal("recover: %v", err)
+		}
 	}
 	fmt.Printf("  recovery: records=%d entries=%d skipped=%d procs=%d bytes=%d torn_bytes=%d corrupt_tail=%d in %v\n",
 		st.Records, st.Entries, st.Skipped, st.Procs, st.Bytes, st.TornBytes, st.CorruptTailRecords,
 		time.Since(t0).Round(time.Millisecond))
+	if st.Streams > 1 {
+		fmt.Printf("  recovery: streams=%d frontier_epoch=%d truncated=%d\n",
+			st.Streams, st.FrontierEpoch, st.TruncatedRecords)
+	}
 }
 
 // discardDevice drops log writes (used by the recovery-side engine, whose

@@ -29,6 +29,7 @@ func main() {
 		ops      = flag.Int("ops", 16, "accesses per txn")
 		writes   = flag.Float64("writes", 0.5, "write fraction")
 		horizon  = flag.Uint64("horizon", 2_000_000, "virtual measurement window in cycles")
+		deadline = flag.Uint64("deadline", 0, "per-transaction deadline in virtual cycles: blocked or retrying transactions past it are abandoned as deadline aborts (0 = unbounded waits)")
 		seed     = flag.Uint64("seed", 0x51D, "seed")
 		sweep    = flag.Bool("sweep", false, "run all protocols over a core-count sweep")
 		coreList = flag.String("corelist", "1,4,16,64,256,1024", "core counts for -sweep")
@@ -39,13 +40,16 @@ func main() {
 		r, err := sim.Run(sim.Config{
 			Protocol: *protocol, Cores: *cores, Records: *records, Theta: *theta,
 			OpsPerTxn: *ops, WriteRatio: *writes, Horizon: *horizon, Seed: *seed,
-			Partitions: *cores,
+			Partitions: *cores, Deadline: *deadline,
 		})
 		if err != nil {
 			fatal("%v", err)
 		}
 		fmt.Println(r)
 		fmt.Printf("  commits=%d aborts=%d window=%d cycles\n", r.Commits, r.Aborts, r.Makespan)
+		if *deadline > 0 {
+			fmt.Printf("  deadline_aborts=%d\n", r.DeadlineAborts)
+		}
 		fmt.Printf("  latency cycles: p50=%d p90=%d p99=%d p99.9=%d\n",
 			r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.P999)
 		return

@@ -46,10 +46,19 @@ type Config struct {
 	Isolation string
 	// LogMode selects durability: none, value, or command logging.
 	LogMode wal.Mode
-	// LogDevice is the durable sink when LogMode != ModeNone.
+	// LogDevice is the durable sink when LogMode != ModeNone and
+	// WALStreams <= 1 (the classic single-stream group-commit writer).
 	LogDevice wal.Device
+	// WALStreams selects the parallel-WAL stream count. Above 1 the engine
+	// logs through a wal.StreamSet: workers append to stream
+	// threadID % WALStreams and commit waits block on the epoch-based
+	// durable frontier instead of a per-record LSN.
+	WALStreams int
+	// LogDevices are the per-stream durable sinks when WALStreams > 1;
+	// exactly WALStreams devices are required.
+	LogDevices []wal.Device
 	// GroupCommitWindow is the group-commit batching window (0 = flush on
-	// every commit).
+	// every commit). With WALStreams > 1 it is the epoch advance period.
 	GroupCommitWindow time.Duration
 	// EpochInterval is the Silo epoch advance period (default 10ms).
 	EpochInterval time.Duration
@@ -73,7 +82,18 @@ func (c *Config) normalize() error {
 		c.EpochInterval = 10 * time.Millisecond
 	}
 	c.Retry = c.Retry.normalized()
-	if c.LogMode != wal.ModeNone && c.LogDevice == nil {
+	if c.WALStreams == 1 && c.LogDevice == nil && len(c.LogDevices) == 1 {
+		c.LogDevice = c.LogDevices[0]
+	}
+	if c.WALStreams > 1 {
+		if c.LogMode == wal.ModeNone {
+			return fmt.Errorf("core: WALStreams requires a logging mode: %w", ErrInvalidUsage)
+		}
+		if len(c.LogDevices) != c.WALStreams {
+			return fmt.Errorf("core: WALStreams=%d requires exactly that many LogDevices, have %d: %w",
+				c.WALStreams, len(c.LogDevices), ErrInvalidUsage)
+		}
+	} else if c.LogMode != wal.ModeNone && c.LogDevice == nil {
 		return fmt.Errorf("core: LogMode %v requires a LogDevice: %w", c.LogMode, ErrInvalidUsage)
 	}
 	return nil
@@ -135,6 +155,7 @@ type Engine struct {
 	procs  map[int32]Proc
 
 	logw     *wal.Writer
+	logs     *wal.StreamSet
 	stopTick chan struct{}
 	tickDone chan struct{}
 	closed   bool
@@ -168,7 +189,11 @@ func Open(cfg Config) (*Engine, error) {
 		tickDone: make(chan struct{}),
 	}
 	if cfg.LogMode != wal.ModeNone {
-		e.logw = wal.NewWriter(cfg.LogDevice, cfg.GroupCommitWindow)
+		if cfg.WALStreams > 1 {
+			e.logs = wal.NewStreamSet(cfg.LogDevices, cfg.GroupCommitWindow)
+		} else {
+			e.logw = wal.NewWriter(cfg.LogDevice, cfg.GroupCommitWindow)
+		}
 	}
 	go e.epochTicker()
 	return e, nil
@@ -202,6 +227,9 @@ func (e *Engine) Close() error {
 	<-e.tickDone //next700:allowwait(shutdown join: stopTick close guarantees the epoch ticker exits)
 	if e.logw != nil {
 		return e.logw.Close()
+	}
+	if e.logs != nil {
+		return e.logs.Close()
 	}
 	return nil
 }
@@ -380,12 +408,42 @@ func (e *Engine) proc(id int32) Proc {
 	return e.procs[id]
 }
 
-// DurableLSN returns the log writer's durable LSN (0 when logging is off).
+// DurableLSN returns the log writer's durable LSN (0 when logging is off or
+// the engine logs through a parallel StreamSet — see DurableEpoch).
 func (e *Engine) DurableLSN() uint64 {
 	if e.logw == nil {
 		return 0
 	}
 	return e.logw.Durable()
+}
+
+// DurableEpoch returns the parallel log's durable epoch frontier (0 when
+// the engine is not logging through a StreamSet).
+func (e *Engine) DurableEpoch() uint64 {
+	if e.logs == nil {
+		return 0
+	}
+	return e.logs.DurableEpoch()
+}
+
+// logFailed reports sticky log-device failure for whichever log backend is
+// active; one atomic load on the commit hot path.
+func (e *Engine) logFailed() bool {
+	if e.logw != nil {
+		return e.logw.Failed()
+	}
+	return e.logs != nil && e.logs.Failed()
+}
+
+// logErr returns the sticky log error for the active backend.
+func (e *Engine) logErr() error {
+	if e.logw != nil {
+		return e.logw.Err()
+	}
+	if e.logs != nil {
+		return e.logs.Err()
+	}
+	return nil
 }
 
 // AdvanceEpoch manually advances the Silo epoch (tests and benchmarks).

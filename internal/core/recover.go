@@ -28,6 +28,16 @@ type RecoveryStats struct {
 	// failed at end-of-stream (torn payload of full length). Corruption
 	// before the tail is not skippable and fails recovery instead.
 	CorruptTailRecords int
+	// Streams is the number of log streams merged (1 for single-stream
+	// recovery).
+	Streams int
+	// FrontierEpoch is the merged durable frontier for multi-stream
+	// recovery: the last epoch fully present across all streams.
+	FrontierEpoch uint64
+	// TruncatedRecords counts intact records beyond the frontier that
+	// multi-stream recovery dropped (partially durable epochs are never
+	// resurrected).
+	TruncatedRecords int
 }
 
 // Recover replays a log stream into the engine. The engine must be in its
@@ -71,56 +81,96 @@ func (rv recordVersion) newer(table int32, rid, ver uint64) bool {
 	return true
 }
 
+// applyValueRecord applies one value-logged commit record with
+// applied-if-newer filtering, growing tables and maintaining indexes.
+func (e *Engine) applyValueRecord(cr *wal.CommitRecord, versions recordVersion, rs *RecoveryStats) error {
+	rs.Records++
+	for i := range cr.Entries {
+		en := &cr.Entries[i]
+		th := e.tableByID(int(en.Table))
+		if th == nil {
+			// A structurally valid record naming a table this engine
+			// does not have means the log and the schema diverged —
+			// classified as log corruption for the caller.
+			return fmt.Errorf("core: recovery references unknown table %d: %w", en.Table, wal.ErrCorrupt)
+		}
+		if !versions.newer(en.Table, en.RID, cr.TxnID) {
+			rs.Skipped++
+			continue
+		}
+		rs.Entries++
+		rid := storage.RecordID(en.RID)
+		// Grow the table to cover the logged slot.
+		for th.tbl.NumRows() <= en.RID {
+			th.tbl.Alloc()
+		}
+		switch en.Kind {
+		case wal.EntryDelete:
+			th.tbl.SetTombstone(rid, true)
+			th.primary.Delete(en.Key)
+			for j := range th.secondaries {
+				s := &th.secondaries[j]
+				s.idx.Delete(s.extract(th.sch, th.tbl.Row(rid), en.Key))
+			}
+		case wal.EntryInsert:
+			copy(th.tbl.Row(rid), en.Data)
+			th.tbl.SetTombstone(rid, false)
+			th.primary.Insert(en.Key, rid)
+			for j := range th.secondaries {
+				s := &th.secondaries[j]
+				s.idx.Insert(s.extract(th.sch, storage.Row(en.Data), en.Key), rid)
+			}
+			e.reloadRecord(th, rid, en.Key, en.Data)
+		default: // update
+			copy(th.tbl.Row(rid), en.Data)
+			th.tbl.SetTombstone(rid, false)
+			e.reloadRecord(th, rid, en.Key, en.Data)
+		}
+	}
+	return nil
+}
+
 func (e *Engine) recoverValue(log io.Reader) (RecoveryStats, error) {
-	var rs RecoveryStats
+	rs := RecoveryStats{Streams: 1}
 	versions := make(recordVersion)
 	st, err := wal.ReplayWithStats(log, func(cr *wal.CommitRecord) error {
-		rs.Records++
-		for i := range cr.Entries {
-			en := &cr.Entries[i]
-			th := e.tableByID(int(en.Table))
-			if th == nil {
-				// A structurally valid record naming a table this engine
-				// does not have means the log and the schema diverged —
-				// classified as log corruption for the caller.
-				return fmt.Errorf("core: recovery references unknown table %d: %w", en.Table, wal.ErrCorrupt)
-			}
-			if !versions.newer(en.Table, en.RID, cr.TxnID) {
-				rs.Skipped++
-				continue
-			}
-			rs.Entries++
-			rid := storage.RecordID(en.RID)
-			// Grow the table to cover the logged slot.
-			for th.tbl.NumRows() <= en.RID {
-				th.tbl.Alloc()
-			}
-			switch en.Kind {
-			case wal.EntryDelete:
-				th.tbl.SetTombstone(rid, true)
-				th.primary.Delete(en.Key)
-				for j := range th.secondaries {
-					s := &th.secondaries[j]
-					s.idx.Delete(s.extract(th.sch, th.tbl.Row(rid), en.Key))
-				}
-			case wal.EntryInsert:
-				copy(th.tbl.Row(rid), en.Data)
-				th.tbl.SetTombstone(rid, false)
-				th.primary.Insert(en.Key, rid)
-				for j := range th.secondaries {
-					s := &th.secondaries[j]
-					s.idx.Insert(s.extract(th.sch, storage.Row(en.Data), en.Key), rid)
-				}
-				e.reloadRecord(th, rid, en.Key, en.Data)
-			default: // update
-				copy(th.tbl.Row(rid), en.Data)
-				th.tbl.SetTombstone(rid, false)
-				e.reloadRecord(th, rid, en.Key, en.Data)
-			}
+		return e.applyValueRecord(cr, versions, &rs)
+	})
+	rs.Bytes, rs.TornBytes, rs.CorruptTailRecords = st.Bytes, st.TornBytes, st.CorruptTailRecords
+	return rs, err
+}
+
+// RecoverStreams replays a multi-stream parallel WAL into the engine: the
+// streams are merged by epoch and truncated to the last epoch fully present
+// across all of them (see wal.ReplayStreams). The engine must be freshly
+// loaded, as for Recover. Value mode applies after-images with the same
+// applied-if-newer filtering; command mode re-executes procedures in
+// (epoch, commit-sequence) order — the merged serialization order.
+func (e *Engine) RecoverStreams(logs []io.Reader) (RecoveryStats, error) {
+	var rs RecoveryStats
+	if e.cfg.LogMode != wal.ModeValue && e.cfg.LogMode != wal.ModeCommand {
+		return rs, fmt.Errorf("core: recovery requires a logging mode, have %v: %w", e.cfg.LogMode, ErrInvalidUsage)
+	}
+	versions := make(recordVersion)
+	var tx *Tx
+	st, err := wal.ReplayStreams(logs, func(_ int, cr *wal.CommitRecord) error {
+		if e.cfg.LogMode == wal.ModeValue {
+			return e.applyValueRecord(cr, versions, &rs)
 		}
+		rs.Records++
+		if tx == nil {
+			tx = e.NewTx(0, 0x5ec0Fe5)
+		}
+		// Params alias the replay buffer; copy before re-execution.
+		params := append([]byte(nil), cr.Params...)
+		if err := tx.RunProc(cr.Proc, params); err != nil {
+			return fmt.Errorf("core: proc %d replay: %w", cr.Proc, err)
+		}
+		rs.Procs++
 		return nil
 	})
 	rs.Bytes, rs.TornBytes, rs.CorruptTailRecords = st.Bytes, st.TornBytes, st.CorruptTailRecords
+	rs.Streams, rs.FrontierEpoch, rs.TruncatedRecords = st.Streams, st.Frontier, st.TruncatedRecords
 	return rs, err
 }
 
@@ -135,7 +185,7 @@ func (e *Engine) reloadRecord(th *Table, rid storage.RecordID, key uint64, data 
 }
 
 func (e *Engine) recoverCommand(log io.Reader) (RecoveryStats, error) {
-	var rs RecoveryStats
+	rs := RecoveryStats{Streams: 1}
 	tx := e.NewTx(0, 0x5ec0Fe5)
 	st, err := wal.ReplayWithStats(log, func(cr *wal.CommitRecord) error {
 		rs.Records++

@@ -34,6 +34,9 @@ type Tx struct {
 	// HookedCommitter protocols; building it once per context keeps the
 	// logging commit path allocation-free.
 	seqHook func()
+	// logStream is this worker's parallel-WAL stream (threadID modulo the
+	// stream count); 0 when the engine logs through the single Writer.
+	logStream int
 }
 
 // maxRetainedScanCap bounds the scan scratch capacity a Tx keeps between
@@ -53,6 +56,12 @@ func (e *Engine) NewTx(threadID int, seed uint64) *Tx {
 		// Draw the commit sequence number while writes are still
 		// protected: log replay orders entries by it.
 		t.inner.ID = e.env.TS.Next()
+	}
+	if e.logs != nil {
+		t.logStream = threadID % e.logs.NumStreams()
+		if t.logStream < 0 {
+			t.logStream = 0
+		}
 	}
 	return t
 }
@@ -457,13 +466,14 @@ func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 	// A dead log device cannot make any new commit durable: degrade to a
 	// clean abort instead of committing memory state that would silently
 	// vanish on recovery. One atomic load; free when the log is healthy.
-	if e.logw != nil && e.logw.Failed() {
+	logging := e.logw != nil || e.logs != nil
+	if logging && e.logFailed() {
 		e.proto.Abort(inner)
 		t.retractInserts()
-		return false, e.logw.Err()
+		return false, e.logErr()
 	}
 
-	if e.logw != nil {
+	if logging {
 		if hooked, ok := e.proto.(cc.HookedCommitter); ok {
 			err = hooked.CommitHooked(inner, t.seqHook)
 		} else {
@@ -497,7 +507,7 @@ func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 		}
 	}
 
-	if e.logw != nil && inner.HasWrites() {
+	if logging && inner.HasWrites() {
 		return true, t.appendLog(procID, params)
 	}
 	return true, nil
@@ -545,6 +555,24 @@ func (t *Tx) appendLog(procID int32, params []byte) error {
 		cr.Entries[i].Data = nil
 	}
 	cr.Params = nil
+	if e.logs != nil {
+		// Parallel WAL: append to this worker's own stream (no shared mutex)
+		// and wait on the epoch frontier instead of a per-record LSN.
+		epoch, err := e.logs.Append(t.logStream, t.logBuf)
+		if err != nil {
+			return err
+		}
+		if dl := inner.Deadline; dl != 0 {
+			if werr := e.logs.WaitDurableUntil(t.logStream, epoch, dl); werr != nil {
+				if errors.Is(werr, wal.ErrWaitDeadline) {
+					return errDurabilityDeadline
+				}
+				return werr
+			}
+			return nil
+		}
+		return e.logs.WaitDurable(t.logStream, epoch)
+	}
 	lsn, err := e.logw.Append(t.logBuf)
 	if err != nil {
 		return err

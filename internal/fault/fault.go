@@ -56,6 +56,12 @@ type Plan struct {
 	WriteLatency  time.Duration
 	SyncLatency   time.Duration
 	LatencyJitter time.Duration
+	// WriteByteLatency adds a per-byte delay to each Write on top of
+	// WriteLatency, modeling a bandwidth-limited device: a single log
+	// stream serializes behind its own transfer time, which is what makes
+	// splitting the log across streams pay off. One microsecond per byte
+	// models ~1 MB/s.
+	WriteByteLatency time.Duration
 }
 
 // ErrCrashed is the sticky error every operation returns at and after the
@@ -129,7 +135,7 @@ func NewDevice(inner wal.Device, plan Plan) *Device {
 // torn: the prefix up to the offset reaches the inner device, the rest is
 // lost, and the device is dead from then on.
 func (d *Device) Write(p []byte) (int, error) {
-	d.delay(d.plan.WriteLatency)
+	d.delay(d.plan.WriteLatency + d.plan.WriteByteLatency*time.Duration(len(p)))
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.crashed {

@@ -75,6 +75,16 @@ type RunOptions struct {
 	// admission controller built from this config; rejected transactions
 	// count as ShedAborts and never touch the engine.
 	Admission *admission.Config
+	// AdmissionPerPartition splits admission control by home partition:
+	// instead of one global in-flight limit, every engine partition gets
+	// its own controller built from Admission, and a worker gates through
+	// the controller of its home partition (worker id mod partitions — the
+	// same affinity PartitionLocal workloads and the simulator use). A hot
+	// partition then sheds its own overload without the shared limit
+	// starving the cold ones; this is the natural shape for HSTORE, where
+	// the serializing resource is the partition, not the engine. Ignored
+	// unless Admission is set.
+	AdmissionPerPartition bool
 	// AdmissionSampleEvery is the sampling interval for the admission
 	// timeline recorded during open-loop runs with a controller; zero
 	// defaults to Duration/16. Each interval contributes one
@@ -145,8 +155,14 @@ type Result struct {
 	E2ELatency   stats.Summary
 	// AdmissionLimit is the controller's concurrency limit at the end of
 	// the run (0 = no controller) — under AIMD this is the operating point
-	// the controller converged to.
+	// the controller converged to. With per-partition admission it is the
+	// sum over partitions.
 	AdmissionLimit int
+	// AdmissionLimits are the per-partition limits at the end of the run,
+	// indexed by partition (set only when RunOptions.AdmissionPerPartition
+	// is on). Skew shows up here directly: a hot partition's AIMD limit
+	// decays while the cold partitions stay at their ceiling.
+	AdmissionLimits []int
 	// AdmissionTimeline traces the controller over the run: one sample per
 	// RunOptions.AdmissionSampleEvery plus a closing sample, capturing how
 	// the AIMD limit, the latency EWMA, and the shed rate evolved. Set only

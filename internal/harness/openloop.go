@@ -39,9 +39,23 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 	if budget == 0 {
 		budget = opts.Deadline
 	}
-	var ctrl *admission.Controller
+	// One controller by default; one per engine partition when
+	// AdmissionPerPartition is on. A worker gates through the controller of
+	// its home partition (id mod partitions — matching PartitionLocal
+	// workload affinity), so a hot partition's AIMD limit decays without
+	// choking admissions to the cold ones.
+	var ctrls []*admission.Controller
 	if opts.Admission != nil {
-		ctrl = admission.New(*opts.Admission)
+		n := 1
+		if opts.AdmissionPerPartition {
+			if p := e.Config().Partitions; p > 1 {
+				n = p
+			}
+		}
+		ctrls = make([]*admission.Controller, n)
+		for i := range ctrls {
+			ctrls[i] = admission.New(*opts.Admission)
+		}
 	}
 
 	type workerOut struct {
@@ -68,6 +82,10 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 		go func(id int) {
 			defer wg.Done()
 			tx := e.NewTx(id, opts.Seed*1_000_003+uint64(id)+1)
+			var ctrl *admission.Controller
+			if len(ctrls) > 0 {
+				ctrl = ctrls[id%len(ctrls)]
+			}
 			out := &outs[id]
 			out.svc, out.queue, out.e2e = stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
 			for w := 0; w < opts.WarmupTxns; w++ {
@@ -162,7 +180,7 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 	// (on stop) records the operating point the controller converged to.
 	var timeline []AdmissionSample
 	samplerDone := make(chan struct{})
-	if ctrl != nil {
+	if len(ctrls) > 0 {
 		every := opts.AdmissionSampleEvery
 		if every <= 0 {
 			every = opts.Duration / 16
@@ -170,13 +188,31 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 		if every < time.Millisecond {
 			every = time.Millisecond
 		}
+		// With per-partition controllers the timeline aggregates: limits,
+		// in-flight, and counts sum across partitions; the EWMA reported is
+		// the worst (highest) partition's — the one actually steering shed
+		// decisions somewhere.
+		snapshot := func() admission.Stats {
+			var agg admission.Stats
+			for _, c := range ctrls {
+				s := c.Snapshot()
+				agg.Limit += s.Limit
+				agg.InFlight += s.InFlight
+				agg.Admitted += s.Admitted
+				agg.Shed += s.Shed
+				if s.LatencyEWMA > agg.LatencyEWMA {
+					agg.LatencyEWMA = s.LatencyEWMA
+				}
+			}
+			return agg
+		}
 		go func() {
 			defer close(samplerDone)
 			tick := time.NewTicker(every)
 			defer tick.Stop()
 			var prev admission.Stats
 			sample := func() {
-				s := ctrl.Snapshot()
+				s := snapshot()
 				dAdmitted, dShed := s.Admitted-prev.Admitted, s.Shed-prev.Shed
 				rate := 0.0
 				if dAdmitted+dShed > 0 {
@@ -286,9 +322,17 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 		QueueLatency:   queueH.Summarize(),
 		E2ELatency:     e2eH.Summarize(),
 	}
-	if ctrl != nil {
+	if len(ctrls) > 0 {
 		<-samplerDone
-		res.AdmissionLimit = ctrl.Limit()
+		for _, c := range ctrls {
+			res.AdmissionLimit += c.Limit()
+		}
+		if opts.AdmissionPerPartition {
+			res.AdmissionLimits = make([]int, len(ctrls))
+			for i, c := range ctrls {
+				res.AdmissionLimits[i] = c.Limit()
+			}
+		}
 		res.AdmissionTimeline = timeline
 	}
 	return res, firstErr

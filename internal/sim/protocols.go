@@ -30,9 +30,12 @@ type partitionState struct {
 	waiters []int
 }
 
-// protocolModel advances one core by one step at s.now.
+// protocolModel advances one core by one step at s.now. expireIfParked
+// handles a fired deadline check: abandon the core's transaction if it is
+// still parked under the same wait generation.
 type protocolModel interface {
 	attempt(core int)
+	expireIfParked(core int, gen uint64)
 }
 
 func newProtocolModel(cfg *Config, s *Sim) protocolModel {
@@ -68,6 +71,15 @@ type attemptState struct {
 	obs2      []uint64
 	heldKeys  []uint64 // lock-based / TO pendings
 	heldMode  []bool   // exclusive?
+
+	// Parked-wait bookkeeping for deadline expiry: parked is true while the
+	// core sits in a lock or partition waiter queue, waitKey/waitPart name
+	// the queue (so expiry can remove it), and waitGen increments at every
+	// park so a stale deadline check from a completed wait never fires.
+	parked   bool
+	waitKey  uint64
+	waitPart int
+	waitGen  uint64
 }
 
 func (a *attemptState) reset() {
@@ -76,6 +88,20 @@ func (a *attemptState) reset() {
 	a.partsHeld = 0
 	a.heldKeys = a.heldKeys[:0]
 	a.heldMode = a.heldMode[:0]
+	a.parked = false
+}
+
+// park records that the core entered a waiter queue and, when a deadline is
+// configured, schedules the matching expiry check.
+func (m *model) park(core int, key uint64, part int) {
+	a := &m.att[core]
+	a.parked = true
+	a.waitKey = key
+	a.waitPart = part
+	a.waitGen++
+	if dl := m.cfg.Deadline; dl > 0 {
+		m.s.scheduleDeadline(core, m.s.cores[core].txnStart+dl, a.waitGen)
+	}
 }
 
 // model implements all protocol families over the shared record map.
@@ -110,6 +136,10 @@ func (m *model) rec(key uint64) *record {
 
 // attempt implements protocolModel.
 func (m *model) attempt(core int) {
+	if dl := m.cfg.Deadline; dl > 0 && m.s.now >= m.s.cores[core].txnStart+dl {
+		m.expire(core, m.s.now)
+		return
+	}
 	switch m.cfg.Protocol {
 	case "NO_WAIT", "WAIT_DIE", "DL_DETECT":
 		m.stepLock(core)
@@ -179,6 +209,7 @@ func (m *model) stepLock(core int) {
 			}
 		}
 		r.waiters = append(r.waiters, waiter{core: core, exclusive: excl})
+		m.park(core, key, 0)
 	case "DL_DETECT":
 		holders := m.lockHolders(r, core, excl)
 		// Charge the shared-graph latch plus per-edge traversal.
@@ -206,6 +237,7 @@ func (m *model) stepLock(core int) {
 			edgesOf[h] = true
 		}
 		r.waiters = append(r.waiters, waiter{core: core, exclusive: excl})
+		m.park(core, key, 0)
 	}
 }
 
@@ -337,6 +369,7 @@ func (m *model) wakeWaiters(r *record, t uint64) {
 		if m.waitsFor != nil {
 			delete(m.waitsFor, w.core)
 		}
+		m.att[w.core].parked = false
 		m.s.schedule(w.core, t)
 	}
 }
@@ -537,6 +570,61 @@ func (m *model) abortOCC(core int) {
 	m.s.abortTxn(core, m.s.now)
 }
 
+// ---- deadline expiry ----
+
+// expireIfParked implements the fired deadline check: a core still parked
+// under the same wait generation is expired; anything else is stale.
+func (m *model) expireIfParked(core int, gen uint64) {
+	a := &m.att[core]
+	if !a.parked || a.waitGen != gen {
+		return
+	}
+	m.expire(core, m.s.now)
+}
+
+// expire abandons core's in-flight transaction at time t: protocol state is
+// released exactly as for an abort — parked cores are removed from their
+// waiter queue first — but nothing is retried; the deadline has passed, so
+// the core reports a deadline abort and moves on.
+func (m *model) expire(core int, t uint64) {
+	c := &m.s.cores[core]
+	a := &m.att[core]
+	switch m.cfg.Protocol {
+	case "NO_WAIT", "WAIT_DIE", "DL_DETECT":
+		if a.parked {
+			r := m.rec(a.waitKey)
+			for i, w := range r.waiters {
+				if w.core == core {
+					r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		m.releaseAllLocks(core, t)
+	case "TIMESTAMP", "MVCC":
+		for _, key := range a.heldKeys {
+			r := m.rec(key)
+			if r.pending == c.ts {
+				r.pending = 0
+			}
+		}
+		c.ts = 0
+	case "HSTORE":
+		if a.parked {
+			ps := &m.parts[a.waitPart]
+			for i, w := range ps.waiters {
+				if w == core {
+					ps.waiters = append(ps.waiters[:i], ps.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		m.releaseParts(core, t)
+	}
+	a.reset()
+	m.s.deadlineAbort(core, t)
+}
+
 // ---- HSTORE ----
 
 func (m *model) stepHStore(core int) {
@@ -562,6 +650,7 @@ func (m *model) stepHStore(core int) {
 			return
 		}
 		ps.waiters = append(ps.waiters, core)
+		m.park(core, 0, p)
 		return
 	}
 
@@ -574,19 +663,28 @@ func (m *model) stepHStore(core int) {
 	}
 
 	end := s.now + m.cfg.Costs.CommitPerOp
-	for _, p := range c.parts {
-		ps := &m.parts[p]
-		if ps.owner == core {
-			ps.owner = -1
-			if len(ps.waiters) > 0 {
-				next := ps.waiters[0]
-				ps.waiters = ps.waiters[1:]
-				ps.owner = next
-				m.att[next].partsHeld++
-				s.schedule(next, end)
-			}
-		}
-	}
+	m.releaseParts(core, end)
 	a.reset()
 	s.commitTxn(core, end)
+}
+
+// releaseParts drops every partition core holds at time t, handing each to
+// its next queued waiter.
+func (m *model) releaseParts(core int, t uint64) {
+	c := &m.s.cores[core]
+	for _, p := range c.parts {
+		ps := &m.parts[p]
+		if ps.owner != core {
+			continue
+		}
+		ps.owner = -1
+		if len(ps.waiters) > 0 {
+			next := ps.waiters[0]
+			ps.waiters = ps.waiters[1:]
+			ps.owner = next
+			m.att[next].partsHeld++
+			m.att[next].parked = false
+			m.s.schedule(next, t)
+		}
+	}
 }

@@ -81,6 +81,13 @@ type Config struct {
 	Costs CostModel
 	// Seed for reproducibility.
 	Seed uint64
+	// Deadline, when > 0, bounds each logical transaction to that many
+	// cycles from its first attempt start. A transaction that cannot commit
+	// by its deadline is abandoned — parked waiters are pulled out of lock
+	// and partition queues, retries that would land past the deadline are
+	// not scheduled — and the core moves on to a fresh transaction. Counted
+	// in Result.DeadlineAborts. Zero keeps the historical unbounded waits.
+	Deadline uint64
 }
 
 func (c *Config) normalize() error {
@@ -122,6 +129,9 @@ type Result struct {
 	Cores    int
 	// Commits and Aborts across all cores.
 	Commits, Aborts uint64
+	// DeadlineAborts counts transactions abandoned at their deadline
+	// (subset of Aborts; 0 unless Config.Deadline is set).
+	DeadlineAborts uint64
 	// Makespan is the measurement window (the configured horizon).
 	Makespan uint64
 	// Throughput is commits per million cycles (per-GHz-core: ≈ txn/ms).
@@ -139,11 +149,14 @@ func (r Result) String() string {
 		r.Protocol, r.Cores, r.Throughput, r.AbortRate, r.Latency.P99)
 }
 
-// event is a scheduled core resumption.
+// event is a scheduled core resumption. gen != 0 marks a deadline check for
+// a parked core: it fires only if the core is still parked on the same wait
+// generation (stale checks from completed waits are ignored).
 type event struct {
 	at   uint64
 	core int
 	seq  uint64 // tiebreak for determinism
+	gen  uint64
 }
 
 type eventQueue []event
@@ -187,6 +200,7 @@ type Sim struct {
 	model protocolModel
 
 	commits, aborts uint64
+	deadlineAborts  uint64
 	makespan        uint64
 	latency         *stats.Histogram
 }
@@ -220,6 +234,12 @@ func (s *Sim) schedule(core int, at uint64) {
 	heap.Push(&s.queue, event{at: at, core: core, seq: s.seq})
 }
 
+// scheduleDeadline enqueues a deadline check for a core that just parked.
+func (s *Sim) scheduleDeadline(core int, at, gen uint64) {
+	s.seq++
+	heap.Push(&s.queue, event{at: at, core: core, seq: s.seq, gen: gen})
+}
+
 // Run executes the simulation to completion and returns the result.
 func Run(cfg Config) (Result, error) {
 	s, err := New(cfg)
@@ -241,15 +261,20 @@ func Run(cfg Config) (Result, error) {
 			continue // past the measurement window
 		}
 		s.now = ev.at
+		if ev.gen != 0 {
+			s.model.expireIfParked(ev.core, ev.gen)
+			continue
+		}
 		s.model.attempt(ev.core)
 	}
 	res := Result{
-		Protocol: s.cfg.Protocol,
-		Cores:    s.cfg.Cores,
-		Commits:  s.commits,
-		Aborts:   s.aborts,
-		Makespan: s.cfg.Horizon,
-		Latency:  s.latency.Summarize(),
+		Protocol:       s.cfg.Protocol,
+		Cores:          s.cfg.Cores,
+		Commits:        s.commits,
+		Aborts:         s.aborts,
+		DeadlineAborts: s.deadlineAborts,
+		Makespan:       s.cfg.Horizon,
+		Latency:        s.latency.Summarize(),
 	}
 	res.Throughput = float64(s.commits) / (float64(s.cfg.Horizon) / 1e6)
 	if s.commits+s.aborts > 0 {
@@ -317,13 +342,31 @@ func (s *Sim) commitTxn(i int, end uint64) {
 	s.schedule(i, end)
 }
 
-// abortTxn reschedules a retry of the same transaction after backoff.
+// abortTxn reschedules a retry of the same transaction after backoff — or,
+// when the retry would land past the transaction's deadline, abandons it as
+// a deadline abort instead of retrying into certain expiry.
 func (s *Sim) abortTxn(i int, at uint64) {
 	c := &s.cores[i]
-	s.aborts++
 	backoff := s.cfg.Costs.AbortPenalty
 	if s.cfg.Costs.BackoffBase > 0 {
 		backoff += c.rng.Uint64n(2*s.cfg.Costs.BackoffBase) + 1
 	}
+	if s.cfg.Deadline > 0 && at+backoff >= c.txnStart+s.cfg.Deadline {
+		s.deadlineAbort(i, at)
+		return
+	}
+	s.aborts++
 	s.schedule(i, at+backoff)
+}
+
+// deadlineAbort abandons the in-flight transaction at time at: its deadline
+// has passed (or no retry can beat it), so the core gives up on it and
+// moves on to a fresh transaction. Protocol state must already be released.
+func (s *Sim) deadlineAbort(i int, at uint64) {
+	c := &s.cores[i]
+	s.aborts++
+	s.deadlineAborts++
+	s.generate(i)
+	c.txnStart = at
+	s.schedule(i, at)
 }

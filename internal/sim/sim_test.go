@@ -214,3 +214,87 @@ func TestHorizonBoundsWork(t *testing.T) {
 		t.Fatalf("makespan %d", r.Makespan)
 	}
 }
+
+// TestDeadlineBoundsTransactions: with a per-transaction deadline, every
+// protocol still makes progress, contended runs report deadline aborts, the
+// deadline-abort count stays within the total abort count, and runs remain
+// deterministic. Deadline 0 must keep the historical behavior: no deadline
+// aborts at all.
+func TestDeadlineBoundsTransactions(t *testing.T) {
+	for _, p := range allSimProtocols {
+		t.Run(p, func(t *testing.T) {
+			cfg := Config{
+				Protocol: p, Cores: 16, Records: 256, Theta: 0.9,
+				OpsPerTxn: 8, WriteRatio: 0.8, Horizon: 500_000, Seed: 7,
+				Deadline: 20_000,
+			}
+			if p == "HSTORE" {
+				cfg.MultiPartitionFraction = 0.4
+			}
+			a := run(t, cfg)
+			if a.Commits == 0 {
+				t.Fatalf("no commits under deadline: %+v", a)
+			}
+			if a.DeadlineAborts > a.Aborts {
+				t.Fatalf("deadline aborts %d exceed total aborts %d", a.DeadlineAborts, a.Aborts)
+			}
+			b := run(t, cfg)
+			if a.Commits != b.Commits || a.DeadlineAborts != b.DeadlineAborts {
+				t.Fatalf("%s not deterministic under deadline: %+v vs %+v", p, a, b)
+			}
+			cfg.Deadline = 0
+			c := run(t, cfg)
+			if c.DeadlineAborts != 0 {
+				t.Fatalf("deadline aborts without a deadline: %+v", c)
+			}
+		})
+	}
+}
+
+// TestDeadlineExpiresParkedWaiters drives the parked-wait path specifically:
+// WAIT_DIE and HSTORE park losers in waiter queues, so a tight deadline on a
+// hot workload must convert some of those waits into deadline aborts rather
+// than let cores sit out the horizon.
+func TestDeadlineExpiresParkedWaiters(t *testing.T) {
+	for _, p := range []string{"WAIT_DIE", "HSTORE"} {
+		t.Run(p, func(t *testing.T) {
+			cfg := Config{
+				Protocol: p, Cores: 16, Records: 64, Theta: 0.99,
+				OpsPerTxn: 8, WriteRatio: 0.9, Horizon: 500_000, Seed: 3,
+				Deadline: 10_000,
+			}
+			if p == "HSTORE" {
+				cfg.Partitions = 4
+				cfg.MultiPartitionFraction = 0.6
+			}
+			r := run(t, cfg)
+			if r.DeadlineAborts == 0 {
+				t.Fatalf("hot %s run with tight deadline reported no deadline aborts: %+v", p, r)
+			}
+			if r.Commits == 0 {
+				t.Fatalf("no commits: %+v", r)
+			}
+		})
+	}
+}
+
+// TestDeadlineCapsTailLatency: the committed-latency tail must respect the
+// deadline — a transaction that cannot commit inside it is abandoned, so no
+// commit can record a latency beyond deadline + one commit install.
+func TestDeadlineCapsTailLatency(t *testing.T) {
+	for _, p := range allSimProtocols {
+		cfg := Config{
+			Protocol: p, Cores: 16, Records: 256, Theta: 0.9,
+			OpsPerTxn: 8, WriteRatio: 0.8, Horizon: 500_000, Seed: 11,
+			Deadline: 50_000,
+		}
+		r := run(t, cfg)
+		// Commit work scheduled strictly before the deadline may finish just
+		// past it; anything further means a wait outlived its deadline.
+		slack := cfg.Deadline + uint64(2*cfg.OpsPerTxn)*DefaultCosts().CommitPerOp + DefaultCosts().Access
+		if uint64(r.Latency.Max) > slack {
+			t.Fatalf("%s: max commit latency %d exceeds deadline %d + slack (%d)",
+				p, r.Latency.Max, cfg.Deadline, slack)
+		}
+	}
+}

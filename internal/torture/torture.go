@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"next700/internal/core"
@@ -57,6 +58,12 @@ type Config struct {
 	LogMode wal.Mode
 	// Workers is the number of concurrent workers (default 3).
 	Workers int
+	// WALStreams, when > 1, runs the engine on a parallel WAL with that
+	// many streams, each wrapped in its own chaos device with an
+	// independently seeded crash offset — so one stream can tear mid-epoch
+	// while another completes it, the torn-epoch case the recovery merge
+	// must truncate rather than resurrect.
+	WALStreams int
 	// AccountsPerWorker sizes each worker's private account partition
 	// (default 8).
 	AccountsPerWorker int
@@ -89,6 +96,12 @@ type Config struct {
 func (c Config) normalized() Config {
 	if c.Workers <= 0 {
 		c.Workers = 3
+	}
+	if c.WALStreams <= 0 {
+		c.WALStreams = 1
+	}
+	if c.WALStreams > c.Workers {
+		c.WALStreams = c.Workers
 	}
 	if c.AccountsPerWorker <= 0 {
 		c.AccountsPerWorker = 8
@@ -168,16 +181,23 @@ func encodeParams(worker uint32, from, to uint64, delta int64, hot bool) []byte 
 	return p
 }
 
-// buildEngine opens an engine on dev, creates and loads the account table,
+// buildEngine opens an engine on the given per-stream devices (one device =
+// the classic single-stream writer), creates and loads the account table,
 // and registers the transfer procedure. The load is deterministic so a
 // fresh engine plus log replay reconstructs the crashed engine's state.
-func buildEngine(cfg Config, dev wal.Device) (*core.Engine, *core.Table, error) {
-	e, err := core.Open(core.Config{
-		Protocol:  cfg.Protocol,
-		Threads:   cfg.Workers,
-		LogMode:   cfg.LogMode,
-		LogDevice: dev,
-	})
+func buildEngine(cfg Config, devs []wal.Device) (*core.Engine, *core.Table, error) {
+	ecfg := core.Config{
+		Protocol: cfg.Protocol,
+		Threads:  cfg.Workers,
+		LogMode:  cfg.LogMode,
+	}
+	if len(devs) > 1 {
+		ecfg.WALStreams = len(devs)
+		ecfg.LogDevices = devs
+	} else {
+		ecfg.LogDevice = devs[0]
+	}
+	e, err := core.Open(ecfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -248,9 +268,9 @@ func buildEngine(cfg Config, dev wal.Device) (*core.Engine, *core.Table, error) 
 // overshoots simply close cleanly — the no-crash path needs coverage too).
 func estimatedRecordBytes(mode wal.Mode) int {
 	if mode == wal.ModeCommand {
-		return 54 // header + txnid + proc + params(29)
+		return 62 // header + txnid + epoch + proc + params(29)
 	}
-	return 140 // header + txnid + ~3.25 entries of 33 bytes
+	return 148 // header + txnid + epoch + ~3.25 entries of 33 bytes
 }
 
 // Run executes one torture iteration and verifies the invariants against
@@ -260,15 +280,27 @@ func Run(cfg Config) (Result, error) {
 	res := Result{Seed: cfg.Seed}
 	rng := xrand.New(cfg.Seed)
 
-	plan := fault.Plan{Seed: cfg.Seed, TransientSyncEvery: cfg.TransientSyncEvery}
-	if !cfg.NoCrash {
-		est := cfg.Workers * cfg.TxnsPerWorker * estimatedRecordBytes(cfg.LogMode)
-		plan.CrashAtByte = 1 + int64(rng.Uint64n(uint64(est)*5/4))
+	// One chaos device per stream, each with an independently drawn crash
+	// offset scaled to its share of the record volume — so streams tear at
+	// unrelated points and epochs end up partially durable across the set.
+	// With WALStreams == 1 the draws reduce exactly to the historical
+	// single-device sequence, keeping existing seeds' coverage.
+	streams := cfg.WALStreams
+	perStream := cfg.Workers * cfg.TxnsPerWorker * estimatedRecordBytes(cfg.LogMode) / streams
+	mems := make([]*fault.MemDevice, streams)
+	fdevs := make([]*fault.Device, streams)
+	devs := make([]wal.Device, streams)
+	for i := range mems {
+		plan := fault.Plan{Seed: cfg.Seed + uint64(i), TransientSyncEvery: cfg.TransientSyncEvery}
+		if !cfg.NoCrash {
+			plan.CrashAtByte = 1 + int64(rng.Uint64n(uint64(perStream)*5/4))
+		}
+		mems[i] = &fault.MemDevice{}
+		fdevs[i] = fault.NewDevice(mems[i], plan)
+		devs[i] = fdevs[i]
 	}
-	mem := &fault.MemDevice{}
-	dev := fault.NewDevice(mem, plan)
 
-	e, _, err := buildEngine(cfg, dev)
+	e, _, err := buildEngine(cfg, devs)
 	if err != nil {
 		return res, err
 	}
@@ -294,35 +326,59 @@ func Run(cfg Config) (Result, error) {
 		}(w)
 	}
 	wg.Wait()
-	res.Crashed = dev.Crashed()
+	for _, fd := range fdevs {
+		if fd.Crashed() {
+			res.Crashed = true
+		}
+	}
 	e.Close() // a failed close just reports the already-observed log death
 
-	// The survivor: the synced prefix is guaranteed; the unsynced written
-	// tail survives up to a seeded cut (modeling arbitrary loss of
-	// buffered-but-unsynced bytes, including a torn final record).
-	data := mem.Bytes()
-	synced := mem.SyncedLen()
-	res.SyncedBytes = synced
-	cut := synced
-	if len(data) > synced {
-		cut += int(rng.Uint64n(uint64(len(data)-synced) + 1))
+	// The survivors: each stream's synced prefix is guaranteed; its unsynced
+	// written tail survives up to an independently seeded cut (modeling
+	// arbitrary loss of buffered-but-unsynced bytes per device, including a
+	// torn final record). Under multi-stream runs this is exactly the
+	// torn-epoch shape: one stream keeps its tail, another loses it.
+	survivors := make([][]byte, streams)
+	for i, mem := range mems {
+		data := mem.Bytes()
+		synced := mem.SyncedLen()
+		res.SyncedBytes += synced
+		cut := synced
+		if len(data) > synced {
+			cut += int(rng.Uint64n(uint64(len(data)-synced) + 1))
+		}
+		survivors[i] = data[:cut]
 	}
-	survivor := data[:cut]
 	if cfg.SkipTailRecords > 0 {
-		survivor = dropTailRecords(survivor, cfg.SkipTailRecords)
+		survivors[0] = dropTailRecords(survivors[0], cfg.SkipTailRecords)
 	}
-	res.SurvivorBytes = len(survivor)
+	for _, s := range survivors {
+		res.SurvivorBytes += len(s)
+	}
 	for _, a := range acked {
 		res.Acked += a
 	}
 
 	// Replay into a fresh engine built from the same deterministic load.
-	e2, tbl2, err := buildEngine(cfg, &fault.MemDevice{})
+	rdevs := make([]wal.Device, streams)
+	for i := range rdevs {
+		rdevs[i] = &fault.MemDevice{}
+	}
+	e2, tbl2, err := buildEngine(cfg, rdevs)
 	if err != nil {
 		return res, err
 	}
 	defer e2.Close()
-	rs, err := e2.Recover(bytes.NewReader(survivor))
+	var rs core.RecoveryStats
+	if streams > 1 {
+		readers := make([]io.Reader, streams)
+		for i := range survivors {
+			readers[i] = bytes.NewReader(survivors[i])
+		}
+		rs, err = e2.RecoverStreams(readers)
+	} else {
+		rs, err = e2.Recover(bytes.NewReader(survivors[0]))
+	}
 	res.Recovery = rs
 	if err != nil {
 		return res, fmt.Errorf("torture: recovery failed (seed %d): %w", cfg.Seed, err)
@@ -475,22 +531,25 @@ func probeRecovered(cfg Config, e *core.Engine) (int, error) {
 	return rep.Txns, nil
 }
 
-// dropTailRecords removes the last n intact framed records from b,
-// preserving any torn tail removal as well (the torn bytes beyond the last
-// intact boundary go first, then whole records).
+// dropTailRecords removes the last n intact framed commit records from b,
+// plus everything after the n-th-from-last one (any torn tail and any
+// trailing epoch markers — the negative control must lose commits, not just
+// marker frames). A stream with no markers truncates exactly as before.
 func dropTailRecords(b []byte, n int) []byte {
-	var ends []int
+	var starts []int // start offsets of commit-record frames only
 	off := 0
 	for off+8 <= len(b) {
 		size := int(binary.LittleEndian.Uint32(b[off:]))
 		if size <= 0 || off+8+size > len(b) {
 			break
 		}
+		if !wal.IsMarkerPayload(b[off+8 : off+8+size]) {
+			starts = append(starts, off)
+		}
 		off += 8 + size
-		ends = append(ends, off)
 	}
-	if n >= len(ends) {
+	if n >= len(starts) {
 		return b[:0]
 	}
-	return b[:ends[len(ends)-1-n]]
+	return b[:starts[len(starts)-n]]
 }

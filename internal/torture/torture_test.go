@@ -71,6 +71,116 @@ func TestCrashRecoveryTorture(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryTortureStreams runs the torture loop on the parallel WAL
+// with one chaos device per stream: independently drawn crash offsets and
+// unsynced-tail cuts mean epochs routinely end up torn — present in one
+// stream, missing in another — and the recovery merge must truncate them to
+// the last fully present epoch without ever losing an acked commit.
+func TestCrashRecoveryTortureStreams(t *testing.T) {
+	protocols := []string{"SILO", "MVCC"}
+	modes := []struct {
+		name string
+		mode wal.Mode
+	}{
+		{"value", wal.ModeValue},
+		{"command", wal.ModeCommand},
+	}
+	seeds := tortureSeeds(t)
+	for _, protocol := range protocols {
+		for _, m := range modes {
+			protocol, m := protocol, m
+			t.Run(protocol+"/"+m.name, func(t *testing.T) {
+				t.Parallel()
+				var crashed, truncated int
+				for s := 0; s < seeds; s++ {
+					seed := uint64(s)*0x517cc1b7 + uint64(len(protocol)) + uint64(m.mode)
+					res, err := Run(Config{
+						Protocol:           protocol,
+						LogMode:            m.mode,
+						Workers:            4,
+						WALStreams:         3,
+						Seed:               seed,
+						TransientSyncEvery: 5,
+						VerifyRecovered:    m.mode == wal.ModeValue,
+					})
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if res.Recovery.Streams != 3 {
+						t.Fatalf("seed %d: recovered %d streams, want 3", seed, res.Recovery.Streams)
+					}
+					if res.Crashed {
+						crashed++
+					}
+					if res.Recovery.TruncatedRecords > 0 {
+						truncated++
+					}
+				}
+				if crashed == 0 {
+					t.Fatalf("no seed crashed in %d iterations", seeds)
+				}
+				// The torn-epoch case: some seed must have left intact
+				// records beyond the merged frontier that recovery refused
+				// to resurrect. This is the invariant the multi-stream
+				// harness exists to exercise.
+				if truncated == 0 {
+					t.Fatalf("no seed truncated a torn epoch in %d iterations", seeds)
+				}
+			})
+		}
+	}
+}
+
+// TestTortureStreamsDetectsDroppedRecord: the negative control must still
+// fire through the multi-stream merge — dropping the last commit record
+// (not merely a marker frame) from stream 0 of a cleanly shut down run has
+// to trip the durability check.
+func TestTortureStreamsDetectsDroppedRecord(t *testing.T) {
+	for _, m := range []struct {
+		name string
+		mode wal.Mode
+	}{{"value", wal.ModeValue}, {"command", wal.ModeCommand}} {
+		t.Run(m.name, func(t *testing.T) {
+			_, err := Run(Config{
+				Protocol:        "SILO",
+				LogMode:         m.mode,
+				Workers:         4,
+				WALStreams:      3,
+				Seed:            11,
+				NoCrash:         true,
+				SkipTailRecords: 1,
+			})
+			if !errors.Is(err, ErrDurability) {
+				t.Fatalf("dropped record not detected: err=%v", err)
+			}
+		})
+	}
+}
+
+// TestTortureStreamsCleanRun: a clean multi-stream shutdown must recover
+// every commit with nothing truncated.
+func TestTortureStreamsCleanRun(t *testing.T) {
+	res, err := Run(Config{
+		Protocol: "SILO", LogMode: wal.ModeValue,
+		Workers: 4, WALStreams: 4, Seed: 3, NoCrash: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed {
+		t.Fatal("NoCrash run reported a crash")
+	}
+	if want := 4 * 40; res.Acked != want {
+		t.Fatalf("acked %d, want %d", res.Acked, want)
+	}
+	if res.Recovery.TruncatedRecords != 0 {
+		t.Fatalf("clean run truncated records: %+v", res.Recovery)
+	}
+	if res.Recovery.Records != res.Acked {
+		t.Fatalf("recovered %d records, acked %d", res.Recovery.Records, res.Acked)
+	}
+}
+
 // TestTortureDetectsDroppedRecord is the harness's negative control: with a
 // clean shutdown every commit is acknowledged, so silently dropping the
 // last log record MUST trip the durability check. A harness that passes

@@ -81,6 +81,7 @@ func buildLog(seed uint64, n int) (recs []CommitRecord, log []byte, ends []int) 
 	for i := 0; i < n; i++ {
 		var cr CommitRecord
 		cr.TxnID = rng.Uint64()
+		cr.Epoch = rng.Uint64n(1 << 20)
 		if rng.Bool(0.3) {
 			cr.Proc = int32(rng.IntRange(1, 100))
 			cr.Params = randBytes(rng, rng.Intn(20))
@@ -114,7 +115,7 @@ func randBytes(rng *xrand.RNG, n int) []byte {
 // copyRecord deep-copies a decoded record, whose slices alias the replay
 // buffer.
 func copyRecord(cr *CommitRecord) CommitRecord {
-	out := CommitRecord{TxnID: cr.TxnID, Proc: cr.Proc}
+	out := CommitRecord{TxnID: cr.TxnID, Epoch: cr.Epoch, Proc: cr.Proc}
 	if cr.Params != nil {
 		out.Params = append([]byte{}, cr.Params...)
 	}
@@ -126,8 +127,8 @@ func copyRecord(cr *CommitRecord) CommitRecord {
 }
 
 func sameRecord(a, b *CommitRecord) bool {
-	if a.TxnID != b.TxnID || a.Proc != b.Proc || !bytes.Equal(a.Params, b.Params) ||
-		len(a.Entries) != len(b.Entries) {
+	if a.TxnID != b.TxnID || a.Epoch != b.Epoch || a.Proc != b.Proc ||
+		!bytes.Equal(a.Params, b.Params) || len(a.Entries) != len(b.Entries) {
 		return false
 	}
 	for i := range a.Entries {

@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Manifest describes a multi-stream log for recovery: how many streams the
+// StreamSet was sharded across. The bench CLI writes it next to the stream
+// files (<logpath>.manifest.json beside <logpath>.0 .. <logpath>.N-1) so a
+// later -recover run can pair the readers without guessing.
+type Manifest struct {
+	// Streams is the stream count.
+	Streams int `json:"streams"`
+	// Mode is the logging mode the streams were written under ("value" or
+	// "command"), recorded for operator sanity, not enforced.
+	Mode string `json:"mode,omitempty"`
+}
+
+// WriteManifest serializes m as JSON.
+func WriteManifest(w io.Writer, m Manifest) error {
+	if m.Streams <= 0 {
+		return fmt.Errorf("wal: manifest needs a positive stream count, have %d: %w", m.Streams, ErrCorrupt)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(m)
+}
+
+// ReadManifest parses a JSON manifest.
+func ReadManifest(r io.Reader) (Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return m, fmt.Errorf("wal: bad manifest: %w", err)
+	}
+	if m.Streams <= 0 {
+		return m, fmt.Errorf("wal: manifest stream count %d invalid: %w", m.Streams, ErrCorrupt)
+	}
+	return m, nil
+}
+
+// StreamReplayStats reports what a multi-stream replay consumed, truncated,
+// and skipped.
+type StreamReplayStats struct {
+	// Streams is the number of streams merged.
+	Streams int
+	// Frontier is the merged durable frontier: the highest epoch fully
+	// present across all streams. Records of later epochs are truncated.
+	Frontier uint64
+	// Records is the number of records applied (epoch <= Frontier).
+	Records int
+	// TruncatedRecords counts intact records beyond the frontier that were
+	// dropped: they belong to epochs some stream may have lost, so replaying
+	// them could resurrect a partially durable epoch.
+	TruncatedRecords int
+	// Markers is the number of intact epoch markers across all streams.
+	Markers int
+	// Bytes is the framed length of all intact frames across all streams.
+	Bytes int64
+	// TornBytes sums each stream's trailing torn region.
+	TornBytes int64
+	// CorruptTailRecords sums the per-stream in-place-torn final records.
+	CorruptTailRecords int
+}
+
+// streamRecord is one buffered record awaiting the epoch merge.
+type streamRecord struct {
+	epoch   uint64
+	txnID   uint64
+	stream  int
+	seq     int // per-stream append order, the final tiebreak
+	payload []byte
+}
+
+// ReplayStreams merges N log streams written by a StreamSet: it scans each
+// stream's intact prefix, computes the durable frontier — the last epoch
+// fully present across all streams, proven per stream by its epoch markers
+// and by the monotone epoch tags themselves — and applies exactly the
+// records with Epoch <= frontier, ordered by (epoch, txnID, stream). A torn
+// tail in one stream truncates the global frontier; intact records beyond
+// it in other streams are dropped, never resurrected.
+//
+// Within the frontier the merge order is total and deterministic: command
+// replay re-executes in commit-sequence order, and value replay's
+// applied-if-newer filtering is order-independent anyway.
+func ReplayStreams(readers []io.Reader, apply func(stream int, cr *CommitRecord) error) (StreamReplayStats, error) {
+	st := StreamReplayStats{Streams: len(readers)}
+	if len(readers) == 0 {
+		return st, fmt.Errorf("wal: replay needs at least one stream: %w", ErrCorrupt)
+	}
+
+	var records []streamRecord
+	frontier := ^uint64(0)
+	for i, r := range readers {
+		// high is the exclusive completeness bound for this stream: every
+		// record with epoch < high is provably intact here. A marker C
+		// certifies epochs < C; a surviving record tagged e certifies epochs
+		// < e (per-stream tags are monotone, so everything earlier precedes
+		// it on the device and within the intact prefix).
+		var high uint64
+		seq := 0
+		s, err := ScanStream(r,
+			func(cr *CommitRecord) error {
+				if cr.Epoch > high {
+					high = cr.Epoch
+				}
+				records = append(records, streamRecord{
+					epoch:   cr.Epoch,
+					txnID:   cr.TxnID,
+					stream:  i,
+					seq:     seq,
+					payload: cr.Encode(nil)[headerSize:],
+				})
+				seq++
+				return nil
+			},
+			func(epoch uint64) error {
+				if epoch > high {
+					high = epoch
+				}
+				return nil
+			})
+		st.Markers += s.Markers
+		st.Bytes += s.Bytes
+		st.TornBytes += s.TornBytes
+		st.CorruptTailRecords += s.CorruptTailRecords
+		if err != nil {
+			return st, fmt.Errorf("wal: stream %d: %w", i, err)
+		}
+		var complete uint64
+		if high > 0 {
+			complete = high - 1
+		}
+		if complete < frontier {
+			frontier = complete
+		}
+	}
+	st.Frontier = frontier
+
+	sort.Slice(records, func(a, b int) bool {
+		x, y := &records[a], &records[b]
+		if x.epoch != y.epoch {
+			return x.epoch < y.epoch
+		}
+		if x.txnID != y.txnID {
+			return x.txnID < y.txnID
+		}
+		if x.stream != y.stream {
+			return x.stream < y.stream
+		}
+		return x.seq < y.seq
+	})
+
+	var cr CommitRecord
+	for i := range records {
+		rec := &records[i]
+		if rec.epoch > frontier {
+			st.TruncatedRecords++
+			continue
+		}
+		if err := decode(rec.payload, &cr); err != nil {
+			return st, err
+		}
+		if err := apply(rec.stream, &cr); err != nil {
+			return st, err
+		}
+		st.Records++
+	}
+	return st, nil
+}
+
+// ReplayStreamBytes is ReplayStreams over in-memory stream images (tests
+// and the torture harness).
+func ReplayStreamBytes(streams [][]byte, apply func(stream int, cr *CommitRecord) error) (StreamReplayStats, error) {
+	readers := make([]io.Reader, len(streams))
+	for i := range streams {
+		readers[i] = bytes.NewReader(streams[i])
+	}
+	return ReplayStreams(readers, apply)
+}

@@ -1,0 +1,474 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StreamSet is the parallel (SiloR-style) log: N independent streams, each
+// with its own Device, append buffer, and flusher goroutine, coordinated by
+// a global epoch counter instead of a total LSN order.
+//
+// Workers append encoded records to their own stream — there is no shared
+// mutex on the append path — and each record is stamped with the epoch
+// current at append time (patched in place under the stream's mutex, which
+// makes per-stream epoch tags monotone). A coordinator advances the epoch on
+// a ticker (or on flush pressure in immediate mode) and wakes every stream
+// flusher; a flusher drains its buffer, appends an epoch marker certifying
+// the epochs it has completed, and syncs. Epoch E is durable only once every
+// stream has synced through E — the durable frontier is the minimum of the
+// per-stream claims, minus one — and commit waits block on that frontier,
+// not on a per-stream byte offset.
+//
+// The flusher wake order prioritizes streams whose WaitDurableUntil waiters
+// are nearest their deadlines (the streams sync concurrently; the order is
+// a scheduling hint that starts the most urgent syncs first).
+//
+// Recovery (ReplayStreams) merges the streams by epoch and truncates to the
+// last epoch fully present across all of them, so a torn tail in one stream
+// can never resurrect a partially durable epoch from another.
+type StreamSet struct {
+	// epoch is the global epoch counter; records are tagged with it at
+	// append time. First field so the raw 64-bit atomics stay aligned on
+	// 32-bit targets (next700-lint atomicalign).
+	epoch uint64
+	// durable is the durable epoch frontier: min over streams of the synced
+	// claim, minus one. Stored atomically so the wait fast path and the
+	// engine's health probes are lock-free.
+	durable uint64
+
+	window time.Duration
+
+	// failed mirrors err != nil and closing mirrors closed, both without the
+	// mutex, so the append hot path gates on log health with atomic loads.
+	failed  atomic.Bool
+	closing atomic.Bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	err     error
+	closed  bool
+	waiters int // parked waitDurable callers; the coordinator never skips an advance while any exist
+
+	streams []*stream
+	order   []int // coordinator scratch: deadline-priority wake order
+
+	wake chan struct{}
+	done chan struct{}
+}
+
+// stream is one log shard: a device, an append buffer guarded by its own
+// mutex, and a dedicated flusher goroutine.
+type stream struct {
+	// minDeadline is the earliest deadline among current WaitDurableUntil
+	// waiters appended to this stream (0 = none), maintained with raw
+	// atomics; the coordinator reads it to order flusher wakeups. First
+	// field so the raw 64-bit atomic stays aligned on 32-bit targets.
+	minDeadline int64
+
+	set *StreamSet
+	dev Device
+
+	mu    sync.Mutex
+	buf   []byte
+	spare []byte // recycled batch buffer; buf and spare ping-pong
+
+	// claim is the epoch this stream has synced through: every record with
+	// Epoch < claim is on the device. Guarded by the set mutex (it feeds the
+	// frontier aggregation, not the append path).
+	claim uint64
+
+	// lastMark is the value of the last durable epoch marker written; only
+	// the stream's flusher touches it.
+	lastMark uint64
+
+	flush chan struct{}
+	done  chan struct{}
+}
+
+// NewStreamSet starts a parallel log over the given per-stream devices.
+// window is the epoch advance period — the group-commit batching window;
+// zero means every WaitDurable kicks an immediate epoch advance and flush.
+func NewStreamSet(devs []Device, window time.Duration) *StreamSet {
+	s := &StreamSet{
+		epoch:  1,
+		window: window,
+		order:  make([]int, len(devs)),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.streams = make([]*stream, len(devs))
+	for i, dev := range devs {
+		st := &stream{
+			set:   s,
+			dev:   dev,
+			flush: make(chan struct{}, 1),
+			done:  make(chan struct{}),
+		}
+		s.streams[i] = st
+		go st.flusher()
+	}
+	go s.coordinator()
+	return s
+}
+
+// NumStreams returns the stream count.
+func (s *StreamSet) NumStreams() int { return len(s.streams) }
+
+// CurrentEpoch returns the epoch new appends are tagged with.
+func (s *StreamSet) CurrentEpoch() uint64 { return atomic.LoadUint64(&s.epoch) }
+
+// DurableEpoch returns the durable frontier: the highest epoch every stream
+// has synced in full.
+func (s *StreamSet) DurableEpoch() uint64 { return atomic.LoadUint64(&s.durable) }
+
+// Failed reports whether the set has hit a sticky device failure on any
+// stream. One atomic load; commit hot paths gate on it.
+func (s *StreamSet) Failed() bool { return s.failed.Load() }
+
+// Err returns the sticky set error (wrapping ErrLogFailed), or nil.
+func (s *StreamSet) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Append stages an encoded record (produced by CommitRecord.Encode) on the
+// given stream and returns the epoch the caller must wait on. The record's
+// Epoch field is patched in place — rec is mutated — and the CRC re-sealed,
+// under the stream's own mutex only: with per-worker stream affinity the
+// append path shares nothing across workers.
+//
+//next700:hotpath
+func (s *StreamSet) Append(streamID int, rec []byte) (uint64, error) {
+	if s.failed.Load() {
+		return 0, s.Err()
+	}
+	if s.closing.Load() {
+		return 0, ErrClosed
+	}
+	st := s.streams[streamID]
+	st.mu.Lock()
+	epoch := atomic.LoadUint64(&s.epoch)
+	binary.LittleEndian.PutUint64(rec[epochOffset:], epoch)
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(rec[headerSize:]))
+	st.buf = append(st.buf, rec...)
+	st.mu.Unlock()
+	return epoch, nil
+}
+
+// WaitDurable blocks until epoch is durable on every stream. streamID names
+// the stream the caller appended to, for deadline-priority accounting.
+func (s *StreamSet) WaitDurable(streamID int, epoch uint64) error {
+	return s.waitDurable(streamID, epoch, 0)
+}
+
+// WaitDurableUntil is WaitDurable bounded by an absolute deadline in Unix
+// nanoseconds (0 means wait forever). The deadline is registered with the
+// caller's stream so the coordinator can start the most urgent syncs first.
+func (s *StreamSet) WaitDurableUntil(streamID int, epoch uint64, deadline int64) error {
+	return s.waitDurable(streamID, epoch, deadline)
+}
+
+//next700:allowalloc(blocked path only: the deadline timer and clock reads happen while parked, never on a commit that finds its epoch durable)
+func (s *StreamSet) waitDurable(streamID int, epoch uint64, deadline int64) error {
+	if atomic.LoadUint64(&s.durable) >= epoch {
+		return nil
+	}
+	st := s.streams[streamID]
+	var timer *time.Timer
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waiters++
+	defer func() { s.waiters-- }()
+	kicked := false
+	for atomic.LoadUint64(&s.durable) < epoch && s.err == nil && !s.closed {
+		if deadline != 0 {
+			st.noteDeadline(deadline)
+			remaining := deadline - time.Now().UnixNano()
+			if remaining <= 0 {
+				if timer != nil {
+					timer.Stop()
+				}
+				return ErrWaitDeadline
+			}
+			if timer == nil {
+				timer = time.AfterFunc(time.Duration(remaining), func() {
+					s.mu.Lock()
+					s.cond.Broadcast()
+					s.mu.Unlock()
+				})
+			}
+		}
+		if s.window == 0 && !kicked {
+			// One kick per wait: the caller's record is already staged, so
+			// the single advance the kick triggers bumps the epoch past its
+			// tag and the resulting flush round certifies it. Re-kicking on
+			// every broadcast wake would feed advances back into broadcasts —
+			// a self-sustaining storm of empty epochs.
+			s.kick()
+			kicked = true
+		}
+		// Deadline-aware by construction when deadline != 0: the AfterFunc
+		// broadcast above re-wakes this Wait and the loop head re-checks the
+		// deadline. The deadline==0 form is the caller's explicit opt-out
+		// (WaitDurable), kept for loaders and tests.
+		s.cond.Wait() //next700:allowwait(timer broadcast re-wakes; deadline re-checked at loop head; deadline==0 is the caller's opt-out)
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+	if atomic.LoadUint64(&s.durable) >= epoch {
+		// The epoch closed on every stream; a later failure does not retract
+		// its durability.
+		return nil
+	}
+	if s.err != nil {
+		return s.err
+	}
+	return errClosedBeforeDurable
+}
+
+// noteDeadline registers a waiter deadline with the stream (keep-the-
+// earliest). Flushers reset it at each cycle; parked waiters re-register at
+// every loop iteration, so staleness is bounded by one epoch.
+func (st *stream) noteDeadline(dl int64) {
+	for {
+		cur := atomic.LoadInt64(&st.minDeadline)
+		if cur != 0 && cur <= dl {
+			return
+		}
+		if atomic.CompareAndSwapInt64(&st.minDeadline, cur, dl) {
+			return
+		}
+	}
+}
+
+// kick nudges the coordinator without blocking.
+func (s *StreamSet) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// coordinator advances the epoch on window ticks (or wait-pressure kicks in
+// immediate mode) and wakes the stream flushers in deadline-priority order.
+func (s *StreamSet) coordinator() {
+	defer close(s.done)
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if s.window > 0 {
+		ticker = time.NewTicker(s.window)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case _, ok := <-s.wake:
+			if !ok {
+				// Shutdown: one final advance closes the last epoch, then the
+				// flushers drain and exit.
+				s.advance()
+				for _, st := range s.streams {
+					close(st.flush)
+				}
+				for _, st := range s.streams {
+					<-st.done //next700:allowwait(shutdown join: closing flush guarantees the stream flusher drains and exits)
+				}
+				return
+			}
+		case <-tick:
+		}
+		s.advance()
+	}
+}
+
+// advance closes the current epoch and wakes every stream flusher, most
+// urgent deadline first. A fully idle set (no staged bytes, no waiters,
+// every claim caught up) skips the advance: an idle engine must not churn
+// epochs and marker syncs forever.
+func (s *StreamSet) advance() {
+	if s.idle() {
+		return
+	}
+	atomic.AddUint64(&s.epoch, 1)
+	order := s.order
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by earliest registered waiter deadline (0 = no waiters
+	// = last). Stream counts are small; no allocation, no sort.Slice.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && s.deadlineKey(order[j]) < s.deadlineKey(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, idx := range order {
+		st := s.streams[idx]
+		select {
+		case st.flush <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// idle reports whether an advance would be a pure no-op: nothing staged,
+// nobody waiting, and every stream's claim already at the current epoch with
+// the frontier right behind it. The waiter check is load-bearing: a record
+// can be tagged with the current epoch and flushed before the epoch closes —
+// on-device but uncertified — and only a further advance certifies it, so
+// the set is never idle while such a commit has a parked waiter.
+func (s *StreamSet) idle() bool {
+	s.mu.Lock()
+	if s.waiters > 0 || s.err != nil {
+		s.mu.Unlock()
+		return false
+	}
+	epoch := atomic.LoadUint64(&s.epoch)
+	if atomic.LoadUint64(&s.durable) != epoch-1 {
+		s.mu.Unlock()
+		return false
+	}
+	for _, st := range s.streams {
+		if st.claim != epoch {
+			s.mu.Unlock()
+			return false
+		}
+	}
+	s.mu.Unlock()
+	for _, st := range s.streams {
+		st.mu.Lock()
+		staged := len(st.buf)
+		st.mu.Unlock()
+		if staged > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// deadlineKey orders streams for flusher wakeup: earliest waiter deadline
+// first, streams with no registered waiters last.
+func (s *StreamSet) deadlineKey(idx int) int64 {
+	dl := atomic.LoadInt64(&s.streams[idx].minDeadline)
+	if dl == 0 {
+		return int64(^uint64(0) >> 1) // no waiters: +inf
+	}
+	return dl
+}
+
+// flusher drains the stream on coordinator signals; closing the flush
+// channel triggers one final drain and exit.
+func (st *stream) flusher() {
+	defer close(st.done)
+	for {
+		_, ok := <-st.flush //next700:allowwait(flusher parks for epoch signals; shutdown closes the channel, guaranteeing a final drain and exit)
+		st.flushOnce()
+		if !ok {
+			return
+		}
+	}
+}
+
+// flushOnce writes the staged batch plus an epoch marker and syncs. On
+// success it raises the stream's claim and recomputes the global frontier;
+// on persistent failure it poisons the whole set.
+func (st *stream) flushOnce() {
+	s := st.set
+	atomic.StoreInt64(&st.minDeadline, 0)
+	if s.failed.Load() {
+		// The set is dead. Writing more would leave gaps behind the failed
+		// batch, so staged bytes are dropped — loudly: waiters observe the
+		// sticky error.
+		st.mu.Lock()
+		st.buf = st.buf[:0]
+		st.mu.Unlock()
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	st.mu.Lock()
+	// target is read under the stream mutex after the batch snapshot: every
+	// record appended later is tagged >= target, so "synced through target"
+	// is a safe claim once this batch (plus marker) hits the device.
+	target := atomic.LoadUint64(&s.epoch)
+	if len(st.buf) == 0 && target == st.lastMark {
+		st.mu.Unlock()
+		return
+	}
+	batch := st.buf
+	st.buf = st.spare[:0]
+	st.spare = nil
+	st.mu.Unlock()
+
+	if target > st.lastMark {
+		batch = appendMarker(batch, target)
+	}
+	_, err := st.dev.Write(batch)
+	if err == nil {
+		err = st.dev.Sync()
+		// A transient sync failure is retried in place; only persistent
+		// failure poisons the set.
+		for retries := 0; err != nil && isTransient(err) && retries < maxSyncRetries; retries++ {
+			err = st.dev.Sync()
+		}
+	}
+	if err == nil && target > st.lastMark {
+		st.lastMark = target
+	}
+	if cap(batch) <= maxRetainedBatchCap {
+		st.mu.Lock()
+		st.spare = batch[:0]
+		st.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	if err != nil {
+		if s.err == nil {
+			//next700:allowalloc(device-failure path: the sticky error is built once, after which the set is dead)
+			s.err = fmt.Errorf("%w: %w", ErrLogFailed, err)
+			s.failed.Store(true)
+		}
+	} else {
+		st.claim = target
+		min := st.claim
+		for _, other := range s.streams {
+			if other.claim < min {
+				min = other.claim
+			}
+		}
+		if min > 0 && min-1 > atomic.LoadUint64(&s.durable) {
+			atomic.StoreUint64(&s.durable, min-1)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Close advances one final epoch, drains every stream, and stops the
+// background goroutines. When a device has failed, records staged after the
+// failure cannot be made durable; Close reports the sticky error rather
+// than dropping them silently.
+func (s *StreamSet) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.closing.Store(true)
+	close(s.wake)
+	<-s.done //next700:allowwait(shutdown join: closing wake guarantees the coordinator drains the streams and exits)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cond.Broadcast()
+	return s.err
+}

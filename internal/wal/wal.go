@@ -73,6 +73,11 @@ type Entry struct {
 // changed (value mode) or the command that reproduces it (command mode).
 type CommitRecord struct {
 	TxnID uint64
+	// Epoch is the durability epoch the record was appended under. Single-
+	// stream Writer logs leave it zero (the per-record LSN orders them); a
+	// StreamSet stamps it at append time and recovery truncates the merged
+	// streams to the last epoch fully present across all of them.
+	Epoch uint64
 	// Entries is set in value mode.
 	Entries []Entry
 	// Proc/Params are set in command mode.
@@ -86,7 +91,17 @@ const headerSize = 8
 const (
 	payloadValue   = byte(1)
 	payloadCommand = byte(2)
+	// payloadEpoch is a per-stream epoch marker: a flusher syncing through
+	// epoch C appends one to certify that every record of this stream with
+	// Epoch < C precedes it on the device. Markers carry only the epoch.
+	payloadEpoch = byte(3)
 )
+
+// epochOffset is the byte offset of the Epoch field inside a framed
+// value/command record: header + type byte + TxnID. StreamSet.Append patches
+// the epoch (and re-seals the CRC) in place under the stream mutex, which is
+// what makes per-stream epoch tags monotone.
+const epochOffset = headerSize + 1 + 8
 
 // Encode serializes the record into buf (reusing its storage) and returns
 // the framed bytes.
@@ -98,12 +113,14 @@ func (cr *CommitRecord) Encode(buf []byte) []byte {
 	if cr.Proc != 0 || cr.Params != nil {
 		b = append(b, payloadCommand)
 		b = binary.LittleEndian.AppendUint64(b, cr.TxnID)
+		b = binary.LittleEndian.AppendUint64(b, cr.Epoch)
 		b = binary.LittleEndian.AppendUint32(b, uint32(cr.Proc))
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(cr.Params)))
 		b = append(b, cr.Params...)
 	} else {
 		b = append(b, payloadValue)
 		b = binary.LittleEndian.AppendUint64(b, cr.TxnID)
+		b = binary.LittleEndian.AppendUint64(b, cr.Epoch)
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(cr.Entries)))
 		for i := range cr.Entries {
 			e := &cr.Entries[i]
@@ -159,12 +176,13 @@ const maxSyncRetries = 8
 
 // decode parses one payload into cr. Data slices alias the payload.
 func decode(payload []byte, cr *CommitRecord) error {
-	if len(payload) < 9 {
+	if len(payload) < 17 {
 		return ErrCorrupt
 	}
 	typ := payload[0]
 	cr.TxnID = binary.LittleEndian.Uint64(payload[1:])
-	rest := payload[9:]
+	cr.Epoch = binary.LittleEndian.Uint64(payload[9:])
+	rest := payload[17:]
 	switch typ {
 	case payloadCommand:
 		if len(rest) < 8 {
@@ -482,6 +500,8 @@ func (w *Writer) Err() error {
 type ReplayStats struct {
 	// Records is the number of intact records applied.
 	Records int
+	// Markers is the number of intact epoch markers seen (stream logs only).
+	Markers int
 	// Bytes is the total length of the applied records, framing included.
 	Bytes int64
 	// TornBytes is the length of the trailing torn or zeroed region skipped
@@ -502,8 +522,18 @@ func Replay(r io.Reader, apply func(*CommitRecord) error) (int, error) {
 	return st.Records, err
 }
 
-// ReplayWithStats is Replay with full skipped/torn-tail accounting.
+// ReplayWithStats is Replay with full skipped/torn-tail accounting. Epoch
+// markers (written by StreamSet flushers) are counted and skipped; use
+// ScanStream when the marker values matter (stream recovery).
 func ReplayWithStats(r io.Reader, apply func(*CommitRecord) error) (ReplayStats, error) {
+	return ScanStream(r, apply, nil)
+}
+
+// ScanStream scans one log stream, invoking apply for every intact record
+// and marker (when non-nil) for every intact epoch marker. Torn-tail
+// semantics match Replay: a truncated or in-place-torn final frame ends the
+// scan without error; damage before the end is ErrCorrupt.
+func ScanStream(r io.Reader, apply func(*CommitRecord) error, marker func(epoch uint64) error) (ReplayStats, error) {
 	var st ReplayStats
 	var hdr [headerSize]byte
 	var payload []byte
@@ -549,6 +579,19 @@ func ReplayWithStats(r io.Reader, apply func(*CommitRecord) error) (ReplayStats,
 			}
 			return st, ErrCorrupt
 		}
+		if len(payload) > 0 && payload[0] == payloadEpoch {
+			if len(payload) != 9 {
+				return st, ErrCorrupt
+			}
+			st.Markers++
+			st.Bytes += headerSize + int64(size)
+			if marker != nil {
+				if err := marker(binary.LittleEndian.Uint64(payload[1:])); err != nil {
+					return st, err
+				}
+			}
+			continue
+		}
 		if err := decode(payload, &cr); err != nil {
 			return st, err
 		}
@@ -558,4 +601,22 @@ func ReplayWithStats(r io.Reader, apply func(*CommitRecord) error) (ReplayStats,
 		st.Records++
 		st.Bytes += headerSize + int64(size)
 	}
+}
+
+// IsMarkerPayload reports whether a framed payload is an epoch marker
+// rather than a commit record. Exposed for tools that slice raw stream
+// images by frame (the torture harness's negative controls).
+func IsMarkerPayload(p []byte) bool {
+	return len(p) == 9 && p[0] == payloadEpoch
+}
+
+// appendMarker frames an epoch marker onto buf.
+func appendMarker(buf []byte, epoch uint64) []byte {
+	b := append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	b = append(b, payloadEpoch)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	payload := b[len(b)-9:]
+	binary.LittleEndian.PutUint32(b[len(b)-9-headerSize:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[len(b)-9-headerSize+4:], crc32.ChecksumIEEE(payload))
+	return b
 }
