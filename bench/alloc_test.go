@@ -2,9 +2,11 @@ package bench
 
 import (
 	"testing"
+	"time"
 
 	"next700/internal/cc"
 	"next700/internal/core"
+	"next700/internal/fault"
 	"next700/internal/storage"
 	"next700/internal/wal"
 	"next700/internal/workload"
@@ -111,6 +113,80 @@ func updateTxnAllocs(t *testing.T, protocol string, logMode wal.Mode, streams in
 	})
 }
 
+// updateTxnAllocsCheckpointed measures the 8-update transaction with the
+// engine logging into a checkpoint store and a checkpointer attached: the
+// background loop is alive and checkpoint generations (scan, segment
+// rotation, truncation) are taken between batches. AllocsPerRun counts
+// process-global mallocs, so cycles run outside the measured window — what
+// the measurement sees is the fenced commit path they leave behind, which
+// must cost exactly what the plain parallel-WAL path costs.
+func updateTxnAllocsCheckpointed(t *testing.T) float64 {
+	t.Helper()
+	store := fault.NewMemStore(fault.StoreChaos{})
+	att, err := core.InitCheckpointLog(store, 2, wal.ModeValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.Open(core.Config{
+		Protocol: "SILO", Threads: 1, Partitions: 1,
+		LogMode: wal.ModeValue, WALStreams: 2, LogDevices: att.Devices,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	sch, err := storage.NewSchema("gate", storage.I64("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.CreateTable(sch, core.IndexHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := sch.NewRow()
+	const keys = 8
+	for k := uint64(0); k < keys; k++ {
+		if err := e.Load(tbl, k, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck, err := e.NewCheckpointer(store, 2, att.Devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Start(time.Hour) // loop alive; cycles are triggered explicitly below
+	defer ck.Stop()     // LIFO: stops before the deferred engine Close
+	tx := e.NewTx(0, 1)
+	body := func(tx *core.Tx) error {
+		for k := uint64(0); k < keys; k++ {
+			r, err := tx.Update(tbl, k)
+			if err != nil {
+				return err
+			}
+			sch.SetInt64(r, 0, sch.GetInt64(r, 0)+1)
+		}
+		return nil
+	}
+	for i := 0; i < 300; i++ {
+		if err := tx.Run(body); err != nil {
+			t.Fatalf("warmup txn: %v", err)
+		}
+		if i%100 == 99 {
+			if err := ck.CheckpointNow(); err != nil {
+				t.Fatalf("checkpoint cycle: %v", err)
+			}
+		}
+	}
+	if cy := ck.Stats().Cycles; cy != 3 {
+		t.Fatalf("expected 3 checkpoint cycles before measurement, got %d", cy)
+	}
+	return testing.AllocsPerRun(200, func() {
+		if err := tx.Run(body); err != nil {
+			t.Fatalf("measured txn: %v", err)
+		}
+	})
+}
+
 // TestTxnAllocBudgets is the allocation-regression gate: the steady-state
 // transaction path must stay within small fixed allocation budgets per
 // protocol (see EXPERIMENTS.md, "GC and allocation methodology").
@@ -178,6 +254,19 @@ func TestTxnAllocBudgets(t *testing.T) {
 		got := updateTxnAllocs(t, "SILO", wal.ModeValue, 4)
 		if got > budgets["SILO"]+slack {
 			t.Errorf("SILO+4-stream-log: %.2f allocs per 8-update txn, budget %.0f (parallel WAL must add none)",
+				got, budgets["SILO"])
+		}
+	})
+
+	// The checkpoint subsystem must be invisible to the commit hot path:
+	// with the engine attached to a checkpoint store, the background
+	// checkpointer running, and three generations already taken (so the
+	// engine is on rotated segments behind the commit fence), the budget is
+	// unchanged.
+	t.Run("UpdateWhileCheckpointing", func(t *testing.T) {
+		got := updateTxnAllocsCheckpointed(t)
+		if got > budgets["SILO"]+slack {
+			t.Errorf("SILO+checkpointer: %.2f allocs per 8-update txn, budget %.0f (checkpointing must add none)",
 				got, budgets["SILO"])
 		}
 	})

@@ -82,11 +82,24 @@ func main() {
 
 		admitParts = flag.Bool("admit-partitioned", false, "admission: one controller per engine partition (home-partition gating) instead of one global limit")
 
+		// Open-loop arrival-queue discipline.
+		queueLIFOAge       = flag.Duration("queue-lifo-age", 0, "open-loop queue: serve newest-first while the oldest waiting arrival is older than this (adaptive LIFO; 0 = strict FIFO)")
+		queueCoDelTarget   = flag.Duration("queue-codel-target", 0, "open-loop queue: CoDel head-age target; sustained excess evicts the oldest arrivals at enqueue (0 = off)")
+		queueCoDelInterval = flag.Duration("queue-codel-interval", 0, "open-loop queue: CoDel tolerance interval before dropping starts (default 100ms)")
+
 		doOverload  = flag.Bool("overload", false, "run the overload sweep and exit: measure closed-loop capacity, then offer 1x/2x/3x that rate open-loop, unprotected vs deadline+admission")
 		overloadOut = flag.String("overload-out", "BENCH_overload.json", "output path for the -overload JSON report")
 
 		doWALSweep = flag.Bool("wal-sweep", false, "run the parallel-WAL scaling sweep and exit: SILO + value logging on a bandwidth-limited simulated device at 1/2/4 streams; writes -wal-out")
 		walOut     = flag.String("wal-out", "BENCH_wal.json", "output path for the -wal-sweep JSON report")
+
+		// Checkpointing / bounded recovery.
+		doRecoverSweep = flag.Bool("recover-sweep", false, "run the checkpoint-interval recovery sweep and exit: build the same transaction history with checkpoints every {never, 16N, 4N, N} commits, crash-attach each store, and measure store-based recovery time vs full-log replay; writes -recover-out")
+		recoverOut     = flag.String("recover-out", "BENCH_recovery.json", "output path for the -recover-sweep JSON report")
+		recoverTxns    = flag.Int("recover-txns", 0, "recover-sweep: total committed transactions of history per point (default 125000)")
+		ckptDir        = flag.String("ckpt-dir", "", "recover-sweep: checkpoint store scratch directory (default: a temp dir, removed afterwards)")
+		ckptEvery      = flag.Int("ckpt-every", 0, "recover-sweep: finest checkpoint interval N in commits (default 2000)")
+		ckptKeep       = flag.Int("ckpt-keep", 0, "recover-sweep: checkpoint generations to retain (default 2)")
 	)
 	flag.Parse()
 
@@ -94,6 +107,14 @@ func main() {
 		runWALSweep(walSweepOpts{
 			Threads: *threads, Duration: *duration, Warmup: *warmup,
 			Seed: *seed, Out: *walOut,
+		})
+		return
+	}
+	if *doRecoverSweep {
+		runRecoverSweep(recoverSweepOpts{
+			Threads: *threads, Txns: *recoverTxns, Every: *ckptEvery,
+			Keep: *ckptKeep, Streams: *walStreams, Seed: *seed,
+			Dir: *ckptDir, Out: *recoverOut,
 		})
 		return
 	}
@@ -191,9 +212,12 @@ func main() {
 			MaxAttempts: *retryAttempts, SpinAttempts: *retrySpin,
 			BaseDelay: *retryBase, MaxDelay: *retryMax,
 		},
-		OfferedRate:   *rate,
-		Deadline:      *deadlineD,
-		GoodputWindow: *slo,
+		OfferedRate:        *rate,
+		Deadline:           *deadlineD,
+		GoodputWindow:      *slo,
+		QueueLIFOAge:       *queueLIFOAge,
+		QueueCoDelTarget:   *queueCoDelTarget,
+		QueueCoDelInterval: *queueCoDelInterval,
 	}
 	if *admit {
 		opts.Admission = &admission.Config{
@@ -214,6 +238,10 @@ func main() {
 	if *rate > 0 {
 		fmt.Printf("  open-loop: offered=%.0f/s arrivals=%d goodput=%.0f/s late=%d backlog=%d\n",
 			res.Offered, res.Arrivals, res.Goodput, res.LateCommits, res.Backlog)
+		if res.QueueDropped > 0 || res.QueueLIFOServed > 0 {
+			fmt.Printf("  queue discipline: codel_dropped=%d lifo_served=%d\n",
+				res.QueueDropped, res.QueueLIFOServed)
+		}
 		fmt.Printf("  queue: %s\n", res.QueueLatency)
 		fmt.Printf("  e2e:   %s\n", res.E2ELatency)
 		if res.AdmissionLimit > 0 {

@@ -1,0 +1,321 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"next700/internal/core"
+	"next700/internal/wal"
+	"next700/internal/workload"
+)
+
+// The recovery sweep answers the recovery-time-objective question the way
+// the WAL sweep answers the bandwidth one: build the same transaction
+// history four times — once with no checkpoints (recovery = full-log
+// replay) and three times with checkpoints every N, 4N, and 16N commits —
+// then crash-attach each store and measure how long RecoverFromStore takes
+// to reproduce the state. Bounded recovery means the checkpointed times
+// track the log tail left past the last checkpoint, not the total history.
+
+// recoverSpeedupTarget is the acceptance bar: the finest checkpoint
+// interval must recover at least this many times faster than full replay.
+const recoverSpeedupTarget = 5.0
+
+type recoverSweepOpts struct {
+	Threads int
+	Txns    int // total committed transactions of history per point
+	Every   int // finest checkpoint interval in commits (points: 0, 16N, 4N, N)
+	Keep    int
+	Streams int
+	Seed    uint64
+	Dir     string // checkpoint store scratch dir ("" = temp, removed after)
+	Out     string
+}
+
+// recoverRow is one sweep point in the JSON report.
+type recoverRow struct {
+	// CkptEveryTxns is the checkpoint interval in commits; 0 is the
+	// no-checkpoint baseline whose recovery replays the full log.
+	CkptEveryTxns int    `json:"ckpt_every_txns"`
+	Commits       uint64 `json:"commits"`
+	CkptCycles    int    `json:"ckpt_cycles"`
+	// StoreBytes is everything on disk at recovery time; SegmentBytes is
+	// the log-tail portion — the number that truncation keeps bounded.
+	StoreBytes   int64 `json:"store_bytes"`
+	SegmentBytes int64 `json:"segment_bytes"`
+	// Recovery provenance: which generation loaded and how much log was
+	// actually replayed past it.
+	CheckpointLoaded bool    `json:"checkpoint_loaded"`
+	CheckpointGen    uint64  `json:"checkpoint_gen"`
+	TailRecords      int     `json:"tail_records"`
+	SkippedOldEpoch  int     `json:"skipped_old_epoch"`
+	RecoveryMS       float64 `json:"recovery_ms"`
+	SpeedupVsFull    float64 `json:"speedup_vs_full_replay"`
+	// DigestMatch reports that a second, independent recovery of the same
+	// store reproduced a byte-identical state (checkpoint-format digest).
+	DigestMatch bool `json:"redundant_recovery_digest_match"`
+}
+
+type recoverReport struct {
+	Workload      string       `json:"workload"`
+	Protocol      string       `json:"protocol"`
+	Threads       int          `json:"threads"`
+	Txns          int          `json:"txns"`
+	Streams       int          `json:"streams"`
+	Keep          int          `json:"keep"`
+	TargetSpeedup float64      `json:"target_speedup"`
+	Rows          []recoverRow `json:"rows"`
+}
+
+func (o recoverSweepOpts) normalized() recoverSweepOpts {
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.Txns <= 0 {
+		o.Txns = 125_000
+	}
+	if o.Every <= 0 {
+		o.Every = 2000
+	}
+	if o.Keep <= 0 {
+		o.Keep = 2
+	}
+	if o.Streams < 2 {
+		o.Streams = 2
+	}
+	return o
+}
+
+func runRecoverSweep(o recoverSweepOpts) {
+	o = o.normalized()
+	base := o.Dir
+	if base == "" {
+		tmp, err := os.MkdirTemp("", "next700-recover-sweep-")
+		if err != nil {
+			fatal("recover-sweep: %v", err)
+		}
+		defer os.RemoveAll(tmp)
+		base = tmp
+	}
+
+	intervals := []int{0, o.Every * 16, o.Every * 4, o.Every}
+	fmt.Printf("next700-bench: recovery sweep, SILO + value log, %d txns × %d threads, checkpoint intervals %v\n",
+		o.Txns, o.Threads, intervals)
+
+	rep := recoverReport{
+		Workload: "ycsb", Protocol: "SILO", Threads: o.Threads, Txns: o.Txns,
+		Streams: o.Streams, Keep: o.Keep, TargetSpeedup: recoverSpeedupTarget,
+	}
+	var fullMS float64
+	for _, every := range intervals {
+		dir := filepath.Join(base, fmt.Sprintf("every-%d", every))
+		row, err := recoverPoint(o, dir, every)
+		if err != nil {
+			fatal("recover-sweep every=%d: %v", every, err)
+		}
+		if every == 0 {
+			fullMS = row.RecoveryMS
+		}
+		if fullMS > 0 && row.RecoveryMS > 0 {
+			row.SpeedupVsFull = fullMS / row.RecoveryMS
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("  every=%-6d cycles=%-3d tail_records=%-7d seg_bytes=%-9d recover=%7.1fms speedup=%.1fx digest_ok=%v\n",
+			row.CkptEveryTxns, row.CkptCycles, row.TailRecords, row.SegmentBytes,
+			row.RecoveryMS, row.SpeedupVsFull, row.DigestMatch)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("recover-sweep: %v", err)
+	}
+	if err := os.WriteFile(o.Out, append(out, '\n'), 0o644); err != nil {
+		fatal("recover-sweep: %v", err)
+	}
+	fmt.Printf("  report: %s\n", o.Out)
+
+	best := rep.Rows[len(rep.Rows)-1]
+	if best.SpeedupVsFull < recoverSpeedupTarget {
+		fmt.Printf("  WARNING: finest interval recovered only %.1fx faster than full replay (target %.1fx)\n",
+			best.SpeedupVsFull, recoverSpeedupTarget)
+	}
+	for _, r := range rep.Rows {
+		if !r.DigestMatch {
+			fatal("recover-sweep: repeated recovery diverged at every=%d", r.CkptEveryTxns)
+		}
+	}
+}
+
+// recoverPoint builds one transaction history with the given checkpoint
+// interval, crash-attaches the store, and measures store-based recovery.
+func recoverPoint(o recoverSweepOpts, dir string, every int) (recoverRow, error) {
+	row := recoverRow{CkptEveryTxns: every}
+	store, err := core.NewDirStore(dir)
+	if err != nil {
+		return row, err
+	}
+	if err := recoverBuildHistory(o, store, every, &row); err != nil {
+		return row, err
+	}
+	row.StoreBytes, row.SegmentBytes, err = storeFootprint(dir)
+	if err != nil {
+		return row, err
+	}
+
+	// Recovery #1: the timed one.
+	digest1, rs, dur, err := recoverOnce(o, store)
+	if err != nil {
+		return row, err
+	}
+	row.CheckpointLoaded = rs.CheckpointLoaded
+	row.CheckpointGen = rs.CheckpointGen
+	row.TailRecords = rs.Records
+	row.SkippedOldEpoch = rs.SkippedOldEpoch
+	row.RecoveryMS = float64(dur) / float64(time.Millisecond)
+
+	// Recovery #2: the sealed manifest from #1 must reproduce the exact
+	// same state — the truncation decisions made once stay made.
+	digest2, _, _, err := recoverOnce(o, store)
+	if err != nil {
+		return row, err
+	}
+	row.DigestMatch = digest1 == digest2
+	return row, nil
+}
+
+// recoverSweepWorkload is the sweep's fixed workload shape: update-heavy so
+// the log grows with every commit, and small enough that checkpoint cycles
+// stay cheap relative to the run.
+func recoverSweepWorkload(threads int) *workload.YCSB {
+	return workload.NewYCSB(workload.YCSBConfig{
+		Records: 32768, OpsPerTxn: 8, ReadRatio: 0.5, MaxThreads: threads,
+	})
+}
+
+// recoverBuildHistory runs o.Txns committed transactions against a fresh
+// engine logging into the store, checkpointing every `every` commits (0 =
+// never), then closes the engine cleanly.
+func recoverBuildHistory(o recoverSweepOpts, store *core.DirStore, every int, row *recoverRow) error {
+	att, err := core.InitCheckpointLog(store, o.Streams, wal.ModeValue)
+	if err != nil {
+		return err
+	}
+	e, err := core.Open(core.Config{
+		Protocol: "SILO", Threads: o.Threads,
+		LogMode: wal.ModeValue, WALStreams: o.Streams, LogDevices: att.Devices,
+		GroupCommitWindow: 200 * time.Microsecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	wl := recoverSweepWorkload(o.Threads)
+	if err := wl.Setup(e); err != nil {
+		return err
+	}
+	var ck *core.Checkpointer
+	if every > 0 {
+		if ck, err = e.NewCheckpointer(store, o.Keep, att.Devices); err != nil {
+			return err
+		}
+	}
+
+	var committed atomic.Uint64
+	errs := make([]error, o.Threads)
+	perWorker := o.Txns / o.Threads
+	var wg sync.WaitGroup
+	for i := 0; i < o.Threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := e.NewTx(id, o.Seed*1_000_003+uint64(id)+1)
+			for t := 0; t < perWorker; t++ {
+				if err := wl.RunOne(tx); err != nil {
+					errs[id] = err
+					return
+				}
+				n := committed.Add(1)
+				if every > 0 && n%uint64(every) == 0 {
+					// The crossing worker runs the cycle inline; the others
+					// keep committing — the capture is online.
+					if err := ck.CheckpointNow(); err != nil {
+						errs[id] = err
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	row.Commits = committed.Load()
+	if ck != nil {
+		row.CkptCycles = ck.Stats().Cycles
+	}
+	return nil
+}
+
+// recoverOnce attaches the store to a fresh schema-only engine, runs
+// store-based recovery, and returns a digest of the recovered state (the
+// deterministic checkpoint serialization, CRC-folded).
+func recoverOnce(o recoverSweepOpts, store *core.DirStore) (digest uint32, rs core.RecoveryStats, dur time.Duration, err error) {
+	att, err := core.AttachCheckpointLog(store)
+	if err != nil {
+		return 0, rs, 0, err
+	}
+	e, err := core.Open(core.Config{
+		Protocol: "SILO", Threads: o.Threads,
+		LogMode: wal.ModeValue, WALStreams: o.Streams, LogDevices: att.Devices,
+		GroupCommitWindow: 200 * time.Microsecond,
+	})
+	if err != nil {
+		return 0, rs, 0, err
+	}
+	defer e.Close()
+	wl := recoverSweepWorkload(o.Threads)
+	if err := wl.SetupSchema(e); err != nil {
+		return 0, rs, 0, err
+	}
+	t0 := time.Now()
+	rs, err = e.RecoverFromStore(store, att, wl.LoadData)
+	dur = time.Since(t0)
+	if err != nil {
+		return 0, rs, dur, err
+	}
+	h := crc32.NewIEEE()
+	if err := e.Checkpoint(h); err != nil {
+		return 0, rs, dur, err
+	}
+	return h.Sum32(), rs, dur, nil
+}
+
+// storeFootprint sums the DirStore's on-disk bytes: total and the log
+// segments alone.
+func storeFootprint(dir string) (total, segments int64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, en := range entries {
+		info, err := en.Info()
+		if err != nil {
+			return 0, 0, err
+		}
+		total += info.Size()
+		if strings.HasPrefix(en.Name(), "seg-") {
+			segments += info.Size()
+		}
+	}
+	return total, segments, nil
+}

@@ -8,8 +8,10 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+	"time"
 
 	"next700/internal/storage"
+	"next700/internal/txn"
 )
 
 // Checkpoint format:
@@ -49,6 +51,27 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 // residue is not. Record ids are preserved so a value-log tail written
 // after the checkpoint replays against the restored state.
 func (e *Engine) Checkpoint(w io.Writer) error {
+	return e.writeCheckpoint(w, e.collectQuiesced)
+}
+
+// CheckpointOnline serializes a fuzzy snapshot of every table while
+// transactions keep running: each row is captured through a committed-read
+// micro-transaction on the reserved checkpoint slot, so no image is ever
+// torn, but different rows may reflect different commit points. The result
+// is consistent only after replaying the value-log tail past the capture's
+// start epoch (see Checkpointer): any commit the scan raced with tags an
+// epoch at or after it, and value replay is idempotent. It must therefore
+// only be used under value logging; command replay re-executes procedures
+// and cannot heal a fuzzy base.
+//
+// Rows whose committed image is not visible (uncommitted inserts, deleted
+// residue) are skipped: if they commit, the log tail has them.
+func (e *Engine) CheckpointOnline(w io.Writer) error {
+	return e.writeCheckpoint(w, e.collectOnline)
+}
+
+// writeCheckpoint writes the checkpoint format around a row collector.
+func (e *Engine) writeCheckpoint(w io.Writer, collect func(t *Table) ([]ckptEntry, error)) error {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	var scratch [20]byte
@@ -64,17 +87,10 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	}
 
 	for _, t := range tables {
-		type entry struct {
-			key uint64
-			rid storage.RecordID
+		entries, err := collect(t)
+		if err != nil {
+			return err
 		}
-		entries := make([]entry, 0, t.primary.Len())
-		t.primary.Iterate(func(key uint64, rid storage.RecordID) bool {
-			entries = append(entries, entry{key, rid})
-			return true
-		})
-		sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
-
 		name := t.Name()
 		binary.LittleEndian.PutUint32(scratch[0:], uint32(len(name)))
 		if _, err := cw.Write(scratch[:4]); err != nil {
@@ -94,8 +110,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 			if _, err := cw.Write(scratch[:16]); err != nil {
 				return err
 			}
-			row := e.checkpointRow(t, en.rid)
-			if _, err := cw.Write(row); err != nil {
+			if _, err := cw.Write(en.row); err != nil {
 				return err
 			}
 		}
@@ -106,6 +121,88 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// ckptEntry is one collected (key, rid, row image) triple.
+type ckptEntry struct {
+	key uint64
+	rid storage.RecordID
+	row []byte
+}
+
+// collectKeys snapshots a table's primary index into key order.
+func collectKeys(t *Table) []ckptEntry {
+	entries := make([]ckptEntry, 0, t.primary.Len())
+	t.primary.Iterate(func(key uint64, rid storage.RecordID) bool {
+		entries = append(entries, ckptEntry{key: key, rid: rid})
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	return entries
+}
+
+// collectQuiesced captures rows with the engine quiesced. Images are
+// copied out because protocol reads may return a per-context buffer that
+// the next read reuses.
+func (e *Engine) collectQuiesced(t *Table) ([]ckptEntry, error) {
+	entries := collectKeys(t)
+	for i := range entries {
+		entries[i].row = append([]byte(nil), e.checkpointRow(t, entries[i].rid)...)
+	}
+	return entries, nil
+}
+
+// onlineRowAttempts bounds the committed-read retries per row before the
+// checkpoint cycle fails cleanly (no generation is installed). Conflicts
+// here are rare: a row is only contended for the length of one commit.
+const onlineRowAttempts = 64
+
+// collectOnline captures rows through per-row committed-read
+// micro-transactions concurrent with workers. A read that cannot see a
+// committed image (ErrNotFound: uncommitted insert, tombstoned residue)
+// skips the row; a conflicting read (lock busy under the 2PL variants) is
+// retried a bounded number of times. Images are copied out before the read
+// transaction is released, so nothing aliases memory a writer may recycle.
+func (e *Engine) collectOnline(t *Table) ([]ckptEntry, error) {
+	entries := collectKeys(t)
+	tx := e.checkpointTx()
+	out := entries[:0]
+	for i := range entries {
+		en := entries[i]
+		var row []byte
+		var err error
+		for attempt := 0; ; attempt++ {
+			row, err = e.onlineRow(tx, t, en.rid)
+			if err == nil || errors.Is(err, txn.ErrNotFound) {
+				break
+			}
+			if attempt+1 >= onlineRowAttempts {
+				return nil, fmt.Errorf("core: online checkpoint of %q rid %d: %w", t.Name(), en.rid, err)
+			}
+			time.Sleep(time.Duration(attempt+1) * 10 * time.Microsecond)
+		}
+		if err != nil {
+			continue // not visible: the log tail owns this row's fate
+		}
+		en.row = row
+		out = append(out, en)
+	}
+	return out, nil
+}
+
+// onlineRow reads one committed row image through a throwaway transaction
+// and returns a copy.
+func (e *Engine) onlineRow(tx *Tx, t *Table, rid storage.RecordID) ([]byte, error) {
+	tx.inner.Reset()
+	e.proto.Begin(tx.inner)
+	data, err := e.proto.Read(tx.inner, t.tbl, rid)
+	if err != nil {
+		e.proto.Abort(tx.inner)
+		return nil, err
+	}
+	row := append([]byte(nil), data...)
+	e.proto.Abort(tx.inner)
+	return row, nil
 }
 
 // checkpointRow returns the committed image of a live record. For
@@ -125,33 +222,72 @@ func (e *Engine) checkpointRow(t *Table, rid storage.RecordID) []byte {
 	return data
 }
 
-// checkpointTx lazily creates the dedicated quiesced-phase context.
+// checkpointTx lazily creates the dedicated checkpoint-phase context. It
+// runs on the reserved protocol slot past the worker range, so its reads
+// share no per-thread protocol state or statistics cache line with workers
+// even when the scan is online.
 func (e *Engine) checkpointTx() *Tx {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.ckptTx == nil {
-		e.ckptTx = e.NewTx(0, 0xC4EC)
+		e.ckptTx = e.NewTx(e.ckptThread, 0xC4EC)
 	}
 	return e.ckptTx
+}
+
+// ckptTableLoad is one fully validated table section of a checkpoint,
+// ready to apply. Entry rows alias the checkpoint buffer.
+type ckptTableLoad struct {
+	t       *Table
+	entries []ckptEntry
 }
 
 // LoadCheckpoint restores a checkpoint into a freshly created engine whose
 // tables have already been created with matching schemas (the same
 // contract as Recover). Must not run concurrently with transactions.
 //
-// The stream is read fully and CRC-verified before anything is applied, so
-// a corrupt checkpoint never partially mutates the engine.
+// The stream is read fully, CRC-verified, and structurally validated —
+// tables known, row sizes matching, record ids in range, keys free of
+// duplicates (within the checkpoint and against the engine) — before
+// anything is applied, so a corrupt checkpoint never partially mutates the
+// engine: it either loads completely or leaves the engine untouched.
 func (e *Engine) LoadCheckpoint(r io.Reader) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return fmt.Errorf("%w: read: %v", ErrBadCheckpoint, err)
 	}
+	plan, err := e.parseCheckpoint(data)
+	if err != nil {
+		return err
+	}
+	for _, tl := range plan {
+		t := tl.t
+		for _, en := range tl.entries {
+			for t.tbl.NumRows() <= uint64(en.rid) {
+				t.tbl.Alloc()
+			}
+			copy(t.tbl.Row(en.rid), en.row)
+			t.tbl.SetTombstone(en.rid, false)
+			t.primary.Insert(en.key, en.rid)
+			for j := range t.secondaries {
+				s := &t.secondaries[j]
+				s.idx.Insert(s.extract(t.sch, en.row, en.key), en.rid)
+			}
+			e.reloadRecord(t, en.rid, en.key, en.row)
+		}
+	}
+	return nil
+}
+
+// parseCheckpoint verifies the CRC and fully validates the checkpoint
+// structure without touching engine state. Returned entry rows alias data.
+func (e *Engine) parseCheckpoint(data []byte) ([]ckptTableLoad, error) {
 	if len(data) < 4+8+4 {
-		return fmt.Errorf("%w: too short", ErrBadCheckpoint)
+		return nil, fmt.Errorf("%w: too short", ErrBadCheckpoint)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return fmt.Errorf("%w: crc mismatch", ErrBadCheckpoint)
+		return nil, fmt.Errorf("%w: crc mismatch", ErrBadCheckpoint)
 	}
 
 	take := func(n int) ([]byte, error) {
@@ -165,40 +301,47 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 
 	hdr, err := take(4 + 8)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if [4]byte(hdr[:4]) != checkpointMagic {
-		return fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != checkpointVersion {
-		return fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
 	}
 	tableCount := int(binary.LittleEndian.Uint32(hdr[8:]))
 
+	plan := make([]ckptTableLoad, 0, tableCount)
+	seenTables := make(map[string]bool, tableCount)
 	for ti := 0; ti < tableCount; ti++ {
 		b, err := take(4)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		nameLen := int(binary.LittleEndian.Uint32(b))
 		if nameLen > 1<<16 {
-			return fmt.Errorf("%w: absurd name length", ErrBadCheckpoint)
+			return nil, fmt.Errorf("%w: absurd name length", ErrBadCheckpoint)
 		}
 		nameBytes, err := take(nameLen)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t := e.Table(string(nameBytes))
+		name := string(nameBytes)
+		t := e.Table(name)
 		if t == nil {
-			return fmt.Errorf("%w: unknown table %q", ErrBadCheckpoint, nameBytes)
+			return nil, fmt.Errorf("%w: unknown table %q", ErrBadCheckpoint, name)
 		}
+		if seenTables[name] {
+			return nil, fmt.Errorf("%w: table %q appears twice", ErrBadCheckpoint, name)
+		}
+		seenTables[name] = true
 		b, err = take(12)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rowSize := int(binary.LittleEndian.Uint32(b))
 		if rowSize != t.sch.RowSize() {
-			return fmt.Errorf("%w: table %q row size %d != schema %d",
+			return nil, fmt.Errorf("%w: table %q row size %d != schema %d",
 				ErrBadCheckpoint, t.Name(), rowSize, t.sch.RowSize())
 		}
 		count := binary.LittleEndian.Uint64(b[4:])
@@ -206,36 +349,36 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 		// allocation count, which is at most the entry count of all tables
 		// combined plus pre-existing rows; the body length bounds that.
 		maxRID := uint64(len(data))/16 + t.tbl.NumRows() + 1
+		if count > uint64(len(body)) {
+			return nil, fmt.Errorf("%w: truncated body", ErrBadCheckpoint)
+		}
+		tl := ckptTableLoad{t: t, entries: make([]ckptEntry, 0, count)}
+		seenKeys := make(map[uint64]bool, count)
 		for i := uint64(0); i < count; i++ {
 			b, err = take(16 + rowSize)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			key := binary.LittleEndian.Uint64(b)
 			rid := storage.RecordID(binary.LittleEndian.Uint64(b[8:]))
 			if uint64(rid) > maxRID {
-				return fmt.Errorf("%w: record id %d out of range", ErrBadCheckpoint, rid)
+				return nil, fmt.Errorf("%w: record id %d out of range", ErrBadCheckpoint, rid)
 			}
-			row := b[16:]
-			for t.tbl.NumRows() <= uint64(rid) {
-				t.tbl.Alloc()
+			if seenKeys[key] {
+				return nil, fmt.Errorf("%w: duplicate key %d in %q", ErrBadCheckpoint, key, t.Name())
 			}
-			copy(t.tbl.Row(rid), row)
-			t.tbl.SetTombstone(rid, false)
-			if _, ok := t.primary.Insert(key, rid); !ok {
-				return fmt.Errorf("%w: duplicate key %d in %q", ErrBadCheckpoint, key, t.Name())
+			seenKeys[key] = true
+			if _, exists := t.primary.Lookup(key); exists {
+				return nil, fmt.Errorf("%w: key %d already present in %q", ErrBadCheckpoint, key, t.Name())
 			}
-			for j := range t.secondaries {
-				s := &t.secondaries[j]
-				s.idx.Insert(s.extract(t.sch, row, key), rid)
-			}
-			e.reloadRecord(t, rid, key, row)
+			tl.entries = append(tl.entries, ckptEntry{key: key, rid: rid, row: b[16:]})
 		}
+		plan = append(plan, tl)
 	}
 	if len(body) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(body))
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(body))
 	}
-	return nil
+	return plan, nil
 }
 
 // snapshotTables returns the table handles in id order.

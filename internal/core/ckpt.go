@@ -1,0 +1,447 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"next700/internal/wal"
+)
+
+// errTruncateUnsafe is the defensive invariant-violation class for the
+// truncation step: a sealed segment's ToEpoch exceeded the durable
+// frontier, so removing it could destroy an epoch recovery still needs.
+var errTruncateUnsafe = errors.New("core: segment sealed above durable frontier")
+
+// This file is the checkpoint lifecycle: bootstrap (InitCheckpointLog /
+// AttachCheckpointLog) and the Checkpointer that takes online checkpoint
+// generations, rotates the parallel WAL, and truncates sealed segments the
+// retained generations no longer need.
+//
+// A checkpoint cycle for generation G is a two-phase manifest protocol.
+// Every step leaves the store in a state recovery handles:
+//
+//  1. Scan: capture every table. Value logging scans fuzzily while workers
+//     run (CheckpointOnline) with checkpoint epoch C = CurrentEpoch()-1
+//     drawn before the scan: any commit the scan races with tags an epoch
+//     > C, so replaying the tail past C heals the capture. Command logging
+//     and HSTORE quiesce instead (re-execution cannot heal a fuzzy base),
+//     holding the gate through rotation so C = the rotation boundary.
+//  2. Install ckpt-G atomically (temp + CRC + rename). A crash before this
+//     completes leaves no object; recovery uses the previous generation.
+//  3. Create segment files seg-G-* and publish them in manifest M1
+//     alongside the still-active old segments. A crash here leaves empty
+//     segments that recovery treats as empty tails.
+//  4. Rotate the StreamSet onto the new segments under the commit fence:
+//     the boundary epoch B is certified durable, old segments stop
+//     growing, and every later commit tags > B.
+//  5. Manifest M2: seal the old segments at ToEpoch = B, add the
+//     checkpoint entry (gen G, epoch C), and prune — keep the last K
+//     generations, drop sealed segments whose ToEpoch is at or below the
+//     oldest kept checkpoint's epoch. A crash between M1 and M2 recovers
+//     from the previous generation with the full (old + new) tail.
+//  6. Physically remove pruned objects. Removal is the only irreversible
+//     step and happens strictly after M2 is durable, so truncation can
+//     never eat an epoch recovery still needs.
+
+// LogAttachment is the result of bootstrapping a checkpoint store: the
+// fresh segment devices to open the engine with, plus the recovery state
+// captured before the new segments were published.
+type LogAttachment struct {
+	// Devices are the newly created per-stream segment devices, in stream
+	// order; pass them as Config.LogDevices.
+	Devices []wal.Device
+	// Gen is the generation the new segments belong to.
+	Gen uint64
+	// recover is the manifest snapshot to replay from — it excludes the
+	// segments created by this attachment, which are empty by definition
+	// and may be concurrently appended to once the engine opens.
+	recover wal.Manifest
+	// fellBack reports the manifest was loaded from its .prev copy.
+	fellBack bool
+}
+
+// Streams returns the stream count of the attached log.
+func (a *LogAttachment) Streams() int { return len(a.Devices) }
+
+// InitCheckpointLog bootstraps an empty store: it creates the generation-0
+// segments and the initial manifest. Use it for a fresh database;
+// AttachCheckpointLog resumes an existing one.
+func InitCheckpointLog(store CheckpointStore, streams int, mode wal.Mode) (*LogAttachment, error) {
+	if streams <= 0 {
+		return nil, fmt.Errorf("core: checkpoint log needs streams >= 1: %w", ErrInvalidUsage)
+	}
+	att := &LogAttachment{Gen: 0}
+	m := wal.Manifest{Streams: streams, Mode: mode.String()}
+	for i := 0; i < streams; i++ {
+		name := segmentName(0, i)
+		dev, err := store.CreateSegment(name)
+		if err != nil {
+			return nil, err
+		}
+		att.Devices = append(att.Devices, dev)
+		m.Segments = append(m.Segments, wal.ManifestSegment{Stream: i, Name: name})
+	}
+	if err := store.SaveManifest(m); err != nil {
+		return nil, err
+	}
+	att.recover = wal.Manifest{Streams: streams, Mode: m.Mode}
+	return att, nil
+}
+
+// AttachCheckpointLog resumes an existing store after a shutdown or crash:
+// it loads the manifest (falling back to the previous copy if the newest
+// save was torn), snapshots it as the recovery source, then creates and
+// publishes a fresh generation of segments for the restarting engine to
+// log into. The old segments are left untouched — they remain the
+// authoritative log tail until the next checkpoint seals and prunes them.
+func AttachCheckpointLog(store CheckpointStore) (*LogAttachment, error) {
+	m, fellBack, err := store.LoadManifest()
+	if err != nil {
+		return nil, err
+	}
+	if m.Streams <= 0 {
+		return nil, fmt.Errorf("core: manifest has no streams: %w", wal.ErrCorrupt)
+	}
+	att := &LogAttachment{recover: m, fellBack: fellBack, Gen: manifestMaxGen(&m) + 1}
+	for i := 0; i < m.Streams; i++ {
+		name := segmentName(att.Gen, i)
+		dev, err := store.CreateSegment(name)
+		if err != nil {
+			return nil, err
+		}
+		att.Devices = append(att.Devices, dev)
+		m.Segments = append(m.Segments, wal.ManifestSegment{Stream: i, Name: name})
+	}
+	if err := store.SaveManifest(m); err != nil {
+		return nil, err
+	}
+	return att, nil
+}
+
+// manifestMaxGen returns the highest generation named anywhere in the
+// manifest, from checkpoint entries and segment names.
+func manifestMaxGen(m *wal.Manifest) uint64 {
+	var max uint64
+	for i := range m.Checkpoints {
+		if g := m.Checkpoints[i].Gen; g > max {
+			max = g
+		}
+	}
+	for i := range m.Segments {
+		var g uint64
+		var s int
+		if _, err := fmt.Sscanf(m.Segments[i].Name, "seg-%d-%d", &g, &s); err == nil && g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// Checkpointer drives checkpoint cycles for an engine logging through a
+// parallel WAL whose segments live in a CheckpointStore. One cycle at a
+// time; CheckpointNow may be called directly or via the Start/Stop
+// background loop.
+type Checkpointer struct {
+	e     *Engine
+	store CheckpointStore
+	keep  int
+
+	mu       sync.Mutex
+	manifest wal.Manifest
+	nextGen  uint64
+	cur      []wal.Device
+
+	loopMu sync.Mutex
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	cycles   int
+	failures int
+	lastErr  error
+}
+
+// CheckpointerStats is a snapshot of checkpointer progress.
+type CheckpointerStats struct {
+	// Cycles is the number of completed checkpoint generations.
+	Cycles int
+	// Failures is the number of cycles that failed cleanly (no generation
+	// installed).
+	Failures int
+	// LastErr is the most recent cycle failure (nil after a success).
+	LastErr error
+	// Generations is the number of checkpoint generations currently
+	// retained in the manifest.
+	Generations int
+	// Segments is the number of log segments currently in the manifest.
+	Segments int
+}
+
+// NewCheckpointer builds a checkpointer over the engine's parallel WAL.
+// devices must be the active segment devices the engine was opened with
+// (LogAttachment.Devices); keep is the number of checkpoint generations to
+// retain (minimum 1, default 2).
+func (e *Engine) NewCheckpointer(store CheckpointStore, keep int, devices []wal.Device) (*Checkpointer, error) {
+	if e.logs == nil {
+		return nil, fmt.Errorf("core: checkpointer requires a parallel WAL (WALStreams > 1 or a checkpoint log attachment): %w", ErrInvalidUsage)
+	}
+	if len(devices) != e.logs.NumStreams() {
+		return nil, fmt.Errorf("core: checkpointer got %d devices for %d streams: %w",
+			len(devices), e.logs.NumStreams(), ErrInvalidUsage)
+	}
+	if keep <= 0 {
+		keep = 2
+	}
+	m, _, err := store.LoadManifest()
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpointer{
+		e:        e,
+		store:    store,
+		keep:     keep,
+		manifest: m,
+		nextGen:  manifestMaxGen(&m) + 1,
+		cur:      append([]wal.Device(nil), devices...),
+	}, nil
+}
+
+// Stats returns a progress snapshot.
+func (c *Checkpointer) Stats() CheckpointerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CheckpointerStats{
+		Cycles:      c.cycles,
+		Failures:    c.failures,
+		LastErr:     c.lastErr,
+		Generations: len(c.manifest.Checkpoints),
+		Segments:    len(c.manifest.Segments),
+	}
+}
+
+// Manifest returns a copy of the last manifest this checkpointer wrote or
+// loaded.
+func (c *Checkpointer) Manifest() wal.Manifest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.manifest
+	m.Checkpoints = append([]wal.ManifestCheckpoint(nil), c.manifest.Checkpoints...)
+	m.Segments = append([]wal.ManifestSegment(nil), c.manifest.Segments...)
+	return m
+}
+
+// CheckpointNow runs one full checkpoint cycle synchronously. On failure
+// no new generation is installed and the engine keeps running on its
+// current log; the store may retain a harmless partial (an uninstalled
+// checkpoint object or empty published segments) that the next successful
+// cycle or recovery tolerates.
+func (c *Checkpointer) CheckpointNow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.cycle()
+	if err != nil {
+		c.failures++
+		c.lastErr = err
+		return err
+	}
+	c.cycles++
+	c.lastErr = nil
+	return nil
+}
+
+// cycle is CheckpointNow's body, with c.mu held.
+func (c *Checkpointer) cycle() error {
+	e := c.e
+	if e.logFailed() {
+		return e.logErr()
+	}
+	gen := c.nextGen
+	ckName := checkpointName(gen)
+
+	// Command replay re-executes procedures and HSTORE reads raw rows, so
+	// neither can heal a fuzzy capture: both quiesce for the scan and hold
+	// the gate through rotation. Value logging elsewhere scans online.
+	fuzzy := e.cfg.LogMode == wal.ModeValue && e.proto.Name() != "HSTORE"
+
+	var ckptEpoch uint64
+	quiesced := false
+	if fuzzy {
+		if cur := e.logs.CurrentEpoch(); cur > 0 {
+			ckptEpoch = cur - 1
+		}
+		if err := c.store.WriteCheckpoint(ckName, e.CheckpointOnline); err != nil {
+			return fmt.Errorf("core: checkpoint gen %d scan: %w", gen, err)
+		}
+	} else {
+		e.quiesce.Lock()
+		quiesced = true
+		if err := c.store.WriteCheckpoint(ckName, e.Checkpoint); err != nil {
+			e.quiesce.Unlock()
+			return fmt.Errorf("core: checkpoint gen %d scan: %w", gen, err)
+		}
+	}
+
+	// Create and publish (M1) the new generation's segments.
+	newDevs := make([]wal.Device, e.logs.NumStreams())
+	m1 := c.manifest
+	m1.Checkpoints = append([]wal.ManifestCheckpoint(nil), c.manifest.Checkpoints...)
+	m1.Segments = append([]wal.ManifestSegment(nil), c.manifest.Segments...)
+	for i := range newDevs {
+		dev, err := c.store.CreateSegment(segmentName(gen, i))
+		if err != nil {
+			if quiesced {
+				e.quiesce.Unlock()
+			}
+			return fmt.Errorf("core: checkpoint gen %d segment %d: %w", gen, i, err)
+		}
+		newDevs[i] = dev
+		m1.Segments = append(m1.Segments, wal.ManifestSegment{Stream: i, Name: segmentName(gen, i)})
+	}
+	if err := c.store.SaveManifest(m1); err != nil {
+		if quiesced {
+			e.quiesce.Unlock()
+		}
+		return fmt.Errorf("core: checkpoint gen %d manifest M1: %w", gen, err)
+	}
+
+	// Rotate under the commit fence (the quiesce gate already excludes
+	// commits entirely on the quiesced path). Rotation certifies the
+	// boundary epoch durable before returning.
+	if !quiesced {
+		e.ckptFence.Lock()
+	}
+	boundary, rerr := e.logs.Rotate(newDevs)
+	if !quiesced {
+		e.ckptFence.Unlock()
+	} else {
+		e.quiesce.Unlock()
+	}
+	if rerr != nil {
+		return fmt.Errorf("core: checkpoint gen %d rotate: %w", gen, rerr)
+	}
+	if !fuzzy {
+		// Quiesced capture: the state is exactly the commits at or below
+		// the rotation boundary.
+		ckptEpoch = boundary
+	}
+
+	// M2: seal the swapped-out segments, install the checkpoint entry, and
+	// prune generations and fully covered sealed segments.
+	m2 := m1
+	m2.Checkpoints = append([]wal.ManifestCheckpoint(nil), m1.Checkpoints...)
+	m2.Segments = append([]wal.ManifestSegment(nil), m1.Segments...)
+	newSeg := make(map[string]bool, len(newDevs))
+	for i := range newDevs {
+		newSeg[segmentName(gen, i)] = true
+	}
+	for i := range m2.Segments {
+		sg := &m2.Segments[i]
+		if sg.ToEpoch == 0 && !newSeg[sg.Name] {
+			sg.ToEpoch = boundary
+		}
+	}
+	m2.Checkpoints = append(m2.Checkpoints, wal.ManifestCheckpoint{Gen: gen, Name: ckName, Epoch: ckptEpoch})
+
+	var dropCkpts []wal.ManifestCheckpoint
+	if len(m2.Checkpoints) > c.keep {
+		n := len(m2.Checkpoints) - c.keep
+		dropCkpts = append(dropCkpts, m2.Checkpoints[:n]...)
+		m2.Checkpoints = m2.Checkpoints[n:]
+	}
+	// Everything at or below the oldest retained checkpoint's epoch is
+	// recoverable from that checkpoint; sealed segments fully below it are
+	// dead weight.
+	cMin := m2.Checkpoints[0].Epoch
+	var dropSegs []wal.ManifestSegment
+	liveSegs := m2.Segments[:0]
+	for _, sg := range m2.Segments {
+		if sg.ToEpoch != 0 && sg.ToEpoch <= cMin {
+			dropSegs = append(dropSegs, sg)
+			continue
+		}
+		liveSegs = append(liveSegs, sg)
+	}
+	m2.Segments = liveSegs
+	if err := c.store.SaveManifest(m2); err != nil {
+		return fmt.Errorf("core: checkpoint gen %d manifest M2: %w", gen, err)
+	}
+
+	// Physical removal, strictly after M2 is durable. The durable-frontier
+	// assertion is defensive: rotation certifies every sealed boundary
+	// durable, so a violation here means an epoch recovery might still
+	// need was about to be destroyed.
+	durable := e.logs.DurableEpoch()
+	for _, sg := range dropSegs {
+		if sg.ToEpoch > durable {
+			return fmt.Errorf("%w: refusing to truncate %s sealed at epoch %d, durable frontier %d",
+				errTruncateUnsafe, sg.Name, sg.ToEpoch, durable)
+		}
+		if err := c.store.RemoveSegment(sg.Name); err != nil {
+			return fmt.Errorf("core: checkpoint gen %d truncate %s: %w", gen, sg.Name, err)
+		}
+	}
+	for _, ck := range dropCkpts {
+		if err := c.store.RemoveCheckpoint(ck.Name); err != nil {
+			return fmt.Errorf("core: checkpoint gen %d prune %s: %w", gen, ck.Name, err)
+		}
+	}
+
+	// The old devices are fully sealed and no longer referenced; release
+	// their handles.
+	for _, d := range c.cur {
+		if cl, ok := d.(io.Closer); ok {
+			cl.Close()
+		}
+	}
+	c.cur = newDevs
+	c.manifest = m2
+	c.nextGen = gen + 1
+	return nil
+}
+
+// Start launches the background checkpoint loop with the given interval.
+// A failed cycle is recorded and the loop keeps going — a sticky log
+// failure makes every subsequent cycle fail fast without touching the
+// store. Stop (or a second Start) must be called before engine Close.
+func (c *Checkpointer) Start(interval time.Duration) {
+	c.loopMu.Lock()
+	defer c.loopMu.Unlock()
+	if c.stopCh != nil {
+		return
+	}
+	c.stopCh = make(chan struct{})
+	c.doneCh = make(chan struct{})
+	go c.loop(interval, c.stopCh, c.doneCh)
+}
+
+// Stop halts the background loop and waits for any in-flight cycle to
+// finish. Safe to call when the loop was never started.
+func (c *Checkpointer) Stop() {
+	c.loopMu.Lock()
+	stop, done := c.stopCh, c.doneCh
+	c.stopCh, c.doneCh = nil, nil
+	c.loopMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done //next700:allowwait(shutdown join: stop close guarantees the loop exits after at most one cycle)
+}
+
+// loop is the background checkpoint driver.
+func (c *Checkpointer) loop(interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			// Errors are recorded in Stats; the loop never wedges on them.
+			_ = c.CheckpointNow()
+		}
+	}
+}

@@ -160,8 +160,31 @@ type Engine struct {
 	tickDone chan struct{}
 	closed   bool
 
-	// ckptTx is the lazily created context used by quiesced-phase reads
-	// (checkpointing).
+	// ckptFence serializes online checkpointing against the commit path's
+	// publish-to-append window. Commits on the parallel WAL hold the read
+	// side from protocol commit through log append, so when a checkpointer
+	// takes the write side to rotate the log it knows every commit is
+	// wholly before or wholly after the rotation boundary: the commit's
+	// epoch tag is drawn inside the fence, and the rotation bumps the epoch
+	// while the fence is drained. Uncontended, the read lock is one atomic
+	// on the hot path.
+	ckptFence sync.RWMutex
+
+	// quiesce is the transaction-attempt gate: every Tx.run attempt holds
+	// the read side from Begin through commit/abort. Command-logged and
+	// HSTORE checkpoints take the write side to get a true quiescent point
+	// — their state cannot be captured fuzzily because command replay
+	// re-executes procedures, which is not idempotent against a partially
+	// captured prefix. Value-mode checkpoints never take it.
+	quiesce sync.RWMutex
+
+	// ckptThread is the reserved worker slot for checkpoint reads:
+	// cc.NewEnv is sized one past Config.Threads so the online scan can run
+	// protocol reads concurrently with a full complement of workers without
+	// sharing per-thread protocol state or a statistics cache line.
+	ckptThread int
+
+	// ckptTx is the lazily created context used by checkpoint-phase reads.
 	ckptTx *Tx
 }
 
@@ -170,7 +193,9 @@ func Open(cfg Config) (*Engine, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	env := cc.NewEnv(cfg.Threads)
+	// One extra protocol slot beyond the configured workers: the online
+	// checkpointer reads through it (see ckptThread).
+	env := cc.NewEnv(cfg.Threads + 1)
 	env.NumPartitions = cfg.Partitions
 	env.IsolationLevel = cfg.Isolation
 	proto, err := cc.New(cfg.Protocol, env)
@@ -188,6 +213,7 @@ func Open(cfg Config) (*Engine, error) {
 		stopTick: make(chan struct{}),
 		tickDone: make(chan struct{}),
 	}
+	e.ckptThread = cfg.Threads
 	if cfg.LogMode != wal.ModeNone {
 		if cfg.WALStreams > 1 {
 			e.logs = wal.NewStreamSet(cfg.LogDevices, cfg.GroupCommitWindow)

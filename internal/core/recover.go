@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"next700/internal/storage"
 	"next700/internal/wal"
@@ -38,6 +41,32 @@ type RecoveryStats struct {
 	// multi-stream recovery dropped (partially durable epochs are never
 	// resurrected).
 	TruncatedRecords int
+	// CheckpointGen and CheckpointEpoch identify the checkpoint generation
+	// store-based recovery restored from (both zero when recovery replayed
+	// the full log from the initial load).
+	CheckpointGen   uint64
+	CheckpointEpoch uint64
+	// CheckpointLoaded reports that a checkpoint generation was restored.
+	CheckpointLoaded bool
+	// CheckpointFallbacks counts newer checkpoint generations skipped
+	// because they were missing or corrupt before one loaded.
+	CheckpointFallbacks int
+	// SkippedOldEpoch counts intact log records dropped because their epoch
+	// is already covered by the restored checkpoint.
+	SkippedOldEpoch int
+	// ManifestFallback reports the recovery manifest was loaded from its
+	// previous copy because the newest save was torn.
+	ManifestFallback bool
+	// MaxEpoch is the highest intact epoch observed anywhere in the replayed
+	// streams, truncated records included. Store-based recovery raises the
+	// engine's epoch counter past it so post-recovery appends never collide
+	// with epochs already in the log.
+	MaxEpoch uint64
+	// SealedSegments counts inherited active segments this recovery sealed at
+	// the replay frontier (or dropped outright when nothing in them was
+	// recoverable), making the truncation decision durable: a record this
+	// recovery refused to resurrect stays dead in every later recovery.
+	SealedSegments int
 }
 
 // Recover replays a log stream into the engine. The engine must be in its
@@ -65,19 +94,29 @@ func (e *Engine) Recover(log io.Reader) (RecoveryStats, error) {
 	}
 }
 
-// recordVersion tracks the newest version applied per (table, rid).
-type recordVersion map[int32]map[uint64]uint64
+// recordVersion tracks the newest version applied per (table, rid). The
+// version is (epoch, txnID), epoch-major: transaction ids are only
+// comparable within one engine incarnation, but epochs are monotone across
+// the whole manifest history (RaiseEpoch keeps a restarted engine's tags
+// above everything already logged), so a record written after a restart
+// always supersedes a pre-restart image even though its txnID restarted
+// small. Single-stream logs leave Epoch zero and reduce to the txnID order.
+type recordVersion map[int32]map[uint64]recVer
 
-func (rv recordVersion) newer(table int32, rid, ver uint64) bool {
+type recVer struct{ epoch, txn uint64 }
+
+func (rv recordVersion) newer(table int32, rid, epoch, ver uint64) bool {
 	m := rv[table]
 	if m == nil {
-		m = make(map[uint64]uint64)
+		m = make(map[uint64]recVer)
 		rv[table] = m
 	}
-	if old, ok := m[rid]; ok && old >= ver {
-		return false
+	if old, ok := m[rid]; ok {
+		if old.epoch > epoch || (old.epoch == epoch && old.txn >= ver) {
+			return false
+		}
 	}
-	m[rid] = ver
+	m[rid] = recVer{epoch: epoch, txn: ver}
 	return true
 }
 
@@ -94,7 +133,7 @@ func (e *Engine) applyValueRecord(cr *wal.CommitRecord, versions recordVersion, 
 			// classified as log corruption for the caller.
 			return fmt.Errorf("core: recovery references unknown table %d: %w", en.Table, wal.ErrCorrupt)
 		}
-		if !versions.newer(en.Table, en.RID, cr.TxnID) {
+		if !versions.newer(en.Table, en.RID, cr.Epoch, cr.TxnID) {
 			rs.Skipped++
 			continue
 		}
@@ -148,18 +187,32 @@ func (e *Engine) recoverValue(log io.Reader) (RecoveryStats, error) {
 // (epoch, commit-sequence) order — the merged serialization order.
 func (e *Engine) RecoverStreams(logs []io.Reader) (RecoveryStats, error) {
 	var rs RecoveryStats
+	err := e.recoverStreamsFrom(logs, 0, false, &rs)
+	return rs, err
+}
+
+// recoverStreamsFrom is the shared multi-stream replay: records tagged at
+// or below afterEpoch are skipped (they are covered by a restored
+// checkpoint), and noLog suppresses re-logging of re-executed procedures
+// (store-based recovery keeps the sealed segments authoritative instead).
+func (e *Engine) recoverStreamsFrom(logs []io.Reader, afterEpoch uint64, noLog bool, rs *RecoveryStats) error {
 	if e.cfg.LogMode != wal.ModeValue && e.cfg.LogMode != wal.ModeCommand {
-		return rs, fmt.Errorf("core: recovery requires a logging mode, have %v: %w", e.cfg.LogMode, ErrInvalidUsage)
+		return fmt.Errorf("core: recovery requires a logging mode, have %v: %w", e.cfg.LogMode, ErrInvalidUsage)
 	}
 	versions := make(recordVersion)
 	var tx *Tx
 	st, err := wal.ReplayStreams(logs, func(_ int, cr *wal.CommitRecord) error {
+		if cr.Epoch <= afterEpoch {
+			rs.SkippedOldEpoch++
+			return nil
+		}
 		if e.cfg.LogMode == wal.ModeValue {
-			return e.applyValueRecord(cr, versions, &rs)
+			return e.applyValueRecord(cr, versions, rs)
 		}
 		rs.Records++
 		if tx == nil {
 			tx = e.NewTx(0, 0x5ec0Fe5)
+			tx.noLog = noLog
 		}
 		// Params alias the replay buffer; copy before re-execution.
 		params := append([]byte(nil), cr.Params...)
@@ -171,7 +224,141 @@ func (e *Engine) RecoverStreams(logs []io.Reader) (RecoveryStats, error) {
 	})
 	rs.Bytes, rs.TornBytes, rs.CorruptTailRecords = st.Bytes, st.TornBytes, st.CorruptTailRecords
 	rs.Streams, rs.FrontierEpoch, rs.TruncatedRecords = st.Streams, st.Frontier, st.TruncatedRecords
-	return rs, err
+	rs.MaxEpoch = st.MaxEpoch
+	return err
+}
+
+// RecoverFromStore performs bounded store-based recovery: restore the
+// newest loadable checkpoint generation from att's manifest snapshot, then
+// replay only the log tail past its epoch. A corrupt or missing generation
+// falls back to the next older one; with no usable checkpoint (or none
+// taken yet) load is called to produce the initial state and the full log
+// replays. The engine must be freshly opened with att.Devices and its
+// schema created; transactions must not be running.
+//
+// Re-executed procedures under command logging are not re-logged: the
+// sealed segments named by the manifest remain the authoritative tail
+// until a later checkpoint prunes them, so a second crash before then
+// replays the same state, never a doubled one.
+func (e *Engine) RecoverFromStore(store CheckpointStore, att *LogAttachment, load func() error) (RecoveryStats, error) {
+	var rs RecoveryStats
+	rs.ManifestFallback = att.fellBack
+	m := att.recover
+
+	// Newest loadable generation wins; corruption falls back.
+	cks := append([]wal.ManifestCheckpoint(nil), m.Checkpoints...)
+	sort.Slice(cks, func(i, j int) bool { return cks[i].Gen > cks[j].Gen })
+	var afterEpoch uint64
+	for _, ck := range cks {
+		rc, err := store.OpenCheckpoint(ck.Name)
+		if err != nil {
+			rs.CheckpointFallbacks++
+			continue
+		}
+		err = e.LoadCheckpoint(rc)
+		rc.Close()
+		if err != nil {
+			if errors.Is(err, ErrBadCheckpoint) {
+				rs.CheckpointFallbacks++
+				continue
+			}
+			return rs, err
+		}
+		rs.CheckpointLoaded = true
+		rs.CheckpointGen, rs.CheckpointEpoch = ck.Gen, ck.Epoch
+		afterEpoch = ck.Epoch
+		break
+	}
+	if !rs.CheckpointLoaded {
+		if load != nil {
+			if err := load(); err != nil {
+				return rs, err
+			}
+		}
+	}
+
+	// Per stream, the tail is the manifest's segments in generation order,
+	// concatenated. Each segment is sealed individually before the splice:
+	// its torn tail is trimmed (a crash artifact that would otherwise sit
+	// mid-stream, where the scanner treats it as hard corruption) and, for
+	// segments a previous recovery or checkpoint sealed, frames above the
+	// sealing epoch are dropped — the durable form of that pass's truncation
+	// decision. Segments published but never written (a crash between
+	// publication and first append, or this attachment's own siblings in a
+	// chained recovery) read as empty.
+	readers := make([]io.Reader, m.Streams)
+	for i := 0; i < m.Streams; i++ {
+		var image []byte
+		for _, sg := range m.Segments {
+			if sg.Stream != i {
+				continue
+			}
+			rc, err := store.OpenSegment(sg.Name)
+			if err != nil {
+				continue
+			}
+			data, err := io.ReadAll(rc)
+			rc.Close()
+			if err != nil {
+				return rs, fmt.Errorf("core: recovery segment %s: %w", sg.Name, err)
+			}
+			clean, err := wal.SealSegment(data, sg.ToEpoch)
+			if err != nil {
+				return rs, fmt.Errorf("core: recovery segment %s: %w", sg.Name, err)
+			}
+			image = append(image, clean...)
+		}
+		readers[i] = bytes.NewReader(image)
+	}
+	if err := e.recoverStreamsFrom(readers, afterEpoch, true, &rs); err != nil {
+		return rs, err
+	}
+
+	// Post-recovery appends must tag strictly above every epoch already in
+	// the log (or covered by the restored checkpoint), or a later recovery
+	// would merge the incarnations out of order.
+	base := rs.MaxEpoch
+	if afterEpoch > base {
+		base = afterEpoch
+	}
+	if e.logs != nil {
+		e.logs.RaiseEpoch(base)
+	}
+
+	// Make the truncation decision durable: seal the inherited active
+	// segments at the replay frontier so any intact record beyond it — a
+	// commit that was never acknowledged — stays dead in every later
+	// recovery, even once new epochs grow past it. When nothing in a stream
+	// was recoverable (frontier zero) the inherited actives are dropped
+	// outright. The attachment's own fresh segments stay active.
+	sealed := wal.Manifest{Streams: m.Streams, Mode: m.Mode}
+	sealed.Checkpoints = append([]wal.ManifestCheckpoint(nil), m.Checkpoints...)
+	var dropped []wal.ManifestSegment
+	for _, sg := range m.Segments {
+		if sg.ToEpoch == 0 {
+			rs.SealedSegments++
+			if rs.FrontierEpoch == 0 {
+				dropped = append(dropped, sg)
+				continue
+			}
+			sg.ToEpoch = rs.FrontierEpoch
+		}
+		sealed.Segments = append(sealed.Segments, sg)
+	}
+	if rs.SealedSegments > 0 {
+		for i := range att.Devices {
+			sealed.Segments = append(sealed.Segments, wal.ManifestSegment{Stream: i, Name: segmentName(att.Gen, i)})
+		}
+		if err := store.SaveManifest(sealed); err != nil {
+			return rs, fmt.Errorf("core: recovery manifest seal: %w", err)
+		}
+		for _, sg := range dropped {
+			if err := store.RemoveSegment(sg.Name); err != nil {
+				return rs, fmt.Errorf("core: recovery drop %s: %w", sg.Name, err)
+			}
+		}
+	}
+	return rs, nil
 }
 
 // reloadRecord refreshes protocol-side state (version chains, committed

@@ -37,6 +37,12 @@ type Tx struct {
 	// logStream is this worker's parallel-WAL stream (threadID modulo the
 	// stream count); 0 when the engine logs through the single Writer.
 	logStream int
+	// noLog suppresses write-ahead logging for this context. Store-based
+	// recovery sets it while re-executing the command-log tail: the sealed
+	// segments remain the authoritative tail until the next checkpoint
+	// prunes them, so re-logging the replayed procedures would make a second
+	// crash re-execute them twice.
+	noLog bool
 }
 
 // maxRetainedScanCap bounds the scan scratch capacity a Tx keeps between
@@ -400,6 +406,12 @@ func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 			return t.deadlineAbort()
 		}
 		inner.Reset()
+		// The quiesce gate brackets the whole attempt, Begin through
+		// commit/abort. Command-logged and HSTORE checkpoints take the
+		// write side to capture a true quiescent point; value-mode
+		// checkpoints never contend it, so steady state pays one
+		// uncontended atomic per attempt.
+		e.quiesce.RLock()
 		e.proto.Begin(inner)
 
 		err := body(t)
@@ -407,6 +419,7 @@ func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 		if err == nil {
 			committed, cerr := t.commit(procID, params)
 			if cerr == nil {
+				e.quiesce.RUnlock()
 				inner.ClearPriority()
 				inner.Counter.Commits++
 				return nil
@@ -414,6 +427,7 @@ func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 			if committed {
 				// The transaction is durably committed in memory but
 				// logging failed: surface the error without rolling back.
+				e.quiesce.RUnlock()
 				inner.ClearPriority()
 				inner.Counter.Commits++
 				return cerr
@@ -428,6 +442,7 @@ func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 			e.proto.Abort(inner)
 			t.retractInserts()
 		}
+		e.quiesce.RUnlock()
 		if fault.IsTransient(err) {
 			inner.Counter.Aborts++
 			continue
@@ -463,11 +478,27 @@ func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 	e := t.eng
 	inner := t.inner
 
+	logging := (e.logw != nil || e.logs != nil) && !t.noLog
+	// On the parallel WAL the checkpoint fence spans memory publication
+	// through log append: the record's epoch tag is drawn while the fence
+	// is held, so a checkpoint rotation that has drained the fence knows no
+	// in-flight commit can tag at or below its boundary epoch. The
+	// durability wait happens after release — the fence drains in
+	// microseconds even under group-commit windows. Uncontended, the read
+	// lock is one atomic each way; it is only ever contended for the
+	// rotation instant itself.
+	fenced := e.logs != nil
+	if fenced {
+		e.ckptFence.RLock()
+	}
+
 	// A dead log device cannot make any new commit durable: degrade to a
 	// clean abort instead of committing memory state that would silently
 	// vanish on recovery. One atomic load; free when the log is healthy.
-	logging := e.logw != nil || e.logs != nil
 	if logging && e.logFailed() {
+		if fenced {
+			e.ckptFence.RUnlock()
+		}
 		e.proto.Abort(inner)
 		t.retractInserts()
 		return false, e.logErr()
@@ -483,6 +514,9 @@ func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 		err = e.proto.Commit(inner)
 	}
 	if err != nil {
+		if fenced {
+			e.ckptFence.RUnlock()
+		}
 		t.retractInserts()
 		return false, err
 	}
@@ -508,15 +542,40 @@ func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 	}
 
 	if logging && inner.HasWrites() {
-		return true, t.appendLog(procID, params)
+		if e.logs == nil {
+			// Single-stream Writer path: no fence is held (fenced is false
+			// whenever e.logs is nil).
+			return true, t.appendLog(procID, params)
+		}
+		// Parallel WAL: encode and append inside the fence — the record's
+		// epoch tag is drawn under the stream mutex — then release the
+		// fence before the durability wait, which may park for a full
+		// epoch window.
+		err = t.encodeLog(procID, params)
+		if err != nil {
+			e.ckptFence.RUnlock()
+			return true, err
+		}
+		epoch, aerr := e.logs.Append(t.logStream, t.logBuf)
+		e.ckptFence.RUnlock()
+		if aerr != nil {
+			return true, aerr
+		}
+		return true, t.waitStreamDurable(epoch)
+	}
+	if fenced {
+		e.ckptFence.RUnlock()
 	}
 	return true, nil
 }
 
-// appendLog encodes and waits out the WAL record for a committed txn. The
-// commit record, its entries slice, and the encode buffer are all Tx-owned
-// and reused, so steady-state logging allocates nothing per commit.
-func (t *Tx) appendLog(procID int32, params []byte) error {
+// encodeLog builds the commit record for the committed transaction into
+// t.logBuf. The commit record, its entries slice, and the encode buffer are
+// all Tx-owned and reused, so steady-state logging allocates nothing per
+// commit.
+//
+//next700:hotpath
+func (t *Tx) encodeLog(procID int32, params []byte) error {
 	e := t.eng
 	inner := t.inner
 	cr := &t.logRec
@@ -555,29 +614,39 @@ func (t *Tx) appendLog(procID int32, params []byte) error {
 		cr.Entries[i].Data = nil
 	}
 	cr.Params = nil
-	if e.logs != nil {
-		// Parallel WAL: append to this worker's own stream (no shared mutex)
-		// and wait on the epoch frontier instead of a per-record LSN.
-		epoch, err := e.logs.Append(t.logStream, t.logBuf)
-		if err != nil {
-			return err
-		}
-		if dl := inner.Deadline; dl != 0 {
-			if werr := e.logs.WaitDurableUntil(t.logStream, epoch, dl); werr != nil {
-				if errors.Is(werr, wal.ErrWaitDeadline) {
-					return errDurabilityDeadline
-				}
-				return werr
+	return nil
+}
+
+// waitStreamDurable parks on the parallel WAL's epoch frontier until the
+// committed record's epoch is durable on every stream.
+//
+//next700:hotpath
+func (t *Tx) waitStreamDurable(epoch uint64) error {
+	e := t.eng
+	if dl := t.inner.Deadline; dl != 0 {
+		if werr := e.logs.WaitDurableUntil(t.logStream, epoch, dl); werr != nil {
+			if errors.Is(werr, wal.ErrWaitDeadline) {
+				return errDurabilityDeadline
 			}
-			return nil
+			return werr
 		}
-		return e.logs.WaitDurable(t.logStream, epoch)
+		return nil
+	}
+	return e.logs.WaitDurable(t.logStream, epoch)
+}
+
+// appendLog encodes, appends, and waits out the WAL record on the
+// single-stream group-commit Writer.
+func (t *Tx) appendLog(procID int32, params []byte) error {
+	e := t.eng
+	if err := t.encodeLog(procID, params); err != nil {
+		return err
 	}
 	lsn, err := e.logw.Append(t.logBuf)
 	if err != nil {
 		return err
 	}
-	if dl := inner.Deadline; dl != 0 {
+	if dl := t.inner.Deadline; dl != 0 {
 		if werr := e.logw.WaitDurableUntil(lsn, dl); werr != nil {
 			if errors.Is(werr, wal.ErrWaitDeadline) {
 				return errDurabilityDeadline

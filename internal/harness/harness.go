@@ -90,6 +90,21 @@ type RunOptions struct {
 	// defaults to Duration/16. Each interval contributes one
 	// Result.AdmissionTimeline sample.
 	AdmissionSampleEvery time.Duration
+	// QueueLIFOAge, when > 0, turns on adaptive LIFO for the open-loop
+	// arrival queue: while the oldest waiting arrival is older than this,
+	// workers serve newest-first, so fresh arrivals that can still meet
+	// their deadline run instead of stale ones that will only age out.
+	// The queue reverts to FIFO as it drains. Zero keeps strict FIFO.
+	QueueLIFOAge time.Duration
+	// QueueCoDelTarget, when > 0, enables CoDel-style age dropping at
+	// enqueue: once the queue head stays older than the target for a full
+	// QueueCoDelInterval, the queue evicts its oldest entries at the CoDel
+	// control-law rate until the head age recovers. Evictions count in
+	// Result.QueueDropped and never reach a worker — shedding in the queue
+	// instead of the engine is what cuts shed work per good commit.
+	// QueueCoDelInterval defaults to 100ms.
+	QueueCoDelTarget   time.Duration
+	QueueCoDelInterval time.Duration
 }
 
 // AdmissionSample is one periodic observation of the admission controller
@@ -148,6 +163,12 @@ type Result struct {
 	// finished but missed the window.
 	Goodput     float64
 	LateCommits uint64
+	// QueueDropped counts arrivals the CoDel discipline evicted at enqueue
+	// (RunOptions.QueueCoDelTarget); QueueLIFOServed counts arrivals served
+	// newest-first under adaptive LIFO (RunOptions.QueueLIFOAge). Both are
+	// zero under the default FIFO discipline.
+	QueueDropped    uint64
+	QueueLIFOServed uint64
 	// QueueLatency is arrival → execution start for executed transactions;
 	// E2ELatency is arrival → completion for committed ones. Service
 	// latency stays in Latency.

@@ -70,7 +70,7 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 	if qcap > maxArrivalQueue {
 		qcap = maxArrivalQueue
 	}
-	arrivals := make(chan int64, qcap)
+	arrivals := newArrivalQueue(qcap, opts.QueueLIFOAge, opts.QueueCoDelTarget, opts.QueueCoDelInterval)
 	stop := make(chan struct{})
 
 	var warm sync.WaitGroup
@@ -101,15 +101,12 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 			ctr := tx.Counter()
 		loop:
 			for {
-				var a int64
-				select {
-				case <-stop:
+				// The queue closes when the window ends (the generator's
+				// deferred close), so a blocked pop wakes promptly and
+				// whatever is still queued counts as backlog.
+				a, ok := arrivals.pop()
+				if !ok {
 					break loop
-				case got, ok := <-arrivals:
-					if !ok {
-						break loop
-					}
-					a = got
 				}
 				start := time.Now().UnixNano()
 				var dl int64
@@ -248,12 +245,12 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 	// under ~2ms are skipped (the OS timer would oversleep them), so high
 	// rates arrive in millisecond-scale bursts — far below the latency
 	// scales being measured.
-	var generated, dropped uint64
+	var generated uint64
 	genDone := make(chan struct{})
 	genRNG := xrand.New(opts.Seed*9_176_867 + 0xfeed)
 	go func() {
 		defer close(genDone)
-		defer close(arrivals)
+		defer arrivals.close()
 		next := time.Now()
 		for {
 			select {
@@ -274,11 +271,7 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 				}
 			}
 			generated++
-			select {
-			case arrivals <- next.UnixNano():
-			default:
-				dropped++
-			}
+			arrivals.pushAt(next.UnixNano(), time.Now().UnixNano())
 		}
 	}()
 	time.AfterFunc(opts.Duration, func() { close(stop) })
@@ -301,26 +294,29 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 			firstErr = fmt.Errorf("worker %d: %w", i, outs[i].err)
 		}
 	}
+	remaining, qDropped, overflow, lifoServed := arrivals.stats()
 	res := Result{
-		Threads:        threads,
-		Elapsed:        elapsed,
-		Commits:        total.Commits,
-		Aborts:         total.Aborts,
-		UserAborts:     total.UserAborts,
-		FatalAborts:    total.FatalAborts,
-		DeadlineAborts: total.DeadlineAborts,
-		ShedAborts:     total.ShedAborts,
-		Waits:          total.Waits,
-		Tps:            float64(total.Commits) / elapsed.Seconds(),
-		AbortRate:      total.AbortRate(),
-		Latency:        svcH.Summarize(),
-		Offered:        opts.OfferedRate,
-		Arrivals:       generated,
-		Backlog:        uint64(len(arrivals)) + dropped,
-		Goodput:        float64(good) / elapsed.Seconds(),
-		LateCommits:    late,
-		QueueLatency:   queueH.Summarize(),
-		E2ELatency:     e2eH.Summarize(),
+		Threads:         threads,
+		Elapsed:         elapsed,
+		Commits:         total.Commits,
+		Aborts:          total.Aborts,
+		UserAborts:      total.UserAborts,
+		FatalAborts:     total.FatalAborts,
+		DeadlineAborts:  total.DeadlineAborts,
+		ShedAborts:      total.ShedAborts,
+		Waits:           total.Waits,
+		Tps:             float64(total.Commits) / elapsed.Seconds(),
+		AbortRate:       total.AbortRate(),
+		Latency:         svcH.Summarize(),
+		Offered:         opts.OfferedRate,
+		Arrivals:        generated,
+		Backlog:         uint64(remaining) + overflow,
+		Goodput:         float64(good) / elapsed.Seconds(),
+		LateCommits:     late,
+		QueueDropped:    qDropped,
+		QueueLIFOServed: lifoServed,
+		QueueLatency:    queueH.Summarize(),
+		E2ELatency:      e2eH.Summarize(),
 	}
 	if len(ctrls) > 0 {
 		<-samplerDone

@@ -182,10 +182,12 @@ func encodeParams(worker uint32, from, to uint64, delta int64, hot bool) []byte 
 }
 
 // buildEngine opens an engine on the given per-stream devices (one device =
-// the classic single-stream writer), creates and loads the account table,
-// and registers the transfer procedure. The load is deterministic so a
-// fresh engine plus log replay reconstructs the crashed engine's state.
-func buildEngine(cfg Config, devs []wal.Device) (*core.Engine, *core.Table, error) {
+// the classic single-stream writer), creates the account table, and
+// registers the transfer procedure. With preload set it also performs the
+// deterministic initial load (loadInitial); checkpoint-based recovery opens
+// the engine empty instead and hands loadInitial to RecoverFromStore as the
+// no-usable-checkpoint fallback.
+func buildEngine(cfg Config, devs []wal.Device, preload bool) (*core.Engine, *core.Table, error) {
 	ecfg := core.Config{
 		Protocol: cfg.Protocol,
 		Threads:  cfg.Workers,
@@ -207,26 +209,11 @@ func buildEngine(cfg Config, devs []wal.Device) (*core.Engine, *core.Table, erro
 		e.Close()
 		return nil, nil, err
 	}
-	row := sch.NewRow()
-	load := func(key uint64) error {
-		sch.SetInt64(row, 0, 0)
-		return e.Load(tbl, key, row)
-	}
-	for w := 0; w < cfg.Workers; w++ {
-		for i := 0; i < cfg.AccountsPerWorker; i++ {
-			if err := load(uint64(w*cfg.AccountsPerWorker + i)); err != nil {
-				e.Close()
-				return nil, nil, err
-			}
-		}
-		if err := load(counterBase + uint64(w)); err != nil {
+	if preload {
+		if err := loadInitial(cfg, e, tbl); err != nil {
 			e.Close()
 			return nil, nil, err
 		}
-	}
-	if err := load(hotKey); err != nil {
-		e.Close()
-		return nil, nil, err
 	}
 	err = e.RegisterProc(procTransfer, func(tx *core.Tx, p []byte) error {
 		worker := binary.LittleEndian.Uint32(p[0:])
@@ -261,6 +248,29 @@ func buildEngine(cfg Config, devs []wal.Device) (*core.Engine, *core.Table, erro
 		return nil, nil, err
 	}
 	return e, tbl, nil
+}
+
+// loadInitial performs the deterministic initial load: every account,
+// per-worker counter, and the hot row, all zero. Load bypasses the log, so
+// a fresh engine plus this load is exactly the state the log replays over.
+func loadInitial(cfg Config, e *core.Engine, tbl *core.Table) error {
+	sch := tbl.Schema()
+	row := sch.NewRow()
+	load := func(key uint64) error {
+		sch.SetInt64(row, 0, 0)
+		return e.Load(tbl, key, row)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		for i := 0; i < cfg.AccountsPerWorker; i++ {
+			if err := load(uint64(w*cfg.AccountsPerWorker + i)); err != nil {
+				return err
+			}
+		}
+		if err := load(counterBase + uint64(w)); err != nil {
+			return err
+		}
+	}
+	return load(hotKey)
 }
 
 // estimatedRecordBytes approximates the framed size of one commit record so
@@ -300,7 +310,7 @@ func Run(cfg Config) (Result, error) {
 		devs[i] = fdevs[i]
 	}
 
-	e, _, err := buildEngine(cfg, devs)
+	e, _, err := buildEngine(cfg, devs, true)
 	if err != nil {
 		return res, err
 	}
@@ -364,7 +374,7 @@ func Run(cfg Config) (Result, error) {
 	for i := range rdevs {
 		rdevs[i] = &fault.MemDevice{}
 	}
-	e2, tbl2, err := buildEngine(cfg, rdevs)
+	e2, tbl2, err := buildEngine(cfg, rdevs, true)
 	if err != nil {
 		return res, err
 	}

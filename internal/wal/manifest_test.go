@@ -1,0 +1,112 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleManifest() Manifest {
+	return Manifest{
+		Streams: 2,
+		Mode:    "value",
+		Checkpoints: []ManifestCheckpoint{
+			{Gen: 1, Name: "ckpt-000001", Epoch: 17},
+			{Gen: 2, Name: "ckpt-000002", Epoch: 42},
+		},
+		Segments: []ManifestSegment{
+			{Stream: 0, Name: "seg-000000-0", ToEpoch: 42},
+			{Stream: 1, Name: "seg-000000-1", ToEpoch: 42},
+			{Stream: 0, Name: "seg-000002-0"},
+			{Stream: 1, Name: "seg-000002-1"},
+		},
+	}
+}
+
+func TestManifestEncodeDecode(t *testing.T) {
+	m := sampleManifest()
+	data, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Streams != 2 || got.Mode != "value" || len(got.Checkpoints) != 2 || len(got.Segments) != 4 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Checkpoints[1].Epoch != 42 || got.Segments[2].ToEpoch != 0 {
+		t.Fatalf("field mismatch: %+v", got)
+	}
+}
+
+func TestManifestDecodeRejectsCorruption(t *testing.T) {
+	data, err := EncodeManifest(sampleManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated":  data[:len(data)-5],
+		"empty":      nil,
+		"no trailer": []byte(`{"streams":2}` + "\n"),
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(flip)/2] ^= 0x40
+	cases["bit flip"] = flip
+	for name, c := range cases {
+		if _, err := DecodeManifest(c); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+}
+
+func TestManifestSaveLoadFallback(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "MANIFEST")
+
+	m1 := sampleManifest()
+	m1.Checkpoints = m1.Checkpoints[:1]
+	if err := SaveManifestFile(path, m1); err != nil {
+		t.Fatal(err)
+	}
+	got, fellBack, err := LoadManifestFile(path)
+	if err != nil || fellBack || len(got.Checkpoints) != 1 {
+		t.Fatalf("first load: %+v fellBack=%v err=%v", got, fellBack, err)
+	}
+
+	m2 := sampleManifest()
+	if err := SaveManifestFile(path, m2); err != nil {
+		t.Fatal(err)
+	}
+	got, fellBack, err = LoadManifestFile(path)
+	if err != nil || fellBack || len(got.Checkpoints) != 2 {
+		t.Fatalf("second load: %+v fellBack=%v err=%v", got, fellBack, err)
+	}
+
+	// Tear the current file: the loader must fall back to .prev — the
+	// previous save — instead of failing or trusting garbage.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, fellBack, err = LoadManifestFile(path)
+	if err != nil {
+		t.Fatalf("fallback load: %v", err)
+	}
+	if !fellBack || len(got.Checkpoints) != 1 {
+		t.Fatalf("fallback should yield the previous save: %+v fellBack=%v", got, fellBack)
+	}
+
+	// Both copies gone: a hard error, wrapped as corruption.
+	if err := os.Remove(path + ".prev"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadManifestFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt with both copies bad, got %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// sealFrame encodes one value record tagged with the given epoch.
+func sealFrame(txn, epoch uint64) []byte {
+	cr := &CommitRecord{
+		TxnID: txn,
+		Epoch: epoch,
+		Entries: []Entry{
+			{Kind: EntryUpdate, Table: 1, RID: txn, Key: txn, Data: []byte{1, 2, 3, 4}},
+		},
+	}
+	return cr.Encode(nil)
+}
+
+// sealEpochs replays a sealed image and returns the record epochs in order.
+func sealEpochs(t *testing.T, img []byte) []uint64 {
+	t.Helper()
+	var out []uint64
+	if _, err := ScanStream(bytes.NewReader(img), func(cr *CommitRecord) error {
+		out = append(out, cr.Epoch)
+		return nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSealSegmentTrimsTornTail(t *testing.T) {
+	var img []byte
+	img = append(img, sealFrame(1, 1)...)
+	img = append(img, sealFrame(2, 2)...)
+	whole := len(img)
+	last := sealFrame(3, 3)
+	img = append(img, last[:len(last)/2]...) // torn final frame
+
+	clean, err := SealSegment(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != whole {
+		t.Fatalf("sealed %d bytes, want %d", len(clean), whole)
+	}
+	if got := sealEpochs(t, clean); len(got) != 2 {
+		t.Fatalf("sealed image has %d records, want 2: %v", len(got), got)
+	}
+}
+
+func TestSealSegmentTornFinalPayload(t *testing.T) {
+	// A full-length final record with a bad CRC is a torn write too.
+	var img []byte
+	img = append(img, sealFrame(1, 1)...)
+	whole := len(img)
+	img = append(img, sealFrame(2, 2)...)
+	img[len(img)-1] ^= 0xFF
+
+	clean, err := SealSegment(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != whole {
+		t.Fatalf("sealed %d bytes, want %d", len(clean), whole)
+	}
+}
+
+func TestSealSegmentMidCorruptionFails(t *testing.T) {
+	first := sealFrame(1, 1)
+	var img []byte
+	img = append(img, first...)
+	img = append(img, sealFrame(2, 2)...)
+	img[headerSize+2] ^= 0xFF // corrupt the first payload, not the last
+	if _, err := SealSegment(img, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-stream corruption must fail, got %v", err)
+	}
+}
+
+func TestSealSegmentCeilingDropsLateFrames(t *testing.T) {
+	var img []byte
+	img = append(img, sealFrame(1, 4)...)
+	img = append(img, sealFrame(2, 5)...)
+	img = append(img, appendMarker(nil, 6)...)
+	img = append(img, sealFrame(3, 6)...)
+
+	clean, err := SealSegment(img, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sealEpochs(t, clean); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("ceiling 5 kept %v, want [4 5]", got)
+	}
+	// Frames above the ceiling are replaced by exactly one marker for
+	// ceiling+1: the sealing epoch is a completeness certificate, so the
+	// sealed image must keep claiming "complete through 5" — but nothing
+	// beyond it, or a record the ceiling killed could be resurrected.
+	var markers []uint64
+	if _, err := ScanStream(bytes.NewReader(clean), func(*CommitRecord) error { return nil },
+		func(epoch uint64) error { markers = append(markers, epoch); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(markers) != 1 || markers[0] != 6 {
+		t.Fatalf("sealed image markers %v, want exactly [6]", markers)
+	}
+	// Ceiling zero keeps everything and adds nothing.
+	all, err := SealSegment(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(img) {
+		t.Fatalf("ceiling 0 changed an intact image: %d != %d", len(all), len(img))
+	}
+}
+
+func TestRaiseEpochMonotone(t *testing.T) {
+	dev := &memDevice{}
+	s := NewStreamSet([]Device{dev}, 0)
+	defer s.Close()
+	if got := s.CurrentEpoch(); got != 1 {
+		t.Fatalf("fresh epoch %d, want 1", got)
+	}
+	s.RaiseEpoch(100)
+	if got := s.CurrentEpoch(); got != 101 {
+		t.Fatalf("raised epoch %d, want 101", got)
+	}
+	s.RaiseEpoch(50) // at or below current: no-op
+	if got := s.CurrentEpoch(); got != 101 {
+		t.Fatalf("lowering raise changed epoch to %d", got)
+	}
+	// Appends tag above the raised base and become durable normally.
+	rec := sealFrame(9, 0)
+	epoch, err := s.Append(0, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 101 {
+		t.Fatalf("append tagged epoch %d, want 101", epoch)
+	}
+	if err := s.WaitDurable(0, epoch); err != nil {
+		t.Fatal(err)
+	}
+	if got := sealEpochs(t, dev.bytes()); len(got) != 1 || got[0] != 101 {
+		t.Fatalf("device records %v, want [101]", got)
+	}
+}

@@ -2,22 +2,34 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 )
 
 // Manifest describes a multi-stream log for recovery: how many streams the
-// StreamSet was sharded across. The bench CLI writes it next to the stream
-// files (<logpath>.manifest.json beside <logpath>.0 .. <logpath>.N-1) so a
-// later -recover run can pair the readers without guessing.
+// StreamSet was sharded across, plus — when the engine checkpoints online —
+// the checkpoint generations and the per-stream log segments with their
+// sealing epochs. The bench CLI writes it next to the stream files
+// (<logpath>.manifest.json beside <logpath>.0 .. <logpath>.N-1) so a later
+// -recover run can pair the readers without guessing; the checkpoint
+// subsystem persists it through SaveManifestFile's CRC-sealed atomic
+// install (see manifest.go).
 type Manifest struct {
 	// Streams is the stream count.
 	Streams int `json:"streams"`
 	// Mode is the logging mode the streams were written under ("value" or
 	// "command"), recorded for operator sanity, not enforced.
 	Mode string `json:"mode,omitempty"`
+	// Checkpoints lists the retained checkpoint generations, oldest first.
+	Checkpoints []ManifestCheckpoint `json:"checkpoints,omitempty"`
+	// Segments lists every live log segment in per-stream append order:
+	// a stream's on-disk log is the concatenation of its sealed segments
+	// followed by its active (ToEpoch == 0) ones.
+	Segments []ManifestSegment `json:"segments,omitempty"`
 }
 
 // WriteManifest serializes m as JSON.
@@ -63,6 +75,11 @@ type StreamReplayStats struct {
 	TornBytes int64
 	// CorruptTailRecords sums the per-stream in-place-torn final records.
 	CorruptTailRecords int
+	// MaxEpoch is the highest intact epoch tag or marker observed across all
+	// streams, including records beyond the frontier that were truncated.
+	// Restart recovery feeds it to StreamSet.RaiseEpoch so post-recovery
+	// appends tag strictly above everything already in the log.
+	MaxEpoch uint64
 }
 
 // streamRecord is one buffered record awaiting the epoch merge.
@@ -129,6 +146,9 @@ func ReplayStreams(readers []io.Reader, apply func(stream int, cr *CommitRecord)
 		if err != nil {
 			return st, fmt.Errorf("wal: stream %d: %w", i, err)
 		}
+		if high > st.MaxEpoch {
+			st.MaxEpoch = high
+		}
 		var complete uint64
 		if high > 0 {
 			complete = high - 1
@@ -169,6 +189,73 @@ func ReplayStreams(readers []io.Reader, apply func(stream int, cr *CommitRecord)
 		st.Records++
 	}
 	return st, nil
+}
+
+// SealSegment prepares one segment file's image for concatenated replay: it
+// trims the torn tail (the partial or in-place-torn final frame a crash left
+// behind — the same cases ScanStream tolerates at end of stream) and, when
+// ceiling > 0, drops every frame tagged with an epoch above the ceiling.
+//
+// Both matter because a stream's log is the concatenation of its segment
+// files: a crashed incarnation's torn tail sits mid-stream once a later
+// segment follows it, where the replay scanner would reject it as hard
+// corruption; and records beyond the replay frontier that one recovery
+// truncated must stay dead in every later recovery, even after new epochs
+// grow past them — the manifest's sealing epoch is that replay ceiling.
+//
+// A sealed image with ceiling > 0 ends with a marker for ceiling+1: the
+// sealing epoch is itself a completeness certificate (rotation certifies
+// its boundary durable on every stream before the manifest seals at it,
+// and recovery seals at the merged frontier, which never exceeds any one
+// stream's own complete prefix), and the marker frames that originally
+// carried the claim may sit above the ceiling — the rotation boundary's
+// marker is boundary+1 — so dropping them without this replacement would
+// shrink the stream's provable frontier below epochs the engine already
+// acknowledged.
+//
+// Damage before the final frame is real corruption and returns ErrCorrupt.
+// The returned image is a fresh slice; data is not modified.
+func SealSegment(data []byte, ceiling uint64) ([]byte, error) {
+	out := make([]byte, 0, len(data))
+	off := 0
+	for off < len(data) {
+		if off+headerSize > len(data) {
+			break // torn header
+		}
+		size := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if size <= 0 || size > 1<<30 {
+			break // zeroed/torn tail: nothing after this header is usable
+		}
+		end := off + headerSize + size
+		if end > len(data) {
+			break // torn payload
+		}
+		payload := data[off+headerSize : end]
+		if crc32.ChecksumIEEE(payload) != crc {
+			if end == len(data) {
+				break // in-place-torn final record
+			}
+			return nil, ErrCorrupt
+		}
+		var epoch uint64
+		switch {
+		case IsMarkerPayload(payload):
+			epoch = binary.LittleEndian.Uint64(payload[1:])
+		case len(payload) >= 17:
+			epoch = binary.LittleEndian.Uint64(payload[9:])
+		default:
+			return nil, ErrCorrupt
+		}
+		if ceiling == 0 || epoch <= ceiling {
+			out = append(out, data[off:end]...)
+		}
+		off = end
+	}
+	if ceiling > 0 {
+		out = appendMarker(out, ceiling+1)
+	}
+	return out, nil
 }
 
 // ReplayStreamBytes is ReplayStreams over in-memory stream images (tests

@@ -86,6 +86,16 @@ type stream struct {
 	// the stream's flusher touches it.
 	lastMark uint64
 
+	// next and rotateTarget stage a pending device rotation, guarded by the
+	// set mutex. The flusher installs next as the stream's device once its
+	// claim reaches rotateTarget — i.e. once the rotation epoch's marker is
+	// synced on the old device, so the sealed segment provably contains
+	// every record tagged at or below the rotation boundary. Only the
+	// flusher goroutine touches dev after construction, which is what makes
+	// the swap race-free without a device lock.
+	next         Device
+	rotateTarget uint64
+
 	flush chan struct{}
 	done  chan struct{}
 }
@@ -119,6 +129,25 @@ func NewStreamSet(devs []Device, window time.Duration) *StreamSet {
 
 // NumStreams returns the stream count.
 func (s *StreamSet) NumStreams() int { return len(s.streams) }
+
+// RaiseEpoch raises the epoch counter so every future append tags strictly
+// above base. Restart recovery calls it — after replay, before the first
+// post-recovery append — with the highest epoch present anywhere in the
+// surviving log, keeping epoch tags monotone across the whole manifest
+// history: without it a rebooted set would restart at epoch 1 and collide
+// with epochs already sealed in earlier segments. A base at or below the
+// current epoch is a no-op.
+func (s *StreamSet) RaiseEpoch(base uint64) {
+	for {
+		cur := atomic.LoadUint64(&s.epoch)
+		if cur > base {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&s.epoch, cur, base+1) {
+			return
+		}
+	}
+}
 
 // CurrentEpoch returns the epoch new appends are tagged with.
 func (s *StreamSet) CurrentEpoch() uint64 { return atomic.LoadUint64(&s.epoch) }
@@ -401,6 +430,16 @@ func (st *stream) flushOnce() {
 	target := atomic.LoadUint64(&s.epoch)
 	if len(st.buf) == 0 && target == st.lastMark {
 		st.mu.Unlock()
+		// A caught-up stream may still owe a pending rotation: lastMark ==
+		// target means the claim already covers the rotation epoch, so the
+		// swap can install without writing anything.
+		s.mu.Lock()
+		if st.next != nil && st.claim >= st.rotateTarget {
+			st.dev = st.next
+			st.next = nil
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
 		return
 	}
 	batch := st.buf
@@ -447,9 +486,95 @@ func (st *stream) flushOnce() {
 		if min > 0 && min-1 > atomic.LoadUint64(&s.durable) {
 			atomic.StoreUint64(&s.durable, min-1)
 		}
+		if st.next != nil && st.claim >= st.rotateTarget {
+			// The rotation epoch's marker is synced on the old device: every
+			// record tagged <= boundary is sealed there, so writes can move
+			// to the fresh device.
+			st.dev = st.next
+			st.next = nil
+		}
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+}
+
+// Rotate seals the current log segments and swaps every stream onto a fresh
+// device. It returns the boundary epoch: every record appended before Rotate
+// returned is tagged <= boundary and is durable on the old devices when
+// Rotate returns; every record appended after Rotate was entered that tags
+// past the boundary lands on the new devices. Callers serialize Rotate
+// against appends (the engine's checkpoint fence), which is what makes the
+// boundary a clean cut: with no append in flight, the epoch bump inside
+// Rotate guarantees pre-rotation commits tag <= boundary and post-rotation
+// commits tag > boundary.
+//
+// The swap itself is performed by each stream's flusher goroutine — the only
+// goroutine that ever writes to the device — after it has synced the
+// rotation epoch's marker onto the old device, so the sealed segment
+// provably contains everything at or below the boundary and per-stream
+// epoch-tag monotonicity holds across the segment boundary.
+func (s *StreamSet) Rotate(newDevs []Device) (uint64, error) {
+	if len(newDevs) != len(s.streams) {
+		return 0, fmt.Errorf("wal: rotate needs %d devices, have %d: %w", len(s.streams), len(newDevs), ErrCorrupt)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return 0, err
+	}
+	boundary := atomic.LoadUint64(&s.epoch)
+	atomic.AddUint64(&s.epoch, 1)
+	for i, st := range s.streams {
+		st.next = newDevs[i]
+		st.rotateTarget = boundary + 1
+	}
+	s.mu.Unlock()
+	// Wake every flusher directly: rotation must not be skipped by the
+	// coordinator's idle check, and it must not wait for the next window
+	// tick either.
+	for _, st := range s.streams {
+		select {
+		case st.flush <- struct{}{}:
+		default:
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil {
+			return 0, s.err
+		}
+		if s.closed {
+			return 0, ErrClosed
+		}
+		pending := false
+		for _, st := range s.streams {
+			if st.next != nil {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			return boundary, nil
+		}
+		// Re-signal before parking: a flusher that drained its signal while
+		// mid-flush with a pre-bump target syncs without installing the swap,
+		// and nothing else would wake it until the next advance.
+		for _, st := range s.streams {
+			if st.next != nil {
+				select {
+				case st.flush <- struct{}{}:
+				default:
+				}
+			}
+		}
+		s.cond.Wait() //next700:allowwait(flusher broadcast after every flush cycle re-wakes; sticky failure and close both break the loop)
+	}
 }
 
 // Close advances one final epoch, drains every stream, and stops the

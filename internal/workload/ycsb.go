@@ -120,6 +120,18 @@ const ycsbProcID = 10
 
 // Setup implements Workload.
 func (y *YCSB) Setup(e *core.Engine) error {
+	if err := y.SetupSchema(e); err != nil {
+		return err
+	}
+	return y.LoadData()
+}
+
+// SetupSchema creates the table, partitioner, and stored procedures
+// without loading any rows. This is the shape store-based recovery needs:
+// core.LoadCheckpoint requires empty tables, so a recovering caller runs
+// SetupSchema first and passes LoadData as the RecoverFromStore fallback
+// (invoked only when no checkpoint generation is loadable).
+func (y *YCSB) SetupSchema(e *core.Engine) error {
 	y.eng = e
 	if y.cfg.Partitions <= 0 {
 		y.cfg.Partitions = e.Config().Partitions
@@ -152,19 +164,25 @@ func (y *YCSB) Setup(e *core.Engine) error {
 		return int(key % uint64(y.cfg.Partitions))
 	})
 
+	if y.cmdLog {
+		if err := e.RegisterProc(ycsbProcID, y.execProc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadData populates the table with the deterministic initial records.
+// SetupSchema must have run first.
+func (y *YCSB) LoadData() error {
+	sch, tbl := y.sch, y.table
 	rng := xrand.New(0xC0FFEE)
 	row := sch.NewRow()
 	field := make([]byte, y.cfg.FieldSize)
 	for k := uint64(0); k < y.cfg.Records; k++ {
 		sch.SetInt64(row, 0, 0)
 		sch.SetString(row, 1, rng.Letters(field))
-		if err := e.Load(tbl, k, row); err != nil {
-			return err
-		}
-	}
-
-	if y.cmdLog {
-		if err := e.RegisterProc(ycsbProcID, y.execProc); err != nil {
+		if err := y.eng.Load(tbl, k, row); err != nil {
 			return err
 		}
 	}
