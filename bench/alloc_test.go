@@ -6,6 +6,7 @@ import (
 
 	"next700/internal/cc"
 	"next700/internal/core"
+	"next700/internal/det"
 	"next700/internal/fault"
 	"next700/internal/storage"
 	"next700/internal/wal"
@@ -187,6 +188,75 @@ func updateTxnAllocsCheckpointed(t *testing.T) float64 {
 	})
 }
 
+// detBatchAllocs measures steady-state heap allocations per transaction for
+// queue-oriented deterministic execution: plan a fixed batch of 2-update
+// transactions, execute it through the DetExecutor, repeat. At steady state
+// the planner scratch (queues, homes, mailboxes), the TxnPlan slate, and
+// the per-partition descriptors are all reused, so the whole
+// plan-execute-seal cycle must be allocation-free per transaction.
+func detBatchAllocs(t *testing.T, streams int) float64 {
+	t.Helper()
+	const parts = 2
+	cfg := core.Config{Protocol: "QSTORE", Threads: parts, Partitions: parts}
+	if streams > 1 {
+		cfg.LogMode = wal.ModeValue
+		cfg.WALStreams = streams
+		cfg.LogDevices = make([]wal.Device, streams)
+		for i := range cfg.LogDevices {
+			cfg.LogDevices[i] = discardDev{}
+		}
+	}
+	e, err := core.Open(cfg)
+	if err != nil {
+		t.Fatalf("open QSTORE: %v", err)
+	}
+	defer e.Close()
+	sch, err := storage.NewSchema("gate", storage.I64("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.CreateTable(sch, core.IndexHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := sch.NewRow()
+	const keys = 16
+	for k := uint64(0); k < keys; k++ {
+		if err := e.Load(tbl, k, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, err := core.NewDetExecutor(e, func(tx *core.Tx, op det.Op, mb *det.Mailbox) error {
+		r, err := tx.Update(tbl, op.Key)
+		if err != nil {
+			return err
+		}
+		sch.SetInt64(r, 0, sch.GetInt64(r, 0)+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	pl := det.NewPlanner(parts, nil)
+	const batchTxns = 16
+	txns := make([]det.TxnPlan, batchTxns)
+	runBatch := func() {
+		for i := range txns {
+			txns[i].Reset()
+			txns[i].Add(det.OpUpdate, 0, uint64(i*3%keys), 1)
+			txns[i].Add(det.OpUpdate, 0, uint64((i*5+1)%keys), 1)
+		}
+		if _, err := x.ExecuteBatch(pl.PlanBatch(txns)); err != nil {
+			t.Fatalf("batch: %v", err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		runBatch()
+	}
+	return testing.AllocsPerRun(100, runBatch) / batchTxns
+}
+
 // TestTxnAllocBudgets is the allocation-regression gate: the steady-state
 // transaction path must stay within small fixed allocation budgets per
 // protocol (see EXPERIMENTS.md, "GC and allocation methodology").
@@ -255,6 +325,22 @@ func TestTxnAllocBudgets(t *testing.T) {
 		if got > budgets["SILO"]+slack {
 			t.Errorf("SILO+4-stream-log: %.2f allocs per 8-update txn, budget %.0f (parallel WAL must add none)",
 				got, budgets["SILO"])
+		}
+	})
+
+	// Deterministic execution's steady state reuses the planner scratch, the
+	// TxnPlan slate, and the per-partition descriptors across batches, so the
+	// entire plan-execute-seal cycle — with and without the parallel WAL —
+	// must be allocation-free per transaction (QSTORE installs in place from
+	// the Tx arena, like the locking protocols).
+	t.Run("DetBatch", func(t *testing.T) {
+		if got := detBatchAllocs(t, 1); got > slack {
+			t.Errorf("QSTORE det batch: %.2f allocs per txn, want 0", got)
+		}
+	})
+	t.Run("DetBatchStreamLogged", func(t *testing.T) {
+		if got := detBatchAllocs(t, 2); got > slack {
+			t.Errorf("QSTORE det batch + 2-stream log: %.2f allocs per txn, want 0 (logging must add none)", got)
 		}
 	})
 

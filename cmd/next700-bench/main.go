@@ -93,6 +93,12 @@ func main() {
 		doWALSweep = flag.Bool("wal-sweep", false, "run the parallel-WAL scaling sweep and exit: SILO + value logging on a bandwidth-limited simulated device at 1/2/4 streams; writes -wal-out")
 		walOut     = flag.String("wal-out", "BENCH_wal.json", "output path for the -wal-sweep JSON report")
 
+		// Deterministic (queue-oriented) execution.
+		doDet      = flag.Bool("det", false, "run a deterministic queue-oriented measurement: the sequencer plans seeded batches of declared access sets, per-partition executors drain priority queues abort-free, and the run prints the canonical state digest; honors -rate (batch-arrival open loop), -duration, -theta, -allocs")
+		detBatch   = flag.Int("det-batch", 64, "deterministic mode: transactions sequenced per batch (each batch commits as one WAL epoch)")
+		doDetSweep = flag.Bool("det-sweep", false, "run the deterministic-vs-interactive contention sweep and exit: DET (run twice, digests must match) vs NO_WAIT/SILO/MVCC on high-Zipfian YCSB, comparing goodput, abort rate, and tail latency; writes -det-out")
+		detOut     = flag.String("det-out", "BENCH_det.json", "output path for the -det-sweep JSON report")
+
 		// Checkpointing / bounded recovery.
 		doRecoverSweep = flag.Bool("recover-sweep", false, "run the checkpoint-interval recovery sweep and exit: build the same transaction history with checkpoints every {never, 16N, 4N, N} commits, crash-attach each store, and measure store-based recovery time vs full-log replay; writes -recover-out")
 		recoverOut     = flag.String("recover-out", "BENCH_recovery.json", "output path for the -recover-sweep JSON report")
@@ -107,6 +113,13 @@ func main() {
 		runWALSweep(walSweepOpts{
 			Threads: *threads, Duration: *duration, Warmup: *warmup,
 			Seed: *seed, Out: *walOut,
+		})
+		return
+	}
+	if *doDetSweep {
+		runDetSweep(detSweepOpts{
+			Threads: *threads, Batch: *detBatch, Duration: *duration,
+			Seed: *seed, Theta: *theta, Out: *detOut,
 		})
 		return
 	}
@@ -195,6 +208,22 @@ func main() {
 		})
 	default:
 		fatal("unknown -workload %q", *wlName)
+	}
+
+	if *doDet {
+		da, ok := wl.(workload.DeclaredAccess)
+		if !ok {
+			fatal("-det requires a workload with declared access sets (ycsb)")
+		}
+		parts := *partitions
+		if parts <= 0 {
+			parts = *threads
+		}
+		runDet(cfg, da, detOpts{
+			Partitions: parts, Batch: *detBatch, Batches: 64,
+			Seed: *seed, Rate: *rate, Duration: *duration, Allocs: *allocs,
+		})
+		return
 	}
 
 	if *doOverload {

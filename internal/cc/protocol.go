@@ -154,6 +154,11 @@ func New(name string, env *Env) (Protocol, error) {
 		return newTicToc(env), nil
 	case "HSTORE":
 		return newHStore(env), nil
+	case "QSTORE":
+		// Deterministic pass-through: only sound under the queue-oriented
+		// scheduler (core.DetExecutor), so it is constructible here but not
+		// part of Names' interactive sweep.
+		return newQStore(env), nil
 	default:
 		// Config-time validation, never an abort path: no transaction is
 		// running when protocol construction fails.

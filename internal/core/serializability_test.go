@@ -79,6 +79,79 @@ func TestIsolationConformanceMatrix(t *testing.T) {
 	// below rather than a pass here.
 }
 
+// TestIsolationConformanceMatrixDet extends the conformance matrix with the
+// queue-oriented deterministic executor: the same stamped-history oracle,
+// driven through declared access sets (verify.DetProbe) over both index
+// families and both contention levels, with cross-partition delivery pairs
+// in the mix. Deterministic execution must clear a strictly higher bar than
+// the interactive protocols: zero Adya anomalies AND zero conflict aborts —
+// abort-freedom under contention is the mode's defining claim, so any
+// nonzero conflict-abort counter is a failure even if the history checks
+// out.
+func TestIsolationConformanceMatrixDet(t *testing.T) {
+	indexes := []struct {
+		name string
+		kind core.IndexKind
+	}{
+		{"hash", core.IndexHash},
+		{"btree", core.IndexBTree},
+	}
+	contentions := []struct {
+		name string
+		keys uint64
+	}{
+		{"high", 8},
+		{"low", 512},
+	}
+	batches := 16
+	if testing.Short() {
+		batches = 5
+	}
+	for _, ix := range indexes {
+		for _, ct := range contentions {
+			ix, ct := ix, ct
+			t.Run("DET/"+ix.name+"/"+ct.name, func(t *testing.T) {
+				t.Parallel()
+				probe := verify.NewDetProbe(verify.ProbeConfig{
+					Keys:          ct.keys,
+					Index:         ix.kind,
+					CrossFraction: 0.25,
+				})
+				res, err := harness.RunDet(
+					core.Config{Partitions: 4},
+					probe,
+					harness.DetOptions{Batch: 50, Batches: batches, Seed: 42, Verify: true},
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := res.Verification
+				if rep == nil {
+					t.Fatal("Verify run produced no verification report")
+				}
+				if rep.Txns == 0 {
+					t.Fatal("no transactions recorded")
+				}
+				if !rep.Ok() {
+					for _, a := range rep.Anomalies {
+						t.Errorf("%s: %s", a.Class, a.Message)
+						for _, e := range a.Witness {
+							t.Errorf("  witness: %s", e)
+						}
+					}
+				}
+				// The abort-free assertion: conflict aborts exactly zero.
+				if res.Aborts != 0 {
+					t.Errorf("deterministic run recorded %d conflict aborts, want 0", res.Aborts)
+				}
+				if rep.AbortedTxns != 0 {
+					t.Errorf("history recorded %d aborted attempts, want 0", rep.AbortedTxns)
+				}
+			})
+		}
+	}
+}
+
 // TestVerifyDetectsWriteSkew is the end-to-end negative control: MVCC at
 // snapshot isolation legitimately admits write skew, and the verify
 // subsystem must report it as G2 — from a real engine run, not a hand-built

@@ -1,0 +1,151 @@
+package det
+
+// Planner compiles sequenced batches into per-partition queues. All
+// planning state is planner-owned scratch reused across batches, so the
+// steady state allocates nothing once queue capacities have grown to the
+// workload's footprint. A Planner is not safe for concurrent use; the
+// sequencer owns it.
+type Planner struct {
+	parts int
+	// partOf maps a declared (table, key) to its partition; nil means
+	// key % parts, matching the engine's default partitioner.
+	partOf func(table int32, key uint64) int
+
+	plan   Plan
+	counts []int
+}
+
+// NewPlanner builds a planner for the given partition count. partOf may be
+// nil for the default key-modulo mapping; a mapping that returns an
+// out-of-range partition is folded back into range rather than trusted.
+func NewPlanner(parts int, partOf func(table int32, key uint64) int) *Planner {
+	if parts <= 0 {
+		parts = 1
+	}
+	return &Planner{parts: parts, partOf: partOf}
+}
+
+// Parts returns the partition count.
+func (pl *Planner) Parts() int { return pl.parts }
+
+// partition resolves an op's partition, defensively folded into range.
+func (pl *Planner) partition(op *Op) int {
+	if pl.partOf == nil {
+		return int(op.Key % uint64(pl.parts))
+	}
+	p := pl.partOf(op.Table, op.Key) % pl.parts
+	if p < 0 {
+		p += pl.parts
+	}
+	return p
+}
+
+// PlanBatch compiles txns (already sequenced: index == global priority)
+// into the planner's Plan. The returned Plan and everything it references
+// are valid until the next PlanBatch call.
+//
+// Structural guarantees (the FuzzPlanBatch invariants):
+//   - every declared op appears in exactly one partition queue;
+//   - each queue is sorted by (Txn, Seq): a linear extension of priority;
+//   - queue p only holds ops whose key maps to partition p;
+//   - within a transaction, every OpReadSend precedes every other op
+//     (the hoist that makes Mailbox.Collect deadlock-free);
+//   - empty, duplicate-key, and cross-partition access sets are fine.
+func (pl *Planner) PlanBatch(txns []TxnPlan) *Plan {
+	p := &pl.plan
+	p.Txns = len(txns)
+	p.canceled.Store(false)
+
+	// Size the scratch.
+	if cap(p.Queues) < pl.parts {
+		p.Queues = make([][]Op, pl.parts)
+	}
+	p.Queues = p.Queues[:pl.parts]
+	if cap(pl.counts) < pl.parts {
+		pl.counts = make([]int, pl.parts)
+	}
+	pl.counts = pl.counts[:pl.parts]
+	for i := range pl.counts {
+		pl.counts[i] = 0
+	}
+	p.Home = growInt32(p.Home, len(txns))
+	if cap(p.Mailboxes) < len(txns) {
+		// Fresh allocation instead of append: mailboxes hold atomics and
+		// carry no state across batches, so growing must not copy them.
+		p.Mailboxes = make([]Mailbox, len(txns))
+	}
+	p.Mailboxes = p.Mailboxes[:len(txns)]
+
+	// Pass 1: count per-partition ops, per-txn sends, and homes.
+	for t := range txns {
+		ops := txns[t].Ops
+		p.Home[t] = -1
+		sends := 0
+		for i := range ops {
+			part := pl.partition(&ops[i])
+			pl.counts[part]++
+			if i == 0 {
+				p.Home[t] = int32(part)
+			}
+			if ops[i].Kind == OpReadSend {
+				sends++
+			}
+		}
+		mb := &p.Mailboxes[t]
+		if cap(mb.Vals) < sends {
+			mb.Vals = make([]uint64, sends)
+		}
+		mb.Vals = mb.Vals[:sends]
+		mb.pending.Store(int32(sends))
+		mb.cancel = &p.canceled
+	}
+
+	// Pass 2: bucket-fill the queues in (priority, hoisted-seq) order. The
+	// queues come out sorted by construction: transactions are visited in
+	// priority order and appends within a transaction follow its hoisted
+	// sequence, so no sort is needed.
+	for part := 0; part < pl.parts; part++ {
+		q := p.Queues[part]
+		if cap(q) < pl.counts[part] {
+			q = make([]Op, 0, pl.counts[part])
+		}
+		p.Queues[part] = q[:0]
+	}
+	for t := range txns {
+		ops := txns[t].Ops
+		seq := int32(0)
+		slot := int32(0)
+		// Sends first (the hoist), in declared order.
+		for i := range ops {
+			if ops[i].Kind != OpReadSend {
+				continue
+			}
+			op := ops[i]
+			op.Txn, op.Seq, op.Slot = int32(t), seq, slot
+			seq++
+			slot++
+			part := pl.partition(&op)
+			p.Queues[part] = append(p.Queues[part], op)
+		}
+		// Everything else, in declared order.
+		for i := range ops {
+			if ops[i].Kind == OpReadSend {
+				continue
+			}
+			op := ops[i]
+			op.Txn, op.Seq, op.Slot = int32(t), seq, -1
+			seq++
+			part := pl.partition(&op)
+			p.Queues[part] = append(p.Queues[part], op)
+		}
+	}
+	return p
+}
+
+// growInt32 resizes s to n elements, reusing capacity.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

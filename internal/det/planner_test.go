@@ -1,0 +1,275 @@
+package det
+
+import (
+	"fmt"
+	"testing"
+
+	"next700/internal/xrand"
+)
+
+// checkPlanInvariants verifies the structural guarantees PlanBatch
+// documents. Shared by the unit tests and FuzzPlanBatch.
+func checkPlanInvariants(parts int, txns []TxnPlan, p *Plan) error {
+	if p.Txns != len(txns) {
+		return fmt.Errorf("plan has %d txns, declared %d", p.Txns, len(txns))
+	}
+	if len(p.Queues) != parts {
+		return fmt.Errorf("plan has %d queues, want %d partitions", len(p.Queues), parts)
+	}
+	// Per-txn multiset of declared ops (keyed by the fields the workload
+	// declared), to check every queued op traces back to a declaration and
+	// every declaration landed in exactly one queue.
+	type declKey struct {
+		kind  OpKind
+		table int32
+		key   uint64
+		aux   uint64
+	}
+	declared := make([]map[declKey]int, len(txns))
+	total := 0
+	for t := range txns {
+		declared[t] = make(map[declKey]int)
+		for _, op := range txns[t].Ops {
+			declared[t][declKey{op.Kind, op.Table, op.Key, op.Aux}]++
+			total++
+		}
+	}
+	queued := 0
+	for part, q := range p.Queues {
+		lastTxn, lastSeq := int32(-1), int32(-1)
+		for i := range q {
+			op := &q[i]
+			queued++
+			// Routing: the op belongs to this partition.
+			if want := int(op.Key % uint64(parts)); want != part {
+				return fmt.Errorf("partition %d holds key %d (belongs to %d)", part, op.Key, want)
+			}
+			// Priority: (Txn, Seq) strictly increasing — a linear extension
+			// of the global priority order.
+			if op.Txn < lastTxn || (op.Txn == lastTxn && op.Seq <= lastSeq) {
+				return fmt.Errorf("partition %d order violation at %d: (%d,%d) after (%d,%d)",
+					part, i, op.Txn, op.Seq, lastTxn, lastSeq)
+			}
+			lastTxn, lastSeq = op.Txn, op.Seq
+			// Provenance: the op was declared by its transaction.
+			if op.Txn < 0 || int(op.Txn) >= len(txns) {
+				return fmt.Errorf("partition %d references unknown txn %d", part, op.Txn)
+			}
+			k := declKey{op.Kind, op.Table, op.Key, op.Aux}
+			if declared[op.Txn][k] == 0 {
+				return fmt.Errorf("partition %d holds undeclared op %+v for txn %d", part, *op, op.Txn)
+			}
+			declared[op.Txn][k]--
+		}
+	}
+	if queued != total {
+		return fmt.Errorf("%d ops queued, %d declared", queued, total)
+	}
+	// Per-txn: sends hoisted before everything else, slots dense, mailbox
+	// sized to the send count, home = partition of the first declared op.
+	sends := make([]int, len(txns))
+	minNonSend := make([]int32, len(txns))
+	for t := range minNonSend {
+		minNonSend[t] = int32(1 << 30)
+	}
+	maxSend := make([]int32, len(txns))
+	for t := range maxSend {
+		maxSend[t] = -1
+	}
+	slotSeen := make(map[[2]int32]bool)
+	for _, q := range p.Queues {
+		for i := range q {
+			op := &q[i]
+			if op.Kind == OpReadSend {
+				sends[op.Txn]++
+				if op.Seq > maxSend[op.Txn] {
+					maxSend[op.Txn] = op.Seq
+				}
+				if op.Slot < 0 || int(op.Slot) >= len(p.Mailboxes[op.Txn].Vals) {
+					return fmt.Errorf("txn %d send slot %d out of range", op.Txn, op.Slot)
+				}
+				sk := [2]int32{op.Txn, op.Slot}
+				if slotSeen[sk] {
+					return fmt.Errorf("txn %d duplicate send slot %d", op.Txn, op.Slot)
+				}
+				slotSeen[sk] = true
+			} else if op.Seq < minNonSend[op.Txn] {
+				minNonSend[op.Txn] = op.Seq
+			}
+		}
+	}
+	for t := range txns {
+		if maxSend[t] >= 0 && minNonSend[t] < int32(1<<30) && maxSend[t] > minNonSend[t] {
+			return fmt.Errorf("txn %d: send at seq %d after non-send at seq %d (hoist violated)",
+				t, maxSend[t], minNonSend[t])
+		}
+		if got := len(p.Mailboxes[t].Vals); got != sends[t] {
+			return fmt.Errorf("txn %d mailbox sized %d, has %d sends", t, got, sends[t])
+		}
+		if got := p.Mailboxes[t].Pending(); got != sends[t] {
+			return fmt.Errorf("txn %d mailbox pending %d, has %d sends", t, got, sends[t])
+		}
+		wantHome := int32(-1)
+		if len(txns[t].Ops) > 0 {
+			wantHome = int32(txns[t].Ops[0].Key % uint64(parts))
+		}
+		if p.Home[t] != wantHome {
+			return fmt.Errorf("txn %d home %d, want %d", t, p.Home[t], wantHome)
+		}
+	}
+	return nil
+}
+
+// randomBatch derives a batch from a seeded RNG. Tiny key domains make
+// duplicate and cross-partition access sets the common case, and a txn can
+// be empty.
+func randomBatch(rng *xrand.RNG, maxTxns int) []TxnPlan {
+	n := rng.Intn(maxTxns + 1)
+	txns := make([]TxnPlan, n)
+	for t := range txns {
+		ops := rng.Intn(9) // 0..8 ops, 0 = empty access set
+		for i := 0; i < ops; i++ {
+			kind := OpKind(rng.Intn(4))
+			txns[t].Add(kind, int32(rng.Intn(2)), rng.Uint64n(12), rng.Uint64())
+		}
+	}
+	return txns
+}
+
+func TestPlanBatchBasic(t *testing.T) {
+	pl := NewPlanner(2, nil)
+	var a, b, c TxnPlan
+	a.Add(OpUpdate, 0, 0, 1) // partition 0
+	a.Add(OpUpdate, 0, 1, 2) // partition 1: cross-partition txn
+	b.Add(OpRead, 0, 2, 0)   // partition 0
+	// Cross-partition transfer: send from partition 1, receive on 0.
+	c.Add(OpRecvUpdate, 0, 4, 10) // declared first...
+	c.Add(OpReadSend, 0, 3, 0)    // ...but the send must execute first
+	txns := []TxnPlan{a, b, c}
+
+	p := pl.PlanBatch(txns)
+	if err := checkPlanInvariants(2, txns, p); err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0: a's key 0, b's key 2, c's recv on key 4.
+	q0 := p.Queues[0]
+	if len(q0) != 3 || q0[0].Txn != 0 || q0[1].Txn != 1 || q0[2].Txn != 2 {
+		t.Fatalf("partition 0 queue wrong: %+v", q0)
+	}
+	if q0[2].Kind != OpRecvUpdate {
+		t.Fatalf("partition 0 tail should be the recv, got %v", q0[2].Kind)
+	}
+	// Partition 1: a's key 1, c's send on key 3.
+	q1 := p.Queues[1]
+	if len(q1) != 2 || q1[0].Txn != 0 || q1[1].Kind != OpReadSend {
+		t.Fatalf("partition 1 queue wrong: %+v", q1)
+	}
+	// The hoist gave the send a lower seq than the recv.
+	if !(q1[1].Seq < q0[2].Seq) {
+		t.Fatalf("send seq %d not before recv seq %d", q1[1].Seq, q0[2].Seq)
+	}
+	if p.Mailboxes[2].Pending() != 1 {
+		t.Fatalf("txn 2 mailbox pending = %d, want 1", p.Mailboxes[2].Pending())
+	}
+	// Homes follow the first declared op, not the hoisted order.
+	if p.Home[0] != 0 || p.Home[1] != 0 || p.Home[2] != 0 {
+		t.Fatalf("homes wrong: %v", p.Home)
+	}
+}
+
+func TestPlanBatchEmptyAndDegenerate(t *testing.T) {
+	pl := NewPlanner(4, nil)
+	// Empty batch.
+	p := pl.PlanBatch(nil)
+	if err := checkPlanInvariants(4, nil, p); err != nil {
+		t.Fatal(err)
+	}
+	// Batch of empty transactions.
+	txns := make([]TxnPlan, 3)
+	p = pl.PlanBatch(txns)
+	if err := checkPlanInvariants(4, txns, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range p.Home {
+		if h != -1 {
+			t.Fatalf("empty txn has home %d", h)
+		}
+	}
+	// Duplicate keys within one transaction stay in declared order.
+	var d TxnPlan
+	d.Add(OpUpdate, 0, 8, 1)
+	d.Add(OpUpdate, 0, 8, 2)
+	d.Add(OpRead, 0, 8, 0)
+	txns = []TxnPlan{d}
+	p = pl.PlanBatch(txns)
+	if err := checkPlanInvariants(4, txns, p); err != nil {
+		t.Fatal(err)
+	}
+	q := p.Queues[0]
+	if len(q) != 3 || q[0].Aux != 1 || q[1].Aux != 2 || q[2].Kind != OpRead {
+		t.Fatalf("duplicate-key order not preserved: %+v", q)
+	}
+}
+
+func TestPlanBatchScratchReuse(t *testing.T) {
+	pl := NewPlanner(4, nil)
+	rng := xrand.New(7)
+	batch := randomBatch(rng, 32)
+	// Warm the scratch to the batch's footprint.
+	for i := 0; i < 3; i++ {
+		pl.PlanBatch(batch)
+	}
+	if raceEnabled {
+		t.Skip("allocation accounting is distorted by the race detector")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		pl.PlanBatch(batch)
+	})
+	if allocs > 0 {
+		t.Errorf("PlanBatch allocates %.1f per batch at steady state, want 0", allocs)
+	}
+}
+
+func TestMailboxCancel(t *testing.T) {
+	pl := NewPlanner(1, nil)
+	var a TxnPlan
+	a.Add(OpReadSend, 0, 0, 0)
+	a.Add(OpRecvUpdate, 0, 0, 0)
+	p := pl.PlanBatch([]TxnPlan{a})
+	p.Cancel()
+	if err := p.Mailboxes[0].Collect(); err != ErrCanceled {
+		t.Fatalf("Collect on canceled plan = %v, want ErrCanceled", err)
+	}
+	// A delivered mailbox collects cleanly regardless.
+	p = pl.PlanBatch([]TxnPlan{a})
+	p.Mailboxes[0].Send(0, 42)
+	if err := p.Mailboxes[0].Collect(); err != nil {
+		t.Fatalf("Collect after send: %v", err)
+	}
+	if p.Mailboxes[0].Vals[0] != 42 {
+		t.Fatalf("delivered value %d, want 42", p.Mailboxes[0].Vals[0])
+	}
+}
+
+func FuzzPlanBatch(f *testing.F) {
+	f.Add(uint64(1), uint8(4))
+	f.Add(uint64(2), uint8(1))
+	f.Add(uint64(0xDEAD), uint8(8))
+	f.Add(uint64(42), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, partsByte uint8) {
+		parts := int(partsByte%8) + 1
+		rng := xrand.New(seed)
+		txns := randomBatch(rng, 64)
+		pl := NewPlanner(parts, nil)
+		p := pl.PlanBatch(txns)
+		if err := checkPlanInvariants(parts, txns, p); err != nil {
+			t.Fatalf("seed %#x parts %d: %v", seed, parts, err)
+		}
+		// Replan on the same planner (scratch reuse path) and re-check.
+		txns2 := randomBatch(rng, 64)
+		p = pl.PlanBatch(txns2)
+		if err := checkPlanInvariants(parts, txns2, p); err != nil {
+			t.Fatalf("seed %#x parts %d (reuse): %v", seed, parts, err)
+		}
+	})
+}

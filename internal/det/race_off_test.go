@@ -1,0 +1,8 @@
+//go:build !race
+
+package det
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation assertions skip under it because instrumentation changes heap
+// accounting.
+const raceEnabled = false

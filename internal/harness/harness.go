@@ -198,6 +198,10 @@ type Result struct {
 	// Verification is the isolation-anomaly report for the recorded
 	// history (set only when RunOptions.Verify is on).
 	Verification *verify.Report
+	// Digest is the hex-encoded canonical state digest after the run, set
+	// only by deterministic runs (RunDet) — the determinism oracles compare
+	// it across seeds, worker counts, and crash recovery.
+	Digest string
 }
 
 // String renders a one-line summary.

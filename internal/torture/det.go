@@ -1,0 +1,302 @@
+package torture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"next700/internal/core"
+	"next700/internal/det"
+	"next700/internal/fault"
+	"next700/internal/storage"
+	"next700/internal/wal"
+	"next700/internal/xrand"
+)
+
+// Deterministic crash-recovery oracle: because a deterministic batch
+// commits as exactly one WAL epoch, and multi-stream recovery truncates to
+// the last epoch fully present across all streams, a crash-recovered
+// deterministic engine must land exactly on a batch boundary — and
+// determinism says which state that boundary has. The oracle runs the same
+// seeded batch schedule twice: an uncrashed reference run recording the
+// state digest after every batch, and a chaos run whose log devices crash
+// at seeded offsets. Recovery's FrontierEpoch names the frontier batch F;
+// the recovered digest must be byte-identical to the reference digest after
+// batch F, and F must cover every batch whose durability was acknowledged.
+// Any torn-batch resurrection, lost acked batch, or cross-run divergence
+// shows up as a digest mismatch.
+
+// ErrDeterminism is the digest-oracle violation: the crash-recovered state
+// differs from the reference run's state at the recovered batch frontier.
+var ErrDeterminism = errors.New("torture: determinism violation (recovered digest differs from reference at frontier batch)")
+
+// DetConfig scripts one deterministic oracle iteration. Every run is a pure
+// function of the config, so a failing seed replays identically.
+type DetConfig struct {
+	// Partitions is the executor/stream count (minimum 2: the batch-atomic
+	// recovery argument rests on the parallel WAL's epoch frontier).
+	Partitions int
+	// Batches is the number of batches in the schedule (default 8).
+	Batches int
+	// TxnsPerBatch sizes each batch (default 24).
+	TxnsPerBatch int
+	// Keys is the table size (default 32).
+	Keys uint64
+	// Seed drives the batch schedule, the crash offsets, and the
+	// unsynced-tail cuts.
+	Seed uint64
+	// NoCrash disables the planned crash (negative control: the frontier
+	// must then be the full schedule).
+	NoCrash bool
+}
+
+func (c DetConfig) normalized() DetConfig {
+	if c.Partitions < 2 {
+		c.Partitions = 2
+	}
+	if c.Batches <= 0 {
+		c.Batches = 8
+	}
+	if c.TxnsPerBatch <= 0 {
+		c.TxnsPerBatch = 24
+	}
+	if c.Keys == 0 {
+		c.Keys = 32
+	}
+	return c
+}
+
+// DetResult summarizes one oracle iteration.
+type DetResult struct {
+	Seed uint64
+	// Crashed reports that at least one stream reached its crash offset.
+	Crashed bool
+	// AckedBatches is the number of batches whose seal (durability wait)
+	// returned nil before the run ended.
+	AckedBatches int
+	// FrontierBatch is the batch boundary recovery landed on (the merged
+	// epoch frontier; == Batches for a clean run).
+	FrontierBatch uint64
+	Recovery      core.RecoveryStats
+}
+
+// planDetSchedule builds the seeded batch schedule: balanced-update,
+// read-update, and cross-partition copy transactions over a small keyspace.
+func planDetSchedule(cfg DetConfig) [][]det.TxnPlan {
+	rng := xrand.New(cfg.Seed ^ 0xDE70_0C1E)
+	batches := make([][]det.TxnPlan, cfg.Batches)
+	for b := range batches {
+		txns := make([]det.TxnPlan, cfg.TxnsPerBatch)
+		for t := range txns {
+			switch rng.Intn(3) {
+			case 0:
+				txns[t].Add(det.OpUpdate, 0, rng.Uint64n(cfg.Keys), uint64(int64(rng.Intn(9)-4)))
+				txns[t].Add(det.OpUpdate, 0, rng.Uint64n(cfg.Keys), uint64(int64(rng.Intn(9)-4)))
+			case 1:
+				txns[t].Add(det.OpRead, 0, rng.Uint64n(cfg.Keys), 0)
+				txns[t].Add(det.OpUpdate, 0, rng.Uint64n(cfg.Keys), uint64(int64(rng.Intn(9)-4)))
+			default:
+				txns[t].Add(det.OpRecvUpdate, 0, rng.Uint64n(cfg.Keys), uint64(int64(rng.Intn(5))))
+				txns[t].Add(det.OpReadSend, 0, rng.Uint64n(cfg.Keys), 0)
+			}
+		}
+		batches[b] = txns
+	}
+	return batches
+}
+
+// buildDetEngine opens a QSTORE engine on the given stream devices with the
+// deterministic initial load and returns it with its executor.
+func buildDetEngine(cfg DetConfig, devs []wal.Device) (*core.Engine, *core.DetExecutor, error) {
+	e, err := core.Open(core.Config{
+		Protocol:   "QSTORE",
+		Threads:    cfg.Partitions,
+		Partitions: cfg.Partitions,
+		LogMode:    wal.ModeValue,
+		WALStreams: cfg.Partitions,
+		LogDevices: devs,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sch := storage.MustSchema("det_acct", storage.I64("v"))
+	tbl, err := e.CreateTable(sch, core.IndexHash)
+	if err != nil {
+		e.Close()
+		return nil, nil, err
+	}
+	row := sch.NewRow()
+	for k := uint64(0); k < cfg.Keys; k++ {
+		sch.SetInt64(row, 0, int64(k)*7)
+		if err := e.Load(tbl, k, row); err != nil {
+			e.Close()
+			return nil, nil, err
+		}
+	}
+	exec := func(tx *core.Tx, op det.Op, mb *det.Mailbox) error {
+		switch op.Kind {
+		case det.OpRead:
+			_, err := tx.Read(tbl, op.Key)
+			return err
+		case det.OpUpdate:
+			r, err := tx.Update(tbl, op.Key)
+			if err != nil {
+				return err
+			}
+			sch.SetInt64(r, 0, sch.GetInt64(r, 0)+int64(op.Aux))
+			return nil
+		case det.OpReadSend:
+			r, err := tx.Read(tbl, op.Key)
+			if err != nil {
+				return err
+			}
+			mb.Send(op.Slot, uint64(sch.GetInt64(r, 0)))
+			return nil
+		case det.OpRecvUpdate:
+			if err := mb.Collect(); err != nil {
+				return err
+			}
+			r, err := tx.Update(tbl, op.Key)
+			if err != nil {
+				return err
+			}
+			sch.SetInt64(r, 0, int64(mb.Vals[0])+int64(op.Aux))
+			return nil
+		default:
+			return fmt.Errorf("torture: unknown det op kind %v", op.Kind)
+		}
+	}
+	x, err := core.NewDetExecutor(e, exec)
+	if err != nil {
+		e.Close()
+		return nil, nil, err
+	}
+	return e, x, nil
+}
+
+// RunDet executes one deterministic crash-recovery oracle iteration. A nil
+// error means every invariant held: no acked batch lost, no torn batch
+// resurrected, and the recovered digest matches the reference run's digest
+// at the frontier batch.
+func RunDet(cfg DetConfig) (DetResult, error) {
+	cfg = cfg.normalized()
+	res := DetResult{Seed: cfg.Seed}
+	schedule := planDetSchedule(cfg)
+
+	// Reference run: clean devices, full schedule, one digest per batch
+	// boundary (refDigests[b] = state after b batches).
+	refDigests := make([][32]byte, cfg.Batches+1)
+	{
+		devs := make([]wal.Device, cfg.Partitions)
+		for i := range devs {
+			devs[i] = &fault.MemDevice{}
+		}
+		e, x, err := buildDetEngine(cfg, devs)
+		if err != nil {
+			return res, err
+		}
+		refDigests[0] = e.StateDigest()
+		pl := det.NewPlanner(cfg.Partitions, nil)
+		for b, batch := range schedule {
+			if _, err := x.ExecuteBatch(pl.PlanBatch(batch)); err != nil {
+				x.Close()
+				e.Close()
+				return res, fmt.Errorf("torture: reference run batch %d (seed %d): %w", b+1, cfg.Seed, err)
+			}
+			refDigests[b+1] = e.StateDigest()
+		}
+		x.Close()
+		e.Close()
+	}
+
+	// Chaos run: one fault device per stream, independently seeded crash
+	// offsets scaled to the schedule's record volume.
+	rng := xrand.New(cfg.Seed)
+	perStream := cfg.Batches * cfg.TxnsPerBatch * estimatedRecordBytes(wal.ModeValue) / cfg.Partitions
+	mems := make([]*fault.MemDevice, cfg.Partitions)
+	devs := make([]wal.Device, cfg.Partitions)
+	fdevs := make([]*fault.Device, cfg.Partitions)
+	for i := range mems {
+		plan := fault.Plan{Seed: cfg.Seed + uint64(i)}
+		if !cfg.NoCrash {
+			plan.CrashAtByte = 1 + int64(rng.Uint64n(uint64(perStream)*5/4))
+		}
+		mems[i] = &fault.MemDevice{}
+		fdevs[i] = fault.NewDevice(mems[i], plan)
+		devs[i] = fdevs[i]
+	}
+	e, x, err := buildDetEngine(cfg, devs)
+	if err != nil {
+		return res, err
+	}
+	pl := det.NewPlanner(cfg.Partitions, nil)
+	for _, batch := range schedule {
+		if _, err := x.ExecuteBatch(pl.PlanBatch(batch)); err != nil {
+			// Log death mid-schedule: the engine is as good as crashed.
+			break
+		}
+		res.AckedBatches++
+	}
+	x.Close()
+	e.Close()
+	for _, fd := range fdevs {
+		if fd.Crashed() {
+			res.Crashed = true
+		}
+	}
+
+	// Survivors: each stream keeps its synced prefix plus a seeded cut of
+	// its unsynced tail (arbitrary per-device loss, torn records included).
+	survivors := make([][]byte, cfg.Partitions)
+	for i, mem := range mems {
+		data := mem.Bytes()
+		cut := mem.SyncedLen()
+		if len(data) > cut {
+			cut += int(rng.Uint64n(uint64(len(data)-cut) + 1))
+		}
+		survivors[i] = data[:cut]
+	}
+
+	// Recover into a fresh engine built from the same deterministic load.
+	rdevs := make([]wal.Device, cfg.Partitions)
+	for i := range rdevs {
+		rdevs[i] = &fault.MemDevice{}
+	}
+	e2, x2, err := buildDetEngine(cfg, rdevs)
+	if err != nil {
+		return res, err
+	}
+	x2.Close()
+	defer e2.Close()
+	readers := make([]io.Reader, cfg.Partitions)
+	for i := range survivors {
+		readers[i] = bytes.NewReader(survivors[i])
+	}
+	rs, err := e2.RecoverStreams(readers)
+	res.Recovery = rs
+	if err != nil {
+		return res, fmt.Errorf("torture: det recovery failed (seed %d): %w", cfg.Seed, err)
+	}
+	res.FrontierBatch = rs.FrontierEpoch
+
+	// Invariants. Durability: every acked batch is inside the frontier.
+	if res.FrontierBatch < uint64(res.AckedBatches) {
+		return res, fmt.Errorf("%w: frontier batch %d < %d acked batches (seed %d)",
+			ErrDurability, res.FrontierBatch, res.AckedBatches, cfg.Seed)
+	}
+	// Consistency: recovery cannot invent batches beyond the schedule.
+	if res.FrontierBatch > uint64(cfg.Batches) {
+		return res, fmt.Errorf("%w: frontier batch %d beyond schedule of %d (seed %d)",
+			ErrConsistency, res.FrontierBatch, cfg.Batches, cfg.Seed)
+	}
+	// Determinism: the recovered state is byte-identical to the reference
+	// run's state at the frontier batch.
+	got := e2.StateDigest()
+	want := refDigests[res.FrontierBatch]
+	if !bytes.Equal(got[:], want[:]) {
+		return res, fmt.Errorf("%w: batch %d digest %x != reference %x (seed %d)",
+			ErrDeterminism, res.FrontierBatch, got, want, cfg.Seed)
+	}
+	return res, nil
+}

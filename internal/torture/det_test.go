@@ -1,0 +1,62 @@
+package torture
+
+import (
+	"testing"
+)
+
+// TestDetOracleNoCrash is the clean-path control: with no planned crash the
+// frontier must be the entire schedule and the recovered digest must equal
+// the reference run's final digest.
+func TestDetOracleNoCrash(t *testing.T) {
+	res, err := RunDet(DetConfig{Seed: 42, NoCrash: true})
+	if err != nil {
+		t.Fatalf("no-crash oracle: %v", err)
+	}
+	if res.Crashed {
+		t.Fatal("no-crash run reported a crash")
+	}
+	if res.AckedBatches != 8 {
+		t.Fatalf("acked %d batches, want 8", res.AckedBatches)
+	}
+	if res.FrontierBatch != 8 {
+		t.Fatalf("frontier batch %d, want the full schedule (8)", res.FrontierBatch)
+	}
+}
+
+// TestDetOracleCrashSeeds sweeps seeded crash iterations across partition
+// counts: every recovered engine must land on a batch boundary whose digest
+// matches the reference run, with no acked batch lost. The sweep must
+// actually exercise crashes and mid-schedule truncation, or the oracle is
+// vacuous.
+func TestDetOracleCrashSeeds(t *testing.T) {
+	seeds := 24
+	if testing.Short() {
+		seeds = 8
+	}
+	for _, parts := range []int{2, 4} {
+		parts := parts
+		t.Run(map[int]string{2: "parts2", 4: "parts4"}[parts], func(t *testing.T) {
+			t.Parallel()
+			var crashed, truncated int
+			for s := 0; s < seeds; s++ {
+				seed := uint64(s)*0x9e3779b9 + uint64(parts)
+				res, err := RunDet(DetConfig{Partitions: parts, Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Crashed {
+					crashed++
+				}
+				if res.FrontierBatch < 8 {
+					truncated++
+				}
+			}
+			if crashed == 0 {
+				t.Fatalf("no seed crashed in %d iterations", seeds)
+			}
+			if truncated == 0 {
+				t.Fatalf("no seed truncated mid-schedule in %d iterations", seeds)
+			}
+		})
+	}
+}

@@ -1,0 +1,238 @@
+package verify
+
+import (
+	"fmt"
+
+	"next700/internal/core"
+	"next700/internal/det"
+	"next700/internal/storage"
+	"next700/internal/xrand"
+)
+
+// DetProbe is the deterministic-execution counterpart of Probe: the same
+// stamped (stamp, prev) table and the same recorded-history oracle, driven
+// through declared access sets instead of interactive transactions. It
+// implements the workload.DeclaredAccess shape (Name/Setup/PlanTxn/ExecOp)
+// plus Recordable, so harness.RunDet with Verify on turns a deterministic
+// run into a checked history — the row the conformance matrix adds for the
+// queue-oriented executor.
+//
+// Recording is deferred: partition executors run concurrently, but a
+// Recorder is single-goroutine, so each executed op writes its observation
+// into a disjoint (txn, seq) slot of the probe's observation matrix (slots
+// are disjoint because the planner assigns each op a unique dense Seq
+// within its transaction — no two goroutines ever share a slot). After the
+// batch barrier, EndBatch flushes the matrix into one Recorder in priority
+// order on the sequencer goroutine. Stamps are still drawn atomically at
+// execution time (History.NextStamp), so chains reflect the true install
+// order; Recorder.WriteStamped exists precisely for this split.
+type DetProbe struct {
+	cfg  ProbeConfig
+	hist *History
+	sch  *storage.Schema
+	tbl  *core.Table
+
+	// obs[t][s] is transaction t's observation for planned op Seq s in the
+	// current batch; txns is the batch's transaction count.
+	obs  [][]detObs
+	txns int
+}
+
+// detObs is one deferred observation.
+type detObs struct {
+	key   uint64
+	stamp int64
+	prev  int64
+	write bool
+}
+
+// NewDetProbe builds a deterministic probe with defaults applied.
+func NewDetProbe(cfg ProbeConfig) *DetProbe {
+	return &DetProbe{cfg: cfg.normalized()}
+}
+
+// Name identifies the workload in reports.
+func (p *DetProbe) Name() string { return "verify-det" }
+
+// History returns the attached history (nil until attached or Setup).
+func (p *DetProbe) History() *History { return p.hist }
+
+// AttachHistory implements Recordable.
+func (p *DetProbe) AttachHistory(h *History) { p.hist = h }
+
+// Setup creates and loads the stamped table (same layout as Probe).
+func (p *DetProbe) Setup(e *core.Engine) error {
+	if p.hist == nil {
+		p.hist = NewHistory(1)
+	}
+	p.sch = storage.MustSchema("verify_probe", storage.I64("stamp"), storage.I64("prev"))
+	tbl, err := e.CreateTable(p.sch, p.cfg.Index)
+	if err != nil {
+		return err
+	}
+	p.tbl = tbl
+	row := p.sch.NewRow()
+	for k := uint64(0); k < p.cfg.Keys; k++ {
+		p.sch.SetInt64(row, 0, 0) // stamp 0: the loader's version
+		p.sch.SetInt64(row, 1, -1)
+		if err := e.Load(tbl, k, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BeginBatch implements workload.DetBatchObserver: a new batch starts with
+// an empty observation matrix.
+func (p *DetProbe) BeginBatch() { p.txns = 0 }
+
+// PlanTxn implements the DeclaredAccess planning half: a few distinct keys,
+// a seeded write mask, and optionally one delivery-dependency pair. The
+// observation row is sized here, when the op count is known.
+func (p *DetProbe) PlanTxn(rng *xrand.RNG, plan *det.TxnPlan) {
+	n := p.cfg.MinOps
+	if spread := p.cfg.MaxOps - p.cfg.MinOps; spread > 0 {
+		n += rng.Intn(spread + 1)
+	}
+	cross := p.cfg.CrossFraction > 0 && rng.Bool(p.cfg.CrossFraction)
+	if cross {
+		n -= 2
+		if n < 0 {
+			n = 0
+		}
+	}
+	var keys [maxProbeOps]uint64
+	for i := 0; i < n; i++ {
+		keys[i] = p.distinctKey(rng, keys[:i])
+		if rng.Bool(p.cfg.WriteRatio) {
+			plan.Add(det.OpUpdate, 0, keys[i], 0)
+		} else {
+			plan.Add(det.OpRead, 0, keys[i], 0)
+		}
+	}
+	if cross {
+		src := p.distinctKey(rng, keys[:n])
+		keys[n] = src
+		dst := p.distinctKey(rng, keys[:n+1])
+		// Recv declared before send: the planner's hoist is part of what the
+		// conformance run must exercise.
+		plan.Add(det.OpRecvUpdate, 0, dst, 0)
+		plan.Add(det.OpReadSend, 0, src, 0)
+	}
+
+	t := p.txns
+	p.txns++
+	if t >= len(p.obs) {
+		p.obs = append(p.obs, nil)
+	}
+	if cap(p.obs[t]) < len(plan.Ops) {
+		p.obs[t] = make([]detObs, len(plan.Ops))
+	}
+	p.obs[t] = p.obs[t][:len(plan.Ops)]
+}
+
+// distinctKey draws a key not already in used. The probe keyspace is tiny
+// by design, so this bounds attempts and then scans for any free key.
+func (p *DetProbe) distinctKey(rng *xrand.RNG, used []uint64) uint64 {
+	contains := func(k uint64) bool {
+		for _, u := range used {
+			if u == k {
+				return true
+			}
+		}
+		return false
+	}
+	for attempt := 0; attempt < 32; attempt++ {
+		if k := rng.Uint64n(p.cfg.Keys); !contains(k) {
+			return k
+		}
+	}
+	for k := uint64(0); k < p.cfg.Keys; k++ {
+		if !contains(k) {
+			return k
+		}
+	}
+	return 0
+}
+
+// ExecOp implements the DeclaredAccess execution half, writing the
+// observation into the op's private (txn, seq) slot.
+func (p *DetProbe) ExecOp(tx *core.Tx, op det.Op, mb *det.Mailbox) error {
+	o := &p.obs[op.Txn][op.Seq]
+	switch op.Kind {
+	case det.OpRead, det.OpReadSend:
+		row, err := tx.Read(p.tbl, op.Key)
+		if err != nil {
+			return err
+		}
+		stamp := p.sch.GetInt64(row, 0)
+		if op.Kind == det.OpReadSend {
+			mb.Send(op.Slot, uint64(stamp))
+		}
+		*o = detObs{key: op.Key, stamp: stamp}
+		return nil
+	case det.OpUpdate, det.OpRecvUpdate:
+		if op.Kind == det.OpRecvUpdate {
+			// The delivered value participates only as a read the sending op
+			// already recorded; the recv's write installs a fresh stamp.
+			if err := mb.Collect(); err != nil {
+				return err
+			}
+		}
+		row, err := tx.Update(p.tbl, op.Key)
+		if err != nil {
+			return err
+		}
+		prev := p.sch.GetInt64(row, 0)
+		stamp := p.hist.NextStamp()
+		p.sch.SetInt64(row, 0, stamp)
+		p.sch.SetInt64(row, 1, prev)
+		*o = detObs{key: op.Key, stamp: stamp, prev: prev, write: true}
+		return nil
+	default:
+		return fmt.Errorf("verify: detprobe cannot execute op kind %v", op.Kind)
+	}
+}
+
+// EndBatch implements workload.DetBatchObserver: after the batch barrier,
+// flush the observation matrix into one Recorder in priority order. Every
+// transaction in a completed batch committed (deterministic execution is
+// abort-free), so every flushed attempt commits.
+func (p *DetProbe) EndBatch() {
+	rec := p.hist.Recorder(0)
+	for t := 0; t < p.txns; t++ {
+		rec.Begin()
+		for i := range p.obs[t] {
+			o := &p.obs[t][i]
+			if o.write {
+				rec.WriteStamped(o.key, o.stamp, o.prev)
+			} else {
+				rec.Read(o.key, o.stamp)
+			}
+		}
+		rec.Commit()
+	}
+}
+
+// FinalVersions implements Recordable (same contract as Probe).
+func (p *DetProbe) FinalVersions(e *core.Engine) (map[uint64]int64, error) {
+	if p.tbl == nil {
+		return nil, fmt.Errorf("verify: det probe not set up")
+	}
+	final := make(map[uint64]int64, p.cfg.Keys)
+	tx := e.NewTx(0, 1)
+	err := tx.Run(func(tx *core.Tx) error {
+		for k := uint64(0); k < p.cfg.Keys; k++ {
+			r, err := tx.Read(p.tbl, k)
+			if err != nil {
+				return err
+			}
+			final[k] = p.sch.GetInt64(r, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return final, nil
+}

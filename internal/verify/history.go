@@ -137,6 +137,16 @@ func (r *Recorder) Write(key uint64, prev int64) int64 {
 	return stamp
 }
 
+// WriteStamped records a write whose stamp was drawn earlier (via
+// History.NextStamp) rather than at record time. Deterministic execution
+// needs this split: stamps are drawn on the partition executors at the
+// moment the write happens, but the history is flushed after the batch by a
+// single goroutine in priority order, so recording and stamping cannot be
+// one call.
+func (r *Recorder) WriteStamped(key uint64, stamp, prev int64) {
+	r.ops = append(r.ops, Op{Key: key, Stamp: stamp, Prev: prev, Write: true})
+}
+
 // Commit seals the open attempt as a committed transaction.
 func (r *Recorder) Commit() {
 	if r.curStart < 0 {

@@ -41,6 +41,11 @@ type ProbeConfig struct {
 	// transaction interleavings (on by default; that is the point of a
 	// verification run).
 	NoInterleave bool
+	// CrossFraction is the probability a deterministic-probe transaction
+	// appends a delivery-dependency pair (OpReadSend -> OpRecvUpdate), so
+	// the conformance matrix covers cross-partition stitching too. Used by
+	// DetProbe only; the interactive Probe ignores it.
+	CrossFraction float64
 }
 
 func (c ProbeConfig) normalized() ProbeConfig {

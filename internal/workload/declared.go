@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"next700/internal/core"
+	"next700/internal/det"
+	"next700/internal/xrand"
+)
+
+// DeclaredAccess is the deterministic-execution counterpart of Workload: a
+// workload whose transactions can declare their complete access sets before
+// running. The harness's deterministic mode (RunDet) sequences transactions
+// by calling PlanTxn on a single sequencer goroutine, compiles each batch
+// into per-partition queues with det.Planner, and executes the queues
+// through core.DetExecutor, which calls ExecOp once per planned operation.
+//
+// The split is what makes queue-oriented execution possible at all:
+// everything data-dependent (which keys, which kinds, payload values) is
+// decided at planning time from the sequencer RNG, so execution is a pure
+// function of (plan, database state) — no per-worker randomness, no clocks —
+// and the same seed yields the same plans and therefore the same final
+// state at any partition count.
+//
+// A type that also implements Workload (YCSB does) can run on both axes:
+// interactively under the concurrency-control protocols, and batched under
+// the deterministic scheduler, which is exactly the comparison the
+// BENCH_det sweep draws.
+type DeclaredAccess interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Setup creates tables and loads initial data. Single-threaded; must be
+	// called exactly once before any PlanTxn/ExecOp (same contract as
+	// Workload.Setup).
+	Setup(e *core.Engine) error
+	// PlanTxn declares one transaction's access set into plan (which the
+	// caller has Reset), drawing all randomness from the sequencer-owned
+	// rng. It must not touch the engine.
+	PlanTxn(rng *xrand.RNG, plan *det.TxnPlan)
+	// ExecOp executes one planned operation in a fragment's transaction
+	// context. Implementations must be pure functions of (engine state, op,
+	// mailbox); OpRecvUpdate implementations call mb.Collect before reading
+	// delivered values and must propagate its error (a canceled batch).
+	ExecOp(tx *core.Tx, op det.Op, mb *det.Mailbox) error
+}

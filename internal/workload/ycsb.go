@@ -101,6 +101,10 @@ type YCSB struct {
 	// goroutine (the engine's worker contract), so access is unsynchronized.
 	workers []*ycsbWorker
 	cmdLog  bool
+
+	// det is the deterministic-mode planning state, owned by the single
+	// sequencer goroutine (see ycsb_det.go).
+	det ycsbDetState
 }
 
 // NewYCSB builds a YCSB workload with the given configuration.

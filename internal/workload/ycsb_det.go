@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"errors"
+
+	"next700/internal/core"
+	"next700/internal/det"
+	"next700/internal/xrand"
+)
+
+// Deterministic (queue-oriented) YCSB: the same keyspace, skew, and
+// read/RMW mix as the interactive driver, but with every transaction's
+// access set declared up front so the det planner can compile batches.
+//
+// Differences from the interactive path, all forced by declaration:
+//
+//   - Randomness comes from the sequencer RNG, not per-worker RNGs: key
+//     choice must be identical regardless of how many partitions execute
+//     the batch, or the determinism oracle (same digest across worker
+//     counts) would be comparing different workloads.
+//   - Range scans are not declarable as point access sets, so ScanFraction
+//     is ignored in deterministic mode (every op is a read or an RMW).
+//   - MultiPartitionFraction selects "transfer" transactions that exercise
+//     delivery dependencies: an OpReadSend of a source key delivers its
+//     version counter, and an OpRecvUpdate installs delivered+1 into a
+//     destination key. With keys spread modulo the partition count, these
+//     routinely span partitions.
+
+// detState is the sequencer-side planning state, lazily bound to the
+// sequencer RNG on first PlanTxn.
+type ycsbDetState struct {
+	rng  *xrand.RNG
+	zipf *xrand.Zipf
+}
+
+// PlanTxn implements DeclaredAccess. All randomness is drawn from rng (the
+// sequencer's), so a (seed, batch schedule) pair fully determines every
+// plan. The Zipfian generator is (re)built when the RNG changes identity,
+// which keeps repeated runs on fresh sequencers independent.
+func (y *YCSB) PlanTxn(rng *xrand.RNG, plan *det.TxnPlan) {
+	if y.det.rng != rng {
+		y.det.rng = rng
+		y.det.zipf = xrand.NewZipf(rng, y.cfg.Records, y.cfg.Theta)
+	}
+	n := y.cfg.OpsPerTxn
+	transfer := y.cfg.MultiPartitionFraction > 0 && rng.Bool(y.cfg.MultiPartitionFraction)
+	if transfer {
+		n -= 2
+	}
+	for i := 0; i < n; i++ {
+		key, ok := y.detKey(plan)
+		if !ok {
+			break
+		}
+		if !rng.Bool(y.cfg.ReadRatio) {
+			plan.Add(det.OpUpdate, 0, key, 1)
+		} else {
+			plan.Add(det.OpRead, 0, key, 0)
+		}
+	}
+	if transfer {
+		dst, ok1 := y.detKey(plan)
+		src, ok2 := y.detKey(plan)
+		if ok1 && ok2 {
+			// Declared recv-before-send on purpose: hoisting sends to the
+			// fragment front is the planner's job, and declaring in the
+			// "wrong" order keeps that path exercised.
+			plan.Add(det.OpRecvUpdate, 0, dst, 1)
+			plan.Add(det.OpReadSend, 0, src, 0)
+		}
+	}
+}
+
+// detKey draws a Zipfian key distinct from every key already declared in
+// plan (the standard distinct-keys driver convention). Gives up after the
+// keyspace is plausibly exhausted so tiny test tables cannot wedge the
+// sequencer.
+func (y *YCSB) detKey(plan *det.TxnPlan) (uint64, bool) {
+	for attempt := 0; attempt < 64; attempt++ {
+		key := y.det.zipf.Next()
+		dup := false
+		for i := range plan.Ops {
+			if plan.Ops[i].Key == key {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			return key, true
+		}
+	}
+	return 0, false
+}
+
+// ExecOp implements DeclaredAccess. OpUpdate bumps the version counter by
+// Aux (the interactive RMW semantics); OpReadSend delivers the counter;
+// OpRecvUpdate installs delivered+Aux.
+//
+//next700:hotpath
+func (y *YCSB) ExecOp(tx *core.Tx, op det.Op, mb *det.Mailbox) error {
+	switch op.Kind {
+	case det.OpRead:
+		row, err := tx.Read(y.table, op.Key)
+		if err != nil {
+			return err
+		}
+		_ = y.sch.GetInt64(row, 0)
+		return nil
+	case det.OpUpdate:
+		row, err := tx.Update(y.table, op.Key)
+		if err != nil {
+			return err
+		}
+		y.sch.SetInt64(row, 0, y.sch.GetInt64(row, 0)+int64(op.Aux))
+		return nil
+	case det.OpReadSend:
+		row, err := tx.Read(y.table, op.Key)
+		if err != nil {
+			return err
+		}
+		mb.Send(op.Slot, uint64(y.sch.GetInt64(row, 0)))
+		return nil
+	case det.OpRecvUpdate:
+		if err := mb.Collect(); err != nil {
+			return err
+		}
+		row, err := tx.Update(y.table, op.Key)
+		if err != nil {
+			return err
+		}
+		// Transfer transactions have exactly one send, so the delivered
+		// value is always slot 0.
+		y.sch.SetInt64(row, 0, int64(mb.Vals[0])+int64(op.Aux))
+		return nil
+	default:
+		return errUnplannableOp
+	}
+}
+
+// errUnplannableOp is unreachable for plans produced by PlanTxn; it guards
+// hand-built plans handed to the executor with kinds YCSB never declares.
+var errUnplannableOp = errors.New("ycsb: unplannable deterministic op kind")
