@@ -114,6 +114,64 @@ func updateTxnAllocs(t *testing.T, protocol string, logMode wal.Mode, streams in
 	})
 }
 
+// updateTxnAllocsPartitionWAL measures the 8-update transaction on a
+// partition-affinity engine: the keys span all four partitions, so every
+// commit takes the multi-stream path — quarantine gate on each op, stream
+// collection, replicated AppendMulti, multi-stream durability wait.
+func updateTxnAllocsPartitionWAL(t *testing.T) float64 {
+	t.Helper()
+	const parts = 4
+	cfg := core.Config{
+		Protocol: "SILO", Threads: 1, Partitions: parts,
+		LogMode: wal.ModeValue, WALStreams: parts, PartitionWAL: true,
+		LogDevices: make([]wal.Device, parts),
+	}
+	for i := range cfg.LogDevices {
+		cfg.LogDevices[i] = discardDev{}
+	}
+	e, err := core.Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer e.Close()
+	sch, err := storage.NewSchema("gate", storage.I64("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.CreateTable(sch, core.IndexHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := sch.NewRow()
+	const keys = 8
+	for k := uint64(0); k < keys; k++ {
+		if err := e.Load(tbl, k, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx := e.NewTx(0, 1)
+	body := func(tx *core.Tx) error {
+		for k := uint64(0); k < keys; k++ {
+			r, err := tx.Update(tbl, k)
+			if err != nil {
+				return err
+			}
+			sch.SetInt64(r, 0, sch.GetInt64(r, 0)+1)
+		}
+		return nil
+	}
+	for i := 0; i < 300; i++ {
+		if err := tx.Run(body); err != nil {
+			t.Fatalf("warmup txn: %v", err)
+		}
+	}
+	return testing.AllocsPerRun(200, func() {
+		if err := tx.Run(body); err != nil {
+			t.Fatalf("measured txn: %v", err)
+		}
+	})
+}
+
 // updateTxnAllocsCheckpointed measures the 8-update transaction with the
 // engine logging into a checkpoint store and a checkpointer attached: the
 // background loop is alive and checkpoint generations (scan, segment
@@ -324,6 +382,18 @@ func TestTxnAllocBudgets(t *testing.T) {
 		got := updateTxnAllocs(t, "SILO", wal.ModeValue, 4)
 		if got > budgets["SILO"]+slack {
 			t.Errorf("SILO+4-stream-log: %.2f allocs per 8-update txn, budget %.0f (parallel WAL must add none)",
+				got, budgets["SILO"])
+		}
+	})
+
+	// Partition-affinity logging adds a quarantine gate per op, partition
+	// routing over the write set, and replicated multi-stream appends — all
+	// of which must ride the same pre-sized scratch (Tx.streamScratch, the
+	// per-stream ping-pong buffers) and so hold the same budget.
+	t.Run("UpdatePartitionLogged", func(t *testing.T) {
+		got := updateTxnAllocsPartitionWAL(t)
+		if got > budgets["SILO"]+slack {
+			t.Errorf("SILO+partition-WAL: %.2f allocs per 8-update txn, budget %.0f (partition affinity must add none)",
 				got, budgets["SILO"])
 		}
 	})

@@ -100,6 +100,9 @@ func main() {
 		detOut     = flag.String("det-out", "BENCH_det.json", "output path for the -det-sweep JSON report")
 
 		// Checkpointing / bounded recovery.
+		doPartSweep = flag.Bool("partition-sweep", false, "run the partition-fault sweep and exit: on a partition-affinity WAL engine, measure healthy goodput, quarantine one partition and measure surviving-partition goodput plus terminal abort classification, then compare live single-partition recovery against whole-engine store recovery of the same history; writes -partition-out")
+		partOut     = flag.String("partition-out", "BENCH_partition.json", "output path for the -partition-sweep JSON report")
+
 		doRecoverSweep = flag.Bool("recover-sweep", false, "run the checkpoint-interval recovery sweep and exit: build the same transaction history with checkpoints every {never, 16N, 4N, N} commits, crash-attach each store, and measure store-based recovery time vs full-log replay; writes -recover-out")
 		recoverOut     = flag.String("recover-out", "BENCH_recovery.json", "output path for the -recover-sweep JSON report")
 		recoverTxns    = flag.Int("recover-txns", 0, "recover-sweep: total committed transactions of history per point (default 125000)")
@@ -120,6 +123,12 @@ func main() {
 		runDetSweep(detSweepOpts{
 			Threads: *threads, Batch: *detBatch, Duration: *duration,
 			Seed: *seed, Theta: *theta, Out: *detOut,
+		})
+		return
+	}
+	if *doPartSweep {
+		runPartitionSweep(partitionSweepOpts{
+			Partitions: *partitions, Duration: *duration, Seed: *seed, Out: *partOut,
 		})
 		return
 	}

@@ -1,0 +1,476 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"next700/internal/core"
+	"next700/internal/fault"
+	"next700/internal/storage"
+	"next700/internal/wal"
+	"next700/internal/xrand"
+)
+
+// The partition sweep measures the three promises of partition-fault
+// isolation on one engine lifecycle:
+//
+//  1. Degradation is contained: with one partition quarantined, the
+//     surviving partitions' per-partition goodput stays at its healthy
+//     level, and every loss on the dark partition classifies as the
+//     terminal ErrPartitionUnavailable (counted as partition_aborts).
+//  2. Recovery is proportional to the fault: rebuilding the one dark
+//     partition live (newest checkpoint slice + its own stream tail, while
+//     the engine keeps serving) is measurably faster than recovering the
+//     whole engine from the same store state.
+//  3. Both recoveries agree: the dark partition's state after live
+//     RecoverPartition equals its state after whole-engine
+//     RecoverFromStore of a crash-surviving store copy.
+
+// partitionRetainTarget is the acceptance bar for degradation containment:
+// surviving partitions must retain at least this fraction of their healthy
+// per-partition goodput while one partition is dark.
+const partitionRetainTarget = 0.8
+
+type partitionSweepOpts struct {
+	Partitions int
+	Duration   time.Duration // per measured phase
+	Seed       uint64
+	Out        string
+}
+
+type partitionReport struct {
+	Protocol   string `json:"protocol"`
+	Partitions int    `json:"partitions"`
+	Records    int    `json:"records_per_partition"`
+	Target     int    `json:"quarantined_partition"`
+	PhaseMS    float64 `json:"phase_ms"`
+
+	HealthyTPS       float64 `json:"healthy_goodput_tps"`
+	HealthyPerPart   float64 `json:"healthy_per_partition_tps"`
+	SurvivingTPS     float64 `json:"degraded_surviving_goodput_tps"`
+	SurvivingPerPart float64 `json:"degraded_surviving_per_partition_tps"`
+	RetainedFraction float64 `json:"surviving_retained_fraction"`
+	RetainTarget     float64 `json:"retain_target"`
+
+	PartitionAborts   uint64 `json:"partition_aborts"`
+	AbortsAllTerminal bool   `json:"aborts_all_partition_class"`
+
+	PartSliceLoaded    bool    `json:"partition_slice_loaded"`
+	PartTailRecords    int     `json:"partition_tail_records"`
+	PartitionRecoverMS float64 `json:"partition_recover_ms"`
+	WholeCkptLoaded    bool    `json:"whole_checkpoint_loaded"`
+	WholeTailRecords   int     `json:"whole_tail_records"`
+	WholeRecoverMS     float64 `json:"whole_engine_recover_ms"`
+	RecoverSpeedup     float64 `json:"partition_recover_speedup"`
+	DigestMatch        bool    `json:"recovered_digest_match"`
+}
+
+func (o partitionSweepOpts) normalized() partitionSweepOpts {
+	if o.Partitions <= 1 {
+		o.Partitions = 4
+	}
+	if o.Partitions > 16 {
+		o.Partitions = 16
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.Out == "" {
+		o.Out = "BENCH_partition.json"
+	}
+	return o
+}
+
+// partSweepRecords is each partition's key count: small enough that slices
+// stay cheap, large enough that recovery does real index and copy work.
+const partSweepRecords = 2048
+
+// partSweepOpsPerTxn is the read-modify-write count per transaction; all
+// keys stay inside the worker's home partition.
+const partSweepOpsPerTxn = 4
+
+func runPartitionSweep(o partitionSweepOpts) {
+	o = o.normalized()
+	P := o.Partitions
+	rep := partitionReport{
+		Protocol: "SILO", Partitions: P, Records: partSweepRecords,
+		Target: P - 1, PhaseMS: float64(o.Duration) / float64(time.Millisecond),
+		RetainTarget: partitionRetainTarget,
+	}
+	fmt.Printf("next700-bench: partition-fault sweep, SILO + partition-affinity WAL, %d partitions × %d records, %s per phase\n",
+		P, partSweepRecords, o.Duration)
+
+	store := fault.NewMemStore(fault.StoreChaos{Seed: o.Seed})
+	att, err := core.InitCheckpointLog(store, P, wal.ModeValue)
+	if err != nil {
+		fatal("partition-sweep: %v", err)
+	}
+	e, tbl, err := partSweepEngine(P, att.Devices)
+	if err != nil {
+		fatal("partition-sweep: %v", err)
+	}
+	if err := partSweepLoad(e, tbl, P, -1); err != nil {
+		fatal("partition-sweep: load: %v", err)
+	}
+	ck, err := e.NewCheckpointer(store, 2, att.Devices)
+	if err != nil {
+		fatal("partition-sweep: %v", err)
+	}
+
+	// Phase 1: healthy goodput, all partitions committing.
+	healthy, err := partSweepPhase(e, tbl, P, -1, o.Duration, o.Seed)
+	if err != nil {
+		fatal("partition-sweep healthy phase: %v", err)
+	}
+	rep.HealthyTPS = float64(healthy.commits) / o.Duration.Seconds()
+	rep.HealthyPerPart = rep.HealthyTPS / float64(P)
+
+	// One sliced generation, then a tail burst so every stream has history
+	// past its slice — the single-partition recovery replays that tail.
+	if err := ck.CheckpointNow(); err != nil {
+		fatal("partition-sweep checkpoint: %v", err)
+	}
+	if _, err := partSweepPhase(e, tbl, P, -1, o.Duration/2, o.Seed^0x9e37); err != nil {
+		fatal("partition-sweep tail burst: %v", err)
+	}
+
+	// Quarantine one partition and measure the survivors.
+	target := P - 1
+	if err := e.QuarantinePartition(target); err != nil {
+		fatal("partition-sweep quarantine: %v", err)
+	}
+	degraded, err := partSweepPhase(e, tbl, P, target, o.Duration, o.Seed^0x7f4a)
+	if err != nil {
+		fatal("partition-sweep degraded phase: %v", err)
+	}
+	rep.SurvivingTPS = float64(degraded.commits) / o.Duration.Seconds()
+	rep.SurvivingPerPart = rep.SurvivingTPS / float64(P-1)
+	if rep.HealthyPerPart > 0 {
+		rep.RetainedFraction = rep.SurvivingPerPart / rep.HealthyPerPart
+	}
+	rep.PartitionAborts = degraded.partitionAborts
+	rep.AbortsAllTerminal = degraded.wrongClass == nil
+	if degraded.wrongClass != nil {
+		fatal("partition-sweep: loss on quarantined partition with wrong class: %v", degraded.wrongClass)
+	}
+
+	// Snapshot the store before repairing anything: the whole-engine
+	// recovery below rebuilds from this same moment, so the two recovery
+	// times answer "one partition vs everything" for identical history.
+	surv := store.Survivor(fault.StoreChaos{Seed: o.Seed + 1})
+
+	// Live single-partition recovery: newest slice + own stream tail.
+	slice, tail, err := partSweepRecoveryInputs(store, P, target)
+	if err != nil {
+		fatal("partition-sweep: %v", err)
+	}
+	newDev, err := store.CreateSegment(fmt.Sprintf("seg-repair-%d", target))
+	if err != nil {
+		fatal("partition-sweep: %v", err)
+	}
+	var load func() error
+	if slice == nil {
+		load = func() error { return partSweepLoad(e, tbl, P, target) }
+	}
+	t0 := time.Now()
+	rs, err := e.RecoverPartition(target, load, slice, tail, newDev)
+	rep.PartitionRecoverMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	if err != nil {
+		fatal("partition-sweep RecoverPartition: %v", err)
+	}
+	rep.PartSliceLoaded = rs.CheckpointLoaded
+	rep.PartTailRecords = rs.Records
+
+	digestLive, err := partSweepDigest(e, tbl, P, target)
+	if err != nil {
+		fatal("partition-sweep digest: %v", err)
+	}
+	// The readmitted partition must take commits again.
+	if err := partSweepCommitOne(e, tbl, P, target); err != nil {
+		fatal("partition-sweep post-recovery commit: %v", err)
+	}
+	e.Close()
+
+	// Whole-engine recovery of the same store state.
+	att2, err := core.AttachCheckpointLog(surv)
+	if err != nil {
+		fatal("partition-sweep: %v", err)
+	}
+	e2, tbl2, err := partSweepEngine(P, att2.Devices)
+	if err != nil {
+		fatal("partition-sweep: %v", err)
+	}
+	t0 = time.Now()
+	rs2, err := e2.RecoverFromStore(surv, att2, func() error {
+		return partSweepLoad(e2, tbl2, P, -1)
+	})
+	rep.WholeRecoverMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	if err != nil {
+		fatal("partition-sweep RecoverFromStore: %v", err)
+	}
+	rep.WholeCkptLoaded = rs2.CheckpointLoaded
+	rep.WholeTailRecords = rs2.Records
+	digestWhole, err := partSweepDigest(e2, tbl2, P, target)
+	if err != nil {
+		fatal("partition-sweep digest: %v", err)
+	}
+	e2.Close()
+	rep.DigestMatch = digestLive == digestWhole
+	if rep.PartitionRecoverMS > 0 {
+		rep.RecoverSpeedup = rep.WholeRecoverMS / rep.PartitionRecoverMS
+	}
+
+	fmt.Printf("  healthy: %8.0f tps (%0.0f/partition)\n", rep.HealthyTPS, rep.HealthyPerPart)
+	fmt.Printf("  degraded (partition %d dark): %8.0f tps surviving (%0.0f/partition, %.0f%% retained), %d partition aborts, all terminal=%v\n",
+		target, rep.SurvivingTPS, rep.SurvivingPerPart, rep.RetainedFraction*100,
+		rep.PartitionAborts, rep.AbortsAllTerminal)
+	fmt.Printf("  recovery: partition %7.2fms (slice=%v tail=%d) vs whole engine %7.2fms (tail=%d), speedup %.1fx, digest_ok=%v\n",
+		rep.PartitionRecoverMS, rep.PartSliceLoaded, rep.PartTailRecords,
+		rep.WholeRecoverMS, rep.WholeTailRecords, rep.RecoverSpeedup, rep.DigestMatch)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("partition-sweep: %v", err)
+	}
+	if err := os.WriteFile(o.Out, append(out, '\n'), 0o644); err != nil {
+		fatal("partition-sweep: %v", err)
+	}
+	fmt.Printf("  report: %s\n", o.Out)
+
+	if !rep.DigestMatch {
+		fatal("partition-sweep: live partition recovery and whole-engine recovery disagree on partition %d", target)
+	}
+	if rep.RetainedFraction < partitionRetainTarget {
+		fmt.Printf("  WARNING: surviving partitions retained only %.0f%% of healthy goodput (target %.0f%%)\n",
+			rep.RetainedFraction*100, partitionRetainTarget*100)
+	}
+	if rep.RecoverSpeedup <= 1 {
+		fmt.Printf("  WARNING: single-partition recovery (%.2fms) not faster than whole-engine (%.2fms)\n",
+			rep.PartitionRecoverMS, rep.WholeRecoverMS)
+	}
+}
+
+// partSweepEngine opens the partition-affinity engine and its account table.
+// Keys map to partitions by the default key mod P rule, so worker p owns
+// keys {i*P + p}.
+func partSweepEngine(P int, devs []wal.Device) (*core.Engine, *core.Table, error) {
+	e, err := core.Open(core.Config{
+		Protocol:          "SILO",
+		Threads:           P,
+		Partitions:        P,
+		LogMode:           wal.ModeValue,
+		WALStreams:        P,
+		LogDevices:        devs,
+		PartitionWAL:      true,
+		GroupCommitWindow: 200 * time.Microsecond,
+		EpochInterval:     time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, err := e.CreateTable(storage.MustSchema("acct", storage.I64("v")), core.IndexHash)
+	if err != nil {
+		e.Close()
+		return nil, nil, err
+	}
+	return e, tbl, nil
+}
+
+// partSweepLoad zero-loads every key of partition only (or of all
+// partitions when only is -1). It is both the initial load and the recovery
+// fallback callbacks.
+func partSweepLoad(e *core.Engine, tbl *core.Table, P, only int) error {
+	sch := tbl.Schema()
+	row := sch.NewRow()
+	sch.SetInt64(row, 0, 0)
+	for p := 0; p < P; p++ {
+		if only >= 0 && p != only {
+			continue
+		}
+		for i := 0; i < partSweepRecords; i++ {
+			if err := e.Load(tbl, uint64(i*P+p), row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type partPhaseResult struct {
+	commits         uint64 // commits on partitions other than the dark one
+	partitionAborts uint64
+	wrongClass      error
+}
+
+// partSweepPhase runs one closed-loop measurement window: P workers, each
+// homed to its partition, each transaction a read-modify-write of
+// partSweepOpsPerTxn home keys. When target >= 0 that partition is dark:
+// its worker keeps attempting, every loss must classify as
+// ErrPartitionUnavailable, and its attempts are excluded from goodput.
+func partSweepPhase(e *core.Engine, tbl *core.Table, P, target int, dur time.Duration, seed uint64) (partPhaseResult, error) {
+	var res partPhaseResult
+	stop := make(chan struct{})
+	time.AfterFunc(dur, func() { close(stop) })
+	commits := make([]uint64, P)
+	aborts := make([]uint64, P)
+	errs := make([]error, P)
+	wrong := make([]error, P)
+	var wg sync.WaitGroup
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			tx := e.NewTx(p, seed*1_000_003+uint64(p)+1)
+			defer func() { aborts[p] = tx.Counter().PartitionAborts }()
+			rng := xrand.New(seed ^ (0x9e3779b97f4a7c15 * uint64(p+1)))
+			sch := tbl.Schema()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := tx.Run(func(tx *core.Tx) error {
+					for i := 0; i < partSweepOpsPerTxn; i++ {
+						key := uint64(rng.Intn(partSweepRecords)*P + p)
+						r, err := tx.Update(tbl, key)
+						if err != nil {
+							return err
+						}
+						sch.SetInt64(r, 0, sch.GetInt64(r, 0)+1)
+					}
+					return nil
+				})
+				if err != nil {
+					if p == target && errors.Is(err, core.ErrPartitionUnavailable) {
+						// Terminal shed on the dark partition: back off the
+						// way a client would and keep probing for readmission.
+						time.Sleep(100 * time.Microsecond)
+						continue
+					}
+					if p == target {
+						wrong[p] = err
+					} else {
+						errs[p] = err
+					}
+					return
+				}
+				commits[p]++
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < P; p++ {
+		if errs[p] != nil {
+			return res, fmt.Errorf("worker %d: %w", p, errs[p])
+		}
+		if wrong[p] != nil && res.wrongClass == nil {
+			res.wrongClass = wrong[p]
+		}
+		if p != target {
+			res.commits += commits[p]
+		}
+		res.partitionAborts += aborts[p]
+	}
+	return res, nil
+}
+
+// partSweepRecoveryInputs resolves the dark partition's recovery sources
+// from the store manifest: its slice of the newest fully-sliced checkpoint
+// generation, and its stream's segments concatenated in manifest order
+// (sealed segments trimmed to their sealing epoch, like whole-engine
+// recovery does).
+func partSweepRecoveryInputs(store core.CheckpointStore, P, target int) (slice, tail io.Reader, err error) {
+	m, _, err := store.LoadManifest()
+	if err != nil {
+		return nil, nil, err
+	}
+	var best *wal.ManifestCheckpoint
+	for i := range m.Checkpoints {
+		ck := &m.Checkpoints[i]
+		if ck.Slices == P && (best == nil || ck.Gen > best.Gen) {
+			best = ck
+		}
+	}
+	if best != nil {
+		rc, err := store.OpenCheckpoint(core.CheckpointSliceName(best.Name, target))
+		if err == nil {
+			data, rerr := io.ReadAll(rc)
+			rc.Close()
+			if rerr == nil {
+				slice = bytes.NewReader(data)
+			}
+		}
+	}
+	var image []byte
+	for _, sg := range m.Segments {
+		if sg.Stream != target {
+			continue
+		}
+		rc, err := store.OpenSegment(sg.Name)
+		if err != nil {
+			continue
+		}
+		data, rerr := io.ReadAll(rc)
+		rc.Close()
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("segment %s: %w", sg.Name, rerr)
+		}
+		clean, serr := wal.SealSegment(data, sg.ToEpoch)
+		if serr != nil {
+			return nil, nil, fmt.Errorf("segment %s: %w", sg.Name, serr)
+		}
+		image = append(image, clean...)
+	}
+	return slice, bytes.NewReader(image), nil
+}
+
+// partSweepDigest folds the target partition's committed key/value pairs
+// into a CRC, read through a transaction so the digest sees only committed
+// state.
+func partSweepDigest(e *core.Engine, tbl *core.Table, P, target int) (uint32, error) {
+	h := crc32.NewIEEE()
+	var buf [16]byte
+	tx := e.NewTx(0, 1)
+	sch := tbl.Schema()
+	err := tx.Run(func(tx *core.Tx) error {
+		for i := 0; i < partSweepRecords; i++ {
+			key := uint64(i*P + target)
+			r, err := tx.Read(tbl, key)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf[0:8], key)
+			binary.LittleEndian.PutUint64(buf[8:16], uint64(sch.GetInt64(r, 0)))
+			h.Write(buf[:])
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
+}
+
+// partSweepCommitOne commits one update on the recovered partition — the
+// readmission sanity check.
+func partSweepCommitOne(e *core.Engine, tbl *core.Table, P, target int) error {
+	tx := e.NewTx(0, 2)
+	sch := tbl.Schema()
+	return tx.Run(func(tx *core.Tx) error {
+		r, err := tx.Update(tbl, uint64(target))
+		if err != nil {
+			return err
+		}
+		sch.SetInt64(r, 0, sch.GetInt64(r, 0)+1)
+		return nil
+	})
+}

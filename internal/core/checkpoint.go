@@ -21,12 +21,31 @@ import (
 //	  per entry: key u64 | rid u64 | row bytes (rowSize)
 //	crc32 (IEEE) over everything before it
 //
+// Version 2 is the partition-sliced variant: after the version word it
+// carries `partition u32 | epoch u64` — the slice's partition id and its
+// epoch fence (the slice holds that partition's effects through this
+// epoch, healed by replaying the partition's log tail past it). A sliced
+// generation is one version-2 object per partition, each independently
+// CRC-sealed, so corruption of one slice degrades only that partition's
+// recovery path.
+//
 // Entries are written in ascending key order so checkpoints of equal state
 // are byte-identical.
 
 var checkpointMagic = [4]byte{'N', '7', 'C', 'K'}
 
-const checkpointVersion = 1
+const (
+	checkpointVersion      = 1
+	checkpointSliceVersion = 2
+)
+
+// ckptMeta is the parsed identity of a checkpoint stream: whole-engine
+// (sliced false) or one partition's slice with its embedded epoch fence.
+type ckptMeta struct {
+	sliced    bool
+	partition int
+	epoch     uint64
+}
 
 // ErrBadCheckpoint reports a malformed or corrupt checkpoint stream.
 var ErrBadCheckpoint = errors.New("core: bad checkpoint")
@@ -51,7 +70,7 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 // residue is not. Record ids are preserved so a value-log tail written
 // after the checkpoint replays against the restored state.
 func (e *Engine) Checkpoint(w io.Writer) error {
-	return e.writeCheckpoint(w, e.collectQuiesced)
+	return e.writeCheckpoint(w, nil, e.collectQuiesced)
 }
 
 // CheckpointOnline serializes a fuzzy snapshot of every table while
@@ -67,11 +86,39 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 // Rows whose committed image is not visible (uncommitted inserts, deleted
 // residue) are skipped: if they commit, the log tail has them.
 func (e *Engine) CheckpointOnline(w io.Writer) error {
-	return e.writeCheckpoint(w, e.collectOnline)
+	return e.writeCheckpoint(w, nil, e.collectOnline)
+}
+
+// CheckpointSlice serializes one partition's slice of the engine state:
+// only rows whose primary key maps to part are written, under the
+// version-2 format carrying (part, epoch) as the slice identity and epoch
+// fence. online selects the fuzzy scan (value logging; heal by replaying
+// the partition's tail past epoch); otherwise the caller must have
+// quiesced the engine.
+func (e *Engine) CheckpointSlice(w io.Writer, part int, epoch uint64, online bool) error {
+	collect := e.collectQuiesced
+	if online {
+		collect = e.collectOnline
+	}
+	sliced := func(t *Table) ([]ckptEntry, error) {
+		entries, err := collect(t)
+		if err != nil {
+			return nil, err
+		}
+		out := entries[:0]
+		for _, en := range entries {
+			if e.partitionOfKey(t.tbl, en.key) == part {
+				out = append(out, en)
+			}
+		}
+		return out, nil
+	}
+	return e.writeCheckpoint(w, &ckptMeta{sliced: true, partition: part, epoch: epoch}, sliced)
 }
 
 // writeCheckpoint writes the checkpoint format around a row collector.
-func (e *Engine) writeCheckpoint(w io.Writer, collect func(t *Table) ([]ckptEntry, error)) error {
+// slice non-nil selects the version-2 per-partition header.
+func (e *Engine) writeCheckpoint(w io.Writer, slice *ckptMeta, collect func(t *Table) ([]ckptEntry, error)) error {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	var scratch [20]byte
@@ -80,9 +127,23 @@ func (e *Engine) writeCheckpoint(w io.Writer, collect func(t *Table) ([]ckptEntr
 	if _, err := cw.Write(checkpointMagic[:]); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint32(scratch[0:], checkpointVersion)
-	binary.LittleEndian.PutUint32(scratch[4:], uint32(len(tables)))
-	if _, err := cw.Write(scratch[:8]); err != nil {
+	version := uint32(checkpointVersion)
+	if slice != nil {
+		version = checkpointSliceVersion
+	}
+	binary.LittleEndian.PutUint32(scratch[0:], version)
+	if _, err := cw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	if slice != nil {
+		binary.LittleEndian.PutUint32(scratch[0:], uint32(slice.partition))
+		binary.LittleEndian.PutUint64(scratch[4:], slice.epoch)
+		if _, err := cw.Write(scratch[:12]); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(scratch[0:], uint32(len(tables)))
+	if _, err := cw.Write(scratch[:4]); err != nil {
 		return err
 	}
 
@@ -256,10 +317,55 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("%w: read: %v", ErrBadCheckpoint, err)
 	}
-	plan, err := e.parseCheckpoint(data)
+	plan, meta, err := e.parseCheckpoint(data)
 	if err != nil {
 		return err
 	}
+	if meta.sliced {
+		// A slice is one partition's state, not the engine's: loading it as
+		// a whole checkpoint would silently drop every other partition.
+		return fmt.Errorf("%w: stream is a partition slice (partition %d), not a whole checkpoint",
+			ErrBadCheckpoint, meta.partition)
+	}
+	e.applyCheckpointPlan(plan)
+	return nil
+}
+
+// LoadCheckpointSlice restores one partition's slice into the engine and
+// returns the slice's epoch fence. The stream must be a version-2 slice for
+// exactly part, and every key in it must map to part under the engine's
+// partitioner — a slice written under a different partitioning (or routed
+// to the wrong partition) is rejected completely, like any corrupt
+// checkpoint: it either loads completely or leaves the engine untouched.
+func (e *Engine) LoadCheckpointSlice(r io.Reader, part int) (uint64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: read: %v", ErrBadCheckpoint, err)
+	}
+	plan, meta, err := e.parseCheckpoint(data)
+	if err != nil {
+		return 0, err
+	}
+	if !meta.sliced {
+		return 0, fmt.Errorf("%w: stream is a whole checkpoint, not a partition slice", ErrBadCheckpoint)
+	}
+	if meta.partition != part {
+		return 0, fmt.Errorf("%w: slice is for partition %d, want %d", ErrBadCheckpoint, meta.partition, part)
+	}
+	for _, tl := range plan {
+		for _, en := range tl.entries {
+			if p := e.partitionOfKey(tl.t.tbl, en.key); p != part {
+				return 0, fmt.Errorf("%w: slice for partition %d holds key %d of partition %d",
+					ErrBadCheckpoint, part, en.key, p)
+			}
+		}
+	}
+	e.applyCheckpointPlan(plan)
+	return meta.epoch, nil
+}
+
+// applyCheckpointPlan applies a fully validated checkpoint plan.
+func (e *Engine) applyCheckpointPlan(plan []ckptTableLoad) {
 	for _, tl := range plan {
 		t := tl.t
 		for _, en := range tl.entries {
@@ -276,18 +382,18 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 			e.reloadRecord(t, en.rid, en.key, en.row)
 		}
 	}
-	return nil
 }
 
 // parseCheckpoint verifies the CRC and fully validates the checkpoint
 // structure without touching engine state. Returned entry rows alias data.
-func (e *Engine) parseCheckpoint(data []byte) ([]ckptTableLoad, error) {
+func (e *Engine) parseCheckpoint(data []byte) ([]ckptTableLoad, ckptMeta, error) {
+	var meta ckptMeta
 	if len(data) < 4+8+4 {
-		return nil, fmt.Errorf("%w: too short", ErrBadCheckpoint)
+		return nil, meta, fmt.Errorf("%w: too short", ErrBadCheckpoint)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return nil, fmt.Errorf("%w: crc mismatch", ErrBadCheckpoint)
+		return nil, meta, fmt.Errorf("%w: crc mismatch", ErrBadCheckpoint)
 	}
 
 	take := func(n int) ([]byte, error) {
@@ -299,86 +405,111 @@ func (e *Engine) parseCheckpoint(data []byte) ([]ckptTableLoad, error) {
 		return out, nil
 	}
 
-	hdr, err := take(4 + 8)
+	hdr, err := take(4 + 4)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	if [4]byte(hdr[:4]) != checkpointMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+		return nil, meta, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != checkpointVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
+	switch v := binary.LittleEndian.Uint32(hdr[4:]); v {
+	case checkpointVersion:
+	case checkpointSliceVersion:
+		sh, err := take(4 + 8)
+		if err != nil {
+			return nil, meta, err
+		}
+		meta.sliced = true
+		meta.partition = int(binary.LittleEndian.Uint32(sh))
+		meta.epoch = binary.LittleEndian.Uint64(sh[4:])
+		if meta.partition < 0 || meta.partition >= e.cfg.Partitions {
+			return nil, meta, fmt.Errorf("%w: slice partition %d out of range", ErrBadCheckpoint, meta.partition)
+		}
+	default:
+		return nil, meta, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
 	}
-	tableCount := int(binary.LittleEndian.Uint32(hdr[8:]))
+	cb, err := take(4)
+	if err != nil {
+		return nil, meta, err
+	}
+	tableCount := int(binary.LittleEndian.Uint32(cb))
 
 	plan := make([]ckptTableLoad, 0, tableCount)
 	seenTables := make(map[string]bool, tableCount)
 	for ti := 0; ti < tableCount; ti++ {
 		b, err := take(4)
 		if err != nil {
-			return nil, err
+			return nil, meta, err
 		}
 		nameLen := int(binary.LittleEndian.Uint32(b))
 		if nameLen > 1<<16 {
-			return nil, fmt.Errorf("%w: absurd name length", ErrBadCheckpoint)
+			return nil, meta, fmt.Errorf("%w: absurd name length", ErrBadCheckpoint)
 		}
 		nameBytes, err := take(nameLen)
 		if err != nil {
-			return nil, err
+			return nil, meta, err
 		}
 		name := string(nameBytes)
 		t := e.Table(name)
 		if t == nil {
-			return nil, fmt.Errorf("%w: unknown table %q", ErrBadCheckpoint, name)
+			return nil, meta, fmt.Errorf("%w: unknown table %q", ErrBadCheckpoint, name)
 		}
 		if seenTables[name] {
-			return nil, fmt.Errorf("%w: table %q appears twice", ErrBadCheckpoint, name)
+			return nil, meta, fmt.Errorf("%w: table %q appears twice", ErrBadCheckpoint, name)
 		}
 		seenTables[name] = true
 		b, err = take(12)
 		if err != nil {
-			return nil, err
+			return nil, meta, err
 		}
 		rowSize := int(binary.LittleEndian.Uint32(b))
 		if rowSize != t.sch.RowSize() {
-			return nil, fmt.Errorf("%w: table %q row size %d != schema %d",
+			return nil, meta, fmt.Errorf("%w: table %q row size %d != schema %d",
 				ErrBadCheckpoint, t.Name(), rowSize, t.sch.RowSize())
 		}
 		count := binary.LittleEndian.Uint64(b[4:])
 		// Every rid in a valid checkpoint is below the source table's
 		// allocation count, which is at most the entry count of all tables
-		// combined plus pre-existing rows; the body length bounds that.
+		// combined plus pre-existing rows; the body length bounds that. A
+		// slice carries only its partition's rows but source-table rids, so
+		// the bound scales by the partition count — under heavy allocation
+		// skew a legitimate slice can still exceed it, in which case the
+		// parse error costs that partition its bounded-recovery head start
+		// (CheckpointFallbacks), never correctness.
 		maxRID := uint64(len(data))/16 + t.tbl.NumRows() + 1
+		if meta.sliced {
+			maxRID = uint64(len(data))/16*uint64(e.cfg.Partitions) + t.tbl.NumRows() + 1
+		}
 		if count > uint64(len(body)) {
-			return nil, fmt.Errorf("%w: truncated body", ErrBadCheckpoint)
+			return nil, meta, fmt.Errorf("%w: truncated body", ErrBadCheckpoint)
 		}
 		tl := ckptTableLoad{t: t, entries: make([]ckptEntry, 0, count)}
 		seenKeys := make(map[uint64]bool, count)
 		for i := uint64(0); i < count; i++ {
 			b, err = take(16 + rowSize)
 			if err != nil {
-				return nil, err
+				return nil, meta, err
 			}
 			key := binary.LittleEndian.Uint64(b)
 			rid := storage.RecordID(binary.LittleEndian.Uint64(b[8:]))
 			if uint64(rid) > maxRID {
-				return nil, fmt.Errorf("%w: record id %d out of range", ErrBadCheckpoint, rid)
+				return nil, meta, fmt.Errorf("%w: record id %d out of range", ErrBadCheckpoint, rid)
 			}
 			if seenKeys[key] {
-				return nil, fmt.Errorf("%w: duplicate key %d in %q", ErrBadCheckpoint, key, t.Name())
+				return nil, meta, fmt.Errorf("%w: duplicate key %d in %q", ErrBadCheckpoint, key, t.Name())
 			}
 			seenKeys[key] = true
 			if _, exists := t.primary.Lookup(key); exists {
-				return nil, fmt.Errorf("%w: key %d already present in %q", ErrBadCheckpoint, key, t.Name())
+				return nil, meta, fmt.Errorf("%w: key %d already present in %q", ErrBadCheckpoint, key, t.Name())
 			}
 			tl.entries = append(tl.entries, ckptEntry{key: key, rid: rid, row: b[16:]})
 		}
 		plan = append(plan, tl)
 	}
 	if len(body) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(body))
+		return nil, meta, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(body))
 	}
-	return plan, nil
+	return plan, meta, nil
 }
 
 // snapshotTables returns the table handles in id order.

@@ -153,6 +153,10 @@ type Checkpointer struct {
 	manifest wal.Manifest
 	nextGen  uint64
 	cur      []wal.Device
+	// sliceEpoch is the epoch fence the in-progress sliced generation's
+	// slices embed (cycle-scoped; held here so writeImage's closure over
+	// the loop variable stays allocation-simple).
+	sliceEpoch uint64
 
 	loopMu sync.Mutex
 	stopCh chan struct{}
@@ -257,6 +261,17 @@ func (c *Checkpointer) cycle() error {
 	if e.logFailed() {
 		return e.logErr()
 	}
+	// Sliced mode defers while any partition is quarantined: the dead
+	// stream cannot rotate, and a slice of the quarantined partition would
+	// capture memory state ahead of its durable frontier. The loop retries
+	// after RecoverPartition lifts the quarantine — and its next success is
+	// what closes the recovered tail's durability window.
+	sliced := e.cfg.PartitionWAL
+	if sliced {
+		if mask := e.quarMask.Load(); mask != 0 {
+			return fmt.Errorf("%w (mask %#x)", ErrCheckpointQuarantined, mask)
+		}
+	}
 	gen := c.nextGen
 	ckName := checkpointName(gen)
 
@@ -265,19 +280,52 @@ func (c *Checkpointer) cycle() error {
 	// the gate through rotation. Value logging elsewhere scans online.
 	fuzzy := e.cfg.LogMode == wal.ModeValue && e.proto.Name() != "HSTORE"
 
+	// writeImage writes the generation's image objects: one whole-engine
+	// object, or one slice per partition (each with its own CRC and epoch
+	// fence) in sliced mode. Sliced generations always fence at
+	// CurrentEpoch()-1 — even on the quiesced path, where the manifest
+	// epoch is likewise kept at the fence rather than the rotation
+	// boundary: value-mode replay of the (fence, boundary] gap is
+	// idempotent, and the fence must be known when the slices are written.
+	writeImage := func(online bool) error {
+		if !sliced {
+			if online {
+				return c.store.WriteCheckpoint(ckName, e.CheckpointOnline)
+			}
+			return c.store.WriteCheckpoint(ckName, e.Checkpoint)
+		}
+		for p := 0; p < e.cfg.Partitions; p++ {
+			part := p
+			err := c.store.WriteCheckpoint(sliceName(ckName, part), func(w io.Writer) error {
+				return e.CheckpointSlice(w, part, c.sliceEpoch, online)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	var ckptEpoch uint64
 	quiesced := false
 	if fuzzy {
 		if cur := e.logs.CurrentEpoch(); cur > 0 {
 			ckptEpoch = cur - 1
 		}
-		if err := c.store.WriteCheckpoint(ckName, e.CheckpointOnline); err != nil {
+		c.sliceEpoch = ckptEpoch
+		if err := writeImage(true); err != nil {
 			return fmt.Errorf("core: checkpoint gen %d scan: %w", gen, err)
 		}
 	} else {
 		e.quiesce.Lock()
 		quiesced = true
-		if err := c.store.WriteCheckpoint(ckName, e.Checkpoint); err != nil {
+		if sliced {
+			if cur := e.logs.CurrentEpoch(); cur > 0 {
+				ckptEpoch = cur - 1
+			}
+			c.sliceEpoch = ckptEpoch
+		}
+		if err := writeImage(false); err != nil {
 			e.quiesce.Unlock()
 			return fmt.Errorf("core: checkpoint gen %d scan: %w", gen, err)
 		}
@@ -321,9 +369,10 @@ func (c *Checkpointer) cycle() error {
 	if rerr != nil {
 		return fmt.Errorf("core: checkpoint gen %d rotate: %w", gen, rerr)
 	}
-	if !fuzzy {
+	if !fuzzy && !sliced {
 		// Quiesced capture: the state is exactly the commits at or below
-		// the rotation boundary.
+		// the rotation boundary. (Sliced generations keep the pre-scan
+		// fence their slices embed — see writeImage.)
 		ckptEpoch = boundary
 	}
 
@@ -342,7 +391,11 @@ func (c *Checkpointer) cycle() error {
 			sg.ToEpoch = boundary
 		}
 	}
-	m2.Checkpoints = append(m2.Checkpoints, wal.ManifestCheckpoint{Gen: gen, Name: ckName, Epoch: ckptEpoch})
+	entry := wal.ManifestCheckpoint{Gen: gen, Name: ckName, Epoch: ckptEpoch}
+	if sliced {
+		entry.Slices = e.cfg.Partitions
+	}
+	m2.Checkpoints = append(m2.Checkpoints, entry)
 
 	var dropCkpts []wal.ManifestCheckpoint
 	if len(m2.Checkpoints) > c.keep {
@@ -383,6 +436,14 @@ func (c *Checkpointer) cycle() error {
 		}
 	}
 	for _, ck := range dropCkpts {
+		if ck.Slices > 0 {
+			for p := 0; p < ck.Slices; p++ {
+				if err := c.store.RemoveCheckpoint(sliceName(ck.Name, p)); err != nil {
+					return fmt.Errorf("core: checkpoint gen %d prune %s: %w", gen, sliceName(ck.Name, p), err)
+				}
+			}
+			continue
+		}
 		if err := c.store.RemoveCheckpoint(ck.Name); err != nil {
 			return fmt.Errorf("core: checkpoint gen %d prune %s: %w", gen, ck.Name, err)
 		}

@@ -144,6 +144,17 @@ const manifestName = "MANIFEST"
 // checkpointName renders the store object name for generation gen.
 func checkpointName(gen uint64) string { return fmt.Sprintf("ckpt-%06d", gen) }
 
+// sliceName renders the store object name for one partition's slice of a
+// sliced checkpoint generation (ManifestCheckpoint.Slices > 0).
+func sliceName(ckptName string, part int) string {
+	return fmt.Sprintf("%s-p%d", ckptName, part)
+}
+
+// CheckpointSliceName exposes the slice object naming scheme: harnesses use
+// it to address one partition's slice of a manifest checkpoint entry (for
+// corruption injection and single-partition recovery).
+func CheckpointSliceName(ckptName string, part int) string { return sliceName(ckptName, part) }
+
 // segmentName renders the store object name for the segment opened at
 // generation gen on the given stream. Generation 0 is the bootstrap segment.
 func segmentName(gen uint64, stream int) string {

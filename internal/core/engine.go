@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"next700/internal/cc"
@@ -60,6 +61,26 @@ type Config struct {
 	// GroupCommitWindow is the group-commit batching window (0 = flush on
 	// every commit). With WALStreams > 1 it is the epoch advance period.
 	GroupCommitWindow time.Duration
+	// PartitionWAL shards the parallel WAL by partition instead of worker
+	// thread: stream p is partition p's log (WALStreams must equal
+	// Partitions, value mode only, at most 64 partitions), commits append to
+	// every stream their write set touches, and a stream's device failure
+	// degrades only its partition — the engine quarantines it, sheds its
+	// transactions with ErrPartitionUnavailable, and keeps the healthy
+	// partitions committing durably. See QuarantinePartition and
+	// RecoverPartition.
+	PartitionWAL bool
+	// QuarantineStall, when > 0 with PartitionWAL, is the gray-failure
+	// escalation threshold: a stream whose sync claim makes no progress
+	// while records are pending for this long is failed and quarantined as
+	// if its device had errored. Zero disables stall escalation.
+	QuarantineStall time.Duration
+	// OnPartitionDown, when set with PartitionWAL, is invoked after a
+	// partition is quarantined (down=true) and after RecoverPartition
+	// readmits it (down=false). Harness layers hook per-partition admission
+	// shedding here. Called from the quarantine guard goroutine or the
+	// recovering caller; it must not block.
+	OnPartitionDown func(part int, down bool)
 	// EpochInterval is the Silo epoch advance period (default 10ms).
 	EpochInterval time.Duration
 	// Retry bounds Tx.Run's transient-abort retry loop and its jittered
@@ -95,6 +116,25 @@ func (c *Config) normalize() error {
 		}
 	} else if c.LogMode != wal.ModeNone && c.LogDevice == nil {
 		return fmt.Errorf("core: LogMode %v requires a LogDevice: %w", c.LogMode, ErrInvalidUsage)
+	}
+	if c.PartitionWAL {
+		if c.WALStreams <= 1 {
+			return fmt.Errorf("core: PartitionWAL requires WALStreams > 1: %w", ErrInvalidUsage)
+		}
+		if c.LogMode != wal.ModeValue {
+			// Command replay re-executes procedures, which cannot be sliced
+			// per partition or replayed idempotently from a fuzzy base.
+			return fmt.Errorf("core: PartitionWAL requires value logging, have %v: %w", c.LogMode, ErrInvalidUsage)
+		}
+		if c.WALStreams != c.Partitions {
+			return fmt.Errorf("core: PartitionWAL requires WALStreams == Partitions, have %d streams for %d partitions: %w",
+				c.WALStreams, c.Partitions, ErrInvalidUsage)
+		}
+		if c.Partitions > 64 {
+			// The quarantine mask is one uint64 so the hot-path gate is a
+			// single atomic load.
+			return fmt.Errorf("core: PartitionWAL supports at most 64 partitions, have %d: %w", c.Partitions, ErrInvalidUsage)
+		}
 	}
 	return nil
 }
@@ -160,6 +200,15 @@ type Engine struct {
 	tickDone chan struct{}
 	closed   bool
 
+	// quarMask is the quarantined-partition bitmask (bit p set = partition
+	// p unavailable). The operation and commit gates load it once; in a
+	// healthy engine it is zero and the gate is a single branch.
+	quarMask atomic.Uint64
+	// guardStop/guardDone bracket the partition guard goroutine
+	// (PartitionWAL only).
+	guardStop chan struct{}
+	guardDone chan struct{}
+
 	// ckptFence serializes online checkpointing against the commit path's
 	// publish-to-append window. Commits on the parallel WAL hold the read
 	// side from protocol commit through log append, so when a checkpointer
@@ -216,10 +265,19 @@ func Open(cfg Config) (*Engine, error) {
 	e.ckptThread = cfg.Threads
 	if cfg.LogMode != wal.ModeNone {
 		if cfg.WALStreams > 1 {
-			e.logs = wal.NewStreamSet(cfg.LogDevices, cfg.GroupCommitWindow)
+			if cfg.PartitionWAL {
+				e.logs = wal.NewStreamSetScoped(cfg.LogDevices, cfg.GroupCommitWindow)
+			} else {
+				e.logs = wal.NewStreamSet(cfg.LogDevices, cfg.GroupCommitWindow)
+			}
 		} else {
 			e.logw = wal.NewWriter(cfg.LogDevice, cfg.GroupCommitWindow)
 		}
+	}
+	if cfg.PartitionWAL {
+		e.guardStop = make(chan struct{})
+		e.guardDone = make(chan struct{})
+		go e.partitionGuard()
 	}
 	go e.epochTicker()
 	return e, nil
@@ -251,6 +309,10 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 	close(e.stopTick)
 	<-e.tickDone //next700:allowwait(shutdown join: stopTick close guarantees the epoch ticker exits)
+	if e.guardStop != nil {
+		close(e.guardStop)
+		<-e.guardDone //next700:allowwait(shutdown join: guardStop close guarantees the partition guard exits)
+	}
 	if e.logw != nil {
 		return e.logw.Close()
 	}

@@ -1,0 +1,603 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"next700/internal/storage"
+	"next700/internal/txn"
+	"next700/internal/wal"
+)
+
+// This file is the partition-fault isolation layer: with Config.PartitionWAL
+// the parallel WAL is sharded by partition instead of worker thread, and the
+// partition becomes the unit of failure, degradation, and recovery.
+//
+//   - Routing: a commit appends its full record to the stream of every
+//     partition it wrote (one epoch tag for all copies), so each stream is a
+//     self-contained log of its partition's effects.
+//   - Quarantine: when a stream's device sticky-fails (or stalls past
+//     Config.QuarantineStall), the guard marks the partition quarantined.
+//     Transactions touching it abort with the terminal
+//     ErrPartitionUnavailable class; healthy partitions keep committing
+//     durably against the frontier re-certified over the survivors.
+//   - Recovery: RecoverPartition rebuilds one partition from its newest
+//     valid checkpoint slice plus its own stream's certified tail while the
+//     rest of the engine serves traffic, then readmits the stream on a
+//     fresh device and lifts the quarantine.
+//
+// The cross-partition contract matches the partitioned replay contract in
+// wal.ReplayStreamsPartitioned: an acknowledged commit is certified on every
+// stream it touched and always recovers in full; an unacknowledged commit in
+// a failed partition's loss window may recover on its healthy partitions
+// only. Reads that completed before a quarantine may likewise have observed
+// state the failed partition later rolls back to its durable frontier —
+// cross-partition read dependencies on that never-acknowledged suffix are
+// not tracked.
+
+// ErrPartitionUnavailable is the terminal abort class for transactions that
+// touch a quarantined partition while the engine degrades around a
+// partition fault. It is never retried; Run accounts it as
+// Counter.PartitionAborts. Match with errors.Is.
+var ErrPartitionUnavailable = errors.New("core: partition unavailable")
+
+// errPartitionGate is prebuilt because the quarantine gate sits on
+// operation and commit hot paths.
+var errPartitionGate = fmt.Errorf("core: transaction touches quarantined partition: %w", ErrPartitionUnavailable)
+
+// errStreamStalled is the cause recorded when the guard escalates a
+// sustained gray stall (no sync progress with records pending for
+// Config.QuarantineStall) to a stream failure.
+var errStreamStalled = fmt.Errorf("core: log stream sync stalled: %w", ErrPartitionUnavailable)
+
+// ErrCheckpointQuarantined defers sliced checkpoint cycles while any
+// partition is quarantined: a generation taken then could not rotate the
+// dead stream, and its slice for the quarantined partition would capture
+// memory state ahead of that partition's durable frontier.
+var ErrCheckpointQuarantined = errors.New("core: checkpoint deferred: partition quarantined")
+
+// partitionOfKey maps a primary key to its partition: the installed
+// partitioner when one is set (out-of-range answers fall back), key mod
+// Partitions otherwise — the same default HSTORE uses, so WAL routing and
+// protocol partitioning always agree.
+//
+//next700:hotpath
+func (e *Engine) partitionOfKey(st *storage.Table, key uint64) int {
+	if fn := e.env.PartitionOf; fn != nil {
+		if p := fn(st, key); p >= 0 && p < e.cfg.Partitions {
+			return p
+		}
+	}
+	return int(key % uint64(e.cfg.Partitions))
+}
+
+// partitionGate aborts an operation that touches a quarantined partition.
+// In a healthy engine (any mode) the gate is one atomic load of a zero
+// mask; the partition is computed only while a quarantine is in force.
+//
+//next700:hotpath
+func (t *Tx) partitionGate(tbl *Table, key uint64) error {
+	e := t.eng
+	mask := e.quarMask.Load()
+	if mask == 0 {
+		return nil
+	}
+	if mask&(1<<uint(e.partitionOfKey(tbl.tbl, key))) != 0 {
+		return errPartitionGate
+	}
+	return nil
+}
+
+// collectStreams computes the set of partitions the transaction's write set
+// touches into t.streamScratch (ascending, deduplicated through the
+// returned bitmask). Scratch capacity is pre-sized to the partition bound,
+// so the commit path allocates nothing.
+//
+//next700:hotpath
+func (t *Tx) collectStreams() uint64 {
+	e := t.eng
+	inner := t.inner
+	var mask uint64
+	for i := range inner.Accesses {
+		a := &inner.Accesses[i]
+		if a.Kind == txn.KindRead {
+			continue
+		}
+		mask |= 1 << uint(e.partitionOfKey(a.Table, a.Key))
+	}
+	sc := t.streamScratch[:0]
+	for m, p := mask, 0; m != 0; m, p = m>>1, p+1 {
+		if m&1 != 0 {
+			sc = append(sc, p)
+		}
+	}
+	t.streamScratch = sc
+	return mask
+}
+
+// waitStreamsDurable parks on the epoch frontier until the record is
+// certified on every touched stream (partition-affinity commits).
+//
+//next700:hotpath
+func (t *Tx) waitStreamsDurable(epoch uint64) error {
+	e := t.eng
+	if err := e.logs.WaitDurableMulti(t.streamScratch, epoch, t.inner.Deadline); err != nil {
+		if errors.Is(err, wal.ErrWaitDeadline) {
+			return errDurabilityDeadline
+		}
+		return e.wrapPartitionErr(err)
+	}
+	return nil
+}
+
+// wrapPartitionErr classifies a per-stream log failure as a partition
+// outage in partition-affinity mode, so callers (and the torture oracle)
+// see every loss on a failed partition under one terminal class.
+//
+//next700:allowalloc(stream-failure path: never taken while the log is healthy)
+func (e *Engine) wrapPartitionErr(err error) error {
+	if e.cfg.PartitionWAL && errors.Is(err, wal.ErrStreamFailed) {
+		return fmt.Errorf("%w: %w", ErrPartitionUnavailable, err)
+	}
+	return err
+}
+
+// QuarantinedPartitions returns the quarantine bitmask (bit p set =
+// partition p unavailable).
+func (e *Engine) QuarantinedPartitions() uint64 { return e.quarMask.Load() }
+
+// quarantine marks partition p unavailable and excludes its stream from the
+// durable frontier. The mask is set before the frontier re-certifies so no
+// new transaction can route a commit at the dead stream while healthy
+// waiters are being released. Idempotent.
+func (e *Engine) quarantine(p int) {
+	bit := uint64(1) << uint(p)
+	for {
+		old := e.quarMask.Load()
+		if old&bit != 0 {
+			return
+		}
+		if e.quarMask.CompareAndSwap(old, old|bit) {
+			break
+		}
+	}
+	// The stream is failed (the guard only quarantines after the failure
+	// signal); Quarantine re-certifies the frontier over the survivors.
+	_ = e.logs.Quarantine(p)
+	if cb := e.cfg.OnPartitionDown; cb != nil {
+		cb(p, true)
+	}
+}
+
+// QuarantinePartition fails partition p's stream (if it has not already
+// failed) and quarantines it — the manual form of what the guard does on a
+// device failure, for operators, benchmarks, and tests.
+func (e *Engine) QuarantinePartition(p int) error {
+	if !e.cfg.PartitionWAL {
+		return fmt.Errorf("core: QuarantinePartition requires PartitionWAL: %w", ErrInvalidUsage)
+	}
+	if p < 0 || p >= e.cfg.Partitions {
+		return fmt.Errorf("core: partition %d out of range: %w", p, ErrInvalidUsage)
+	}
+	if err := e.logs.FailStream(p, nil); err != nil {
+		return err
+	}
+	e.quarantine(p)
+	return nil
+}
+
+// partitionGuard is the quarantine monitor: it converts per-stream failure
+// signals into partition quarantines, and escalates sustained gray stalls
+// (claim stagnant with records pending for Config.QuarantineStall) into
+// failures. One goroutine per engine, started only in partition mode.
+func (e *Engine) partitionGuard() {
+	defer close(e.guardDone)
+	type stallState struct {
+		claim uint64
+		since time.Time
+	}
+	n := e.logs.NumStreams()
+	states := make([]stallState, n)
+	var tickC <-chan time.Time
+	if e.cfg.QuarantineStall > 0 {
+		interval := e.cfg.QuarantineStall / 4
+		if interval <= 0 {
+			interval = e.cfg.QuarantineStall
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		select {
+		case <-e.guardStop:
+			return
+		case i, ok := <-e.logs.FailureC():
+			if !ok {
+				return
+			}
+			e.quarantine(i)
+		case now := <-tickC:
+			// A stalled stream is one whose claim froze while the global
+			// epoch kept advancing past it: healthy streams certify every
+			// epoch within a flush latency (an idle stream still syncs the
+			// epoch marker), so a claim pinned more than one epoch behind
+			// for the full window means its device is wedged — the staged
+			// batch may already be swapped in-flight and parked inside
+			// Sync, so buffered bytes are NOT a reliable signal.
+			epoch := e.logs.CurrentEpoch()
+			for i := range states {
+				if e.logs.StreamFailed(i) {
+					continue
+				}
+				claim := e.logs.StreamClaim(i)
+				if claim != states[i].claim || epoch <= claim+1 {
+					states[i] = stallState{claim: claim}
+					continue
+				}
+				if states[i].since.IsZero() {
+					states[i].since = now
+					continue
+				}
+				if now.Sub(states[i].since) >= e.cfg.QuarantineStall {
+					// The failure signal loops back through FailureC, which
+					// performs the quarantine.
+					_ = e.logs.FailStream(i, errStreamStalled)
+				}
+			}
+		}
+	}
+}
+
+// clearPartition removes every record of partition p from memory: primary
+// and secondary index entries are retracted and the rows tombstoned. Safe
+// while healthy-partition traffic runs, provided the quarantine mask
+// already covers p and the attempt gate has been drained since (no live
+// transaction can then be touching p's records).
+func (e *Engine) clearPartition(p int) {
+	for _, t := range e.snapshotTables() {
+		// Collect first: deleting under Iterate would mutate the index
+		// mid-walk.
+		keys := make([]uint64, 0, 64)
+		rids := make([]storage.RecordID, 0, 64)
+		t.primary.Iterate(func(key uint64, rid storage.RecordID) bool {
+			if e.partitionOfKey(t.tbl, key) == p {
+				keys = append(keys, key)
+				rids = append(rids, rid)
+			}
+			return true
+		})
+		for i, key := range keys {
+			rid := rids[i]
+			for j := range t.secondaries {
+				s := &t.secondaries[j]
+				s.idx.Delete(s.extract(t.sch, t.tbl.Row(rid), key))
+			}
+			t.primary.Delete(key)
+			t.tbl.SetTombstone(rid, true)
+		}
+	}
+}
+
+// applyValueRecordPartition applies the entries of one commit record that
+// belong to the given partition, with the same applied-if-newer filtering
+// as whole-engine replay. In partition-affinity logs a multi-partition
+// record is replicated on every touched stream; filtering by entry
+// partition makes each stream's replay exactly its partition's history.
+//
+// Unlike whole-engine replay, partition replay is key-addressed rather than
+// slot-addressed: the base state it replays over may have been
+// re-materialized at fresh record ids (a RecoverPartition load callback, an
+// older generation's slice), so reusing the logged record id could collide
+// with a live row of a different key. Each after-image instead applies to
+// its key's current slot, materializing one when the key is absent — a
+// value-mode entry carries the full image, so the upsert loses nothing.
+func (e *Engine) applyValueRecordPartition(cr *wal.CommitRecord, part int, versions recordVersion, rs *RecoveryStats) error {
+	applied := false
+	for i := range cr.Entries {
+		en := &cr.Entries[i]
+		th := e.tableByID(int(en.Table))
+		if th == nil {
+			return fmt.Errorf("core: recovery references unknown table %d: %w", en.Table, wal.ErrCorrupt)
+		}
+		if e.partitionOfKey(th.tbl, en.Key) != part {
+			continue
+		}
+		applied = true
+		if !versions.newer(en.Table, en.RID, cr.Epoch, cr.TxnID) {
+			rs.Skipped++
+			continue
+		}
+		rs.Entries++
+		cur, ok := th.primary.Lookup(en.Key)
+		switch en.Kind {
+		case wal.EntryDelete:
+			if !ok {
+				continue // already absent in the replayed base
+			}
+			for j := range th.secondaries {
+				s := &th.secondaries[j]
+				s.idx.Delete(s.extract(th.sch, th.tbl.Row(cur), en.Key))
+			}
+			th.primary.Delete(en.Key)
+			th.tbl.SetTombstone(cur, true)
+		default: // insert or update: upsert the after-image
+			if !ok {
+				cur = th.tbl.Alloc()
+				th.primary.Insert(en.Key, cur)
+				for j := range th.secondaries {
+					s := &th.secondaries[j]
+					s.idx.Insert(s.extract(th.sch, storage.Row(en.Data), en.Key), cur)
+				}
+			}
+			copy(th.tbl.Row(cur), en.Data)
+			th.tbl.SetTombstone(cur, false)
+			e.reloadRecord(th, cur, en.Key, en.Data)
+		}
+	}
+	if applied {
+		rs.Records++
+	}
+	return nil
+}
+
+// PartitionFrontier returns the quarantined partition's certified durable
+// epoch: every commit it acknowledged is tagged at or below it. It is the
+// epoch RecoverPartition recovers to.
+func (e *Engine) PartitionFrontier(p int) uint64 {
+	claim := e.logs.StreamClaim(p)
+	if claim == 0 {
+		return 0
+	}
+	return claim - 1
+}
+
+// RecoverPartition rebuilds quarantined partition p while the engine serves
+// traffic on its healthy partitions, then readmits the partition's stream
+// on newDev and lifts the quarantine:
+//
+//  1. Drain the attempt gate, so no transaction predating the quarantine
+//     can still observe p's records.
+//  2. Clear p's in-memory state; reload its initial rows via load (nil when
+//     the partition had no pre-log state or a slice covers it).
+//  3. Restore the newest state from slice (a version-2 checkpoint slice for
+//     p; nil recovers from the log alone).
+//  4. Replay tail — the failed stream's salvaged bytes — applying only p's
+//     entries with epochs in (sliceEpoch, PartitionFrontier(p)]: the
+//     certified prefix. Records beyond the frontier were never
+//     acknowledged and stay dead, exactly like whole-engine recovery.
+//  5. Readmit the stream on newDev and clear the quarantine bit.
+//
+// The recovered tail lives on the retired device and in memory but not yet
+// in the readmitted stream: take a checkpoint generation after recovery to
+// close that durability window (the Checkpointer resumes automatically once
+// the quarantine lifts).
+func (e *Engine) RecoverPartition(p int, load func() error, slice io.Reader, tail io.Reader, newDev wal.Device) (RecoveryStats, error) {
+	var rs RecoveryStats
+	if !e.cfg.PartitionWAL {
+		return rs, fmt.Errorf("core: RecoverPartition requires PartitionWAL: %w", ErrInvalidUsage)
+	}
+	if p < 0 || p >= e.cfg.Partitions {
+		return rs, fmt.Errorf("core: partition %d out of range: %w", p, ErrInvalidUsage)
+	}
+	if e.quarMask.Load()&(1<<uint(p)) == 0 {
+		return rs, fmt.Errorf("core: partition %d is not quarantined: %w", p, ErrInvalidUsage)
+	}
+
+	// Attempt-gate drain: afterwards every in-flight transaction began
+	// after the quarantine mask was set and is gated off p entirely.
+	e.quiesce.Lock()
+	e.quiesce.Unlock() //nolint:staticcheck // empty critical section is the drain
+	e.clearPartition(p)
+
+	if load != nil {
+		if err := load(); err != nil {
+			return rs, err
+		}
+	}
+	var afterEpoch uint64
+	if slice != nil {
+		ep, err := e.LoadCheckpointSlice(slice, p)
+		if err != nil {
+			return rs, err
+		}
+		rs.CheckpointLoaded = true
+		rs.CheckpointEpoch = ep
+		afterEpoch = ep
+	}
+
+	frontier := e.PartitionFrontier(p)
+	rs.FrontierEpoch = frontier
+	rs.Streams = 1
+	if tail != nil {
+		versions := make(recordVersion)
+		// The tail is in the per-stream segment format (framed records plus
+		// epoch markers); a single-reader partitioned replay certifies it by
+		// its own markers, and the live claim caps it at the epochs the
+		// stream actually acknowledged before it died.
+		st, err := wal.ReplayStreamsPartitioned([]io.Reader{tail}, func(_ int, cr *wal.CommitRecord) error {
+			if cr.Epoch <= afterEpoch {
+				rs.SkippedOldEpoch++
+				return nil
+			}
+			if cr.Epoch > frontier {
+				rs.TruncatedRecords++
+				return nil
+			}
+			return e.applyValueRecordPartition(cr, p, versions, &rs)
+		})
+		rs.Bytes, rs.TornBytes, rs.CorruptTailRecords = st.Bytes, st.TornBytes, st.CorruptTailRecords
+		rs.TruncatedRecords += st.TruncatedRecords
+		if err != nil {
+			return rs, err
+		}
+	}
+
+	// Second drain before readmitting: nothing may sit between an append
+	// to the old incarnation and its durability wait when the stream comes
+	// back healthy.
+	e.quiesce.Lock()
+	e.quiesce.Unlock() //nolint:staticcheck // empty critical section is the drain
+	if err := e.logs.Readmit(p, newDev); err != nil {
+		return rs, err
+	}
+	bit := uint64(1) << uint(p)
+	for {
+		old := e.quarMask.Load()
+		if e.quarMask.CompareAndSwap(old, old&^bit) {
+			break
+		}
+	}
+	if cb := e.cfg.OnPartitionDown; cb != nil {
+		cb(p, false)
+	}
+	return rs, nil
+}
+
+// recoverFromStorePartitioned is RecoverFromStore's partition-affinity
+// path: every checkpoint generation is a set of per-partition slices, each
+// partition falls back through generations independently, and the log tail
+// replays each stream to its own certified frontier (each stream is its
+// partition's authority — wal.ReplayStreamsPartitioned).
+func (e *Engine) recoverFromStorePartitioned(store CheckpointStore, att *LogAttachment, load func() error, rs *RecoveryStats) error {
+	P := e.cfg.Partitions
+	m := att.recover
+
+	// Resolve each partition's newest loadable slice, falling back through
+	// generations per partition: a corrupt slice costs its partition's
+	// bounded-recovery head start, nobody else's.
+	type sliceLoad struct {
+		plan  []ckptTableLoad
+		epoch uint64
+		gen   uint64
+	}
+	resolved := make([]*sliceLoad, P)
+	missing := P
+	cks := append([]wal.ManifestCheckpoint(nil), m.Checkpoints...)
+	sort.Slice(cks, func(i, j int) bool { return cks[i].Gen > cks[j].Gen })
+	for _, ck := range cks {
+		if missing == 0 {
+			break
+		}
+		if ck.Slices != P {
+			// A whole-image or differently-partitioned generation cannot be
+			// loaded piecewise; skip it.
+			rs.CheckpointFallbacks++
+			continue
+		}
+		for p := 0; p < P; p++ {
+			if resolved[p] != nil {
+				continue
+			}
+			rc, err := store.OpenCheckpoint(sliceName(ck.Name, p))
+			if err != nil {
+				rs.CheckpointFallbacks++
+				continue
+			}
+			data, rerr := io.ReadAll(rc)
+			rc.Close()
+			if rerr != nil {
+				rs.CheckpointFallbacks++
+				continue
+			}
+			plan, meta, perr := e.parseCheckpoint(data)
+			if perr != nil || !meta.sliced || meta.partition != p {
+				rs.CheckpointFallbacks++
+				continue
+			}
+			resolved[p] = &sliceLoad{plan: plan, epoch: meta.epoch, gen: ck.Gen}
+			missing--
+		}
+	}
+
+	perPartEpoch := make([]uint64, P)
+	if missing == 0 {
+		// Slices validate against the engine (unknown tables, duplicate
+		// keys) at parse time; partitions are key-disjoint, so the plans
+		// compose.
+		for p := 0; p < P; p++ {
+			e.applyCheckpointPlan(resolved[p].plan)
+			perPartEpoch[p] = resolved[p].epoch
+			if resolved[p].gen > rs.CheckpointGen {
+				rs.CheckpointGen = resolved[p].gen
+			}
+			if p == 0 || resolved[p].epoch < rs.CheckpointEpoch {
+				rs.CheckpointEpoch = resolved[p].epoch
+			}
+		}
+		rs.CheckpointLoaded = true
+	} else if load != nil {
+		// No usable generation for at least one partition (none taken yet,
+		// or a double fault ate every copy of some slice): degrade to
+		// initial load plus full-log replay for everyone. Partial initial
+		// loads cannot be expressed through the load callback, and mixing
+		// them with slice state would be exactly the silent partial load
+		// the format forbids.
+		if err := load(); err != nil {
+			return err
+		}
+	}
+
+	readers := make([]io.Reader, m.Streams)
+	for i := 0; i < m.Streams; i++ {
+		var image []byte
+		for _, sg := range m.Segments {
+			if sg.Stream != i {
+				continue
+			}
+			rc, err := store.OpenSegment(sg.Name)
+			if err != nil {
+				continue
+			}
+			data, err := io.ReadAll(rc)
+			rc.Close()
+			if err != nil {
+				return fmt.Errorf("core: recovery segment %s: %w", sg.Name, err)
+			}
+			clean, err := wal.SealSegment(data, sg.ToEpoch)
+			if err != nil {
+				return fmt.Errorf("core: recovery segment %s: %w", sg.Name, err)
+			}
+			image = append(image, clean...)
+		}
+		readers[i] = bytes.NewReader(image)
+	}
+
+	versions := make(recordVersion)
+	st, err := wal.ReplayStreamsPartitioned(readers, func(stream int, cr *wal.CommitRecord) error {
+		if stream < P && cr.Epoch <= perPartEpoch[stream] {
+			rs.SkippedOldEpoch++
+			return nil
+		}
+		return e.applyValueRecordPartition(cr, stream, versions, rs)
+	})
+	rs.Bytes, rs.TornBytes, rs.CorruptTailRecords = st.Bytes, st.TornBytes, st.CorruptTailRecords
+	rs.Streams, rs.FrontierEpoch, rs.TruncatedRecords = st.Streams, st.Frontier, st.TruncatedRecords
+	rs.MaxEpoch = st.MaxEpoch
+	rs.StreamFrontiers = append([]uint64(nil), st.StreamFrontiers...)
+	if err != nil {
+		return err
+	}
+
+	base := rs.MaxEpoch
+	for _, ep := range perPartEpoch {
+		if ep > base {
+			base = ep
+		}
+	}
+	e.logs.RaiseEpoch(base)
+
+	// Seal inherited actives at each stream's own frontier: the per-stream
+	// truncation decision is what keeps a partition's never-acknowledged
+	// suffix dead across every later recovery.
+	return e.sealInheritedSegments(store, att, func(stream int) uint64 {
+		if stream < len(st.StreamFrontiers) {
+			return st.StreamFrontiers[stream]
+		}
+		return 0
+	}, rs)
+}

@@ -1,0 +1,580 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"next700/internal/fault"
+	"next700/internal/storage"
+	"next700/internal/testutil"
+	"next700/internal/wal"
+)
+
+// partEngine opens a PartitionWAL engine with parts partitions over fresh
+// fault.MemDevices (returned in stream order) and a kv table of n keys.
+// With the default partitioner, key k lives in partition k % parts.
+func partEngine(t testing.TB, parts, n int, tweak func(cfg *Config, devs []wal.Device)) (*Engine, []*fault.MemDevice, *Table) {
+	t.Helper()
+	mems := make([]*fault.MemDevice, parts)
+	devs := make([]wal.Device, parts)
+	for i := range mems {
+		mems[i] = &fault.MemDevice{}
+		devs[i] = mems[i]
+	}
+	cfg := Config{
+		Protocol:          "SILO",
+		Threads:           parts,
+		Partitions:        parts,
+		LogMode:           wal.ModeValue,
+		WALStreams:        parts,
+		LogDevices:        devs,
+		PartitionWAL:      true,
+		GroupCommitWindow: 200 * time.Microsecond,
+		EpochInterval:     time.Millisecond,
+	}
+	if tweak != nil {
+		tweak(&cfg, devs)
+	}
+	e := openEngine(t, cfg)
+	tbl := kvTable(t, e, "kv", IndexHash, n)
+	return e, mems, tbl
+}
+
+// setKey commits value v under key k on tx, returning the commit error.
+func setKey(tx *Tx, tbl *Table, k uint64, v int64) error {
+	return tx.Run(func(tx *Tx) error {
+		row, err := tx.Update(tbl, k)
+		if err != nil {
+			return err
+		}
+		setV(tbl, row, v)
+		return nil
+	})
+}
+
+func TestPartitionWALConfigValidation(t *testing.T) {
+	devs := func(n int) []wal.Device {
+		out := make([]wal.Device, n)
+		for i := range out {
+			out[i] = &fault.MemDevice{}
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"single stream", Config{Partitions: 1, LogMode: wal.ModeValue, WALStreams: 1,
+			LogDevices: devs(1), PartitionWAL: true}},
+		{"command mode", Config{Partitions: 2, LogMode: wal.ModeCommand, WALStreams: 2,
+			LogDevices: devs(2), PartitionWAL: true}},
+		{"streams != partitions", Config{Partitions: 4, LogMode: wal.ModeValue, WALStreams: 2,
+			LogDevices: devs(2), PartitionWAL: true}},
+		{"too many partitions", Config{Partitions: 65, LogMode: wal.ModeValue, WALStreams: 65,
+			LogDevices: devs(65), PartitionWAL: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Open(tc.cfg); !errors.Is(err, ErrInvalidUsage) {
+				t.Fatalf("Open = %v, want ErrInvalidUsage", err)
+			}
+		})
+	}
+}
+
+// TestPartitionQuarantineLifecycle walks the whole degradation arc on one
+// engine — quarantine, gated operations, healthy-partition commits, live
+// recovery, re-admission — and proves the engine sheds no goroutines along
+// the way.
+func TestPartitionQuarantineLifecycle(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	const parts = 4
+	var downs []int
+	var mu sync.Mutex
+	e, mems, tbl := partEngine(t, parts, 64, func(cfg *Config, _ []wal.Device) {
+		cfg.OnPartitionDown = func(p int, down bool) {
+			mu.Lock()
+			if down {
+				downs = append(downs, p)
+			} else {
+				downs = append(downs, -p)
+			}
+			mu.Unlock()
+		}
+	})
+
+	// Seed every partition with acknowledged commits: key k := 7+k.
+	tx := e.NewTx(0, 1)
+	for k := uint64(0); k < 16; k++ {
+		if err := setKey(tx, tbl, k, int64(7+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const dead = 2
+	if err := e.QuarantinePartition(dead); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.QuarantinedPartitions(); got != 1<<dead {
+		t.Fatalf("QuarantinedPartitions = %#x, want %#x", got, 1<<dead)
+	}
+
+	// Every operation class touching the dead partition aborts terminally
+	// with ErrPartitionUnavailable; key 6 lives in partition 2.
+	base := tx.Counter().PartitionAborts
+	ops := map[string]func(tx *Tx) error{
+		"read":   func(tx *Tx) error { _, err := tx.Read(tbl, 6); return err },
+		"update": func(tx *Tx) error { _, err := tx.Update(tbl, 6); return err },
+		"insert": func(tx *Tx) error { return tx.Insert(tbl, 1006, tbl.Schema().NewRow()) },
+		"delete": func(tx *Tx) error { return tx.Delete(tbl, 6) },
+	}
+	for name, op := range ops {
+		if err := tx.Run(op); !errors.Is(err, ErrPartitionUnavailable) {
+			t.Fatalf("%s on quarantined partition = %v, want ErrPartitionUnavailable", name, err)
+		}
+	}
+	if got := tx.Counter().PartitionAborts - base; got != uint64(len(ops)) {
+		t.Fatalf("PartitionAborts delta = %d, want %d", got, len(ops))
+	}
+
+	// A scan over a B+ tree table crossing the dead partition is gated too.
+	btbl := kvTable(t, e, "kvbt", IndexBTree, 16)
+	if err := tx.Run(func(tx *Tx) error {
+		return tx.Scan(btbl, 0, 15, func(uint64, storage.Row) bool { return true })
+	}); !errors.Is(err, ErrPartitionUnavailable) {
+		t.Fatalf("scan across quarantined partition = %v, want ErrPartitionUnavailable", err)
+	}
+
+	// Healthy partitions keep committing, and the commits are certified
+	// durable (the frontier re-certified over the survivors advances).
+	before := e.DurableEpoch()
+	for k := uint64(0); k < 16; k++ {
+		if k%parts == dead {
+			continue
+		}
+		if err := setKey(tx, tbl, k, int64(100+k)); err != nil {
+			t.Fatalf("healthy-partition commit after quarantine: %v", err)
+		}
+	}
+	if e.DurableEpoch() < before {
+		t.Fatalf("durable frontier regressed: %d -> %d", before, e.DurableEpoch())
+	}
+
+	// Live recovery: partition 2's own stream tail is the authority.
+	frontier := e.PartitionFrontier(dead)
+	if frontier == 0 {
+		t.Fatal("PartitionFrontier = 0 for a partition with acked commits")
+	}
+	rs, err := e.RecoverPartition(dead, nil, nil, bytes.NewReader(mems[dead].Bytes()), &fault.MemDevice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Entries == 0 {
+		t.Fatal("partition recovery applied no entries")
+	}
+	if e.QuarantinedPartitions() != 0 {
+		t.Fatalf("quarantine mask %#x after recovery, want 0", e.QuarantinedPartitions())
+	}
+
+	// The acknowledged pre-quarantine values are back, and the partition
+	// accepts new durable commits on its fresh device.
+	for k := uint64(dead); k < 16; k += parts {
+		row, err := tx.Run2(tbl, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := getV(tbl, row); got != int64(7+k) {
+			t.Fatalf("recovered key %d = %d, want %d", k, got, 7+k)
+		}
+	}
+	if err := setKey(tx, tbl, dead, 999); err != nil {
+		t.Fatalf("commit on readmitted partition: %v", err)
+	}
+	// Close before the leak check runs: openEngine's cleanup fires after
+	// function-level defers.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(downs) != 2 || downs[0] != dead || downs[1] != -dead {
+		t.Fatalf("OnPartitionDown calls = %v, want [%d %d]", downs, dead, -dead)
+	}
+}
+
+// Run2 reads one key in its own transaction (test helper).
+func (t *Tx) Run2(tbl *Table, k uint64) ([]byte, error) {
+	var out []byte
+	err := t.Run(func(tx *Tx) error {
+		row, err := tx.Read(tbl, k)
+		if err != nil {
+			return err
+		}
+		out = append(out[:0], row...)
+		return nil
+	})
+	return out, err
+}
+
+// TestPartitionDeviceFailureAutoQuarantine crashes one partition's device
+// mid-run and proves the guard quarantines exactly that partition: its
+// transactions classify ErrPartitionUnavailable, the others keep going.
+func TestPartitionDeviceFailureAutoQuarantine(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	const parts = 4
+	const dead = 1
+	e, _, tbl := partEngine(t, parts, 64, func(cfg *Config, devs []wal.Device) {
+		devs[dead] = fault.NewDevice(&fault.MemDevice{}, fault.Plan{CrashAtByte: 200})
+	})
+	tx := e.NewTx(0, 2)
+
+	// Hammer the doomed partition until the crash surfaces. The commit that
+	// hits the dead device classifies as a partition outage either way: at
+	// the append/wait (committed in memory, not durable) or at the gate
+	// once the guard has quarantined.
+	var sawUnavailable bool
+	for i := 0; i < 200; i++ {
+		err := setKey(tx, tbl, dead, int64(i))
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrPartitionUnavailable) {
+			t.Fatalf("doomed-partition commit error = %v, want ErrPartitionUnavailable", err)
+		}
+		sawUnavailable = true
+		break
+	}
+	if !sawUnavailable {
+		t.Fatal("crash never surfaced")
+	}
+
+	// The guard quarantines asynchronously; wait for the mask.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.QuarantinedPartitions() != 1<<dead {
+		if time.Now().After(deadline) {
+			t.Fatalf("guard never quarantined: mask %#x", e.QuarantinedPartitions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Terminal, not retried: one attempt, one PartitionAborts.
+	before := tx.Counter().PartitionAborts
+	if err := setKey(tx, tbl, dead, 1); !errors.Is(err, ErrPartitionUnavailable) {
+		t.Fatalf("gated commit error = %v", err)
+	}
+	if got := tx.Counter().PartitionAborts - before; got != 1 {
+		t.Fatalf("PartitionAborts delta = %d, want 1", got)
+	}
+
+	// Healthy partitions are oblivious.
+	for k := uint64(0); k < uint64(parts); k++ {
+		if k == dead {
+			continue
+		}
+		if err := setKey(tx, tbl, k, 5); err != nil {
+			t.Fatalf("healthy partition %d: %v", k, err)
+		}
+	}
+	e.Close()
+}
+
+// TestPartitionStallEscalation stalls one device's sync forever and proves
+// the guard escalates the gray failure to a quarantine after
+// QuarantineStall, unblocking the parked commit with the partition class.
+func TestPartitionStallEscalation(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	const parts = 2
+	const dead = 1
+	var stalled *fault.Device
+	e, _, tbl := partEngine(t, parts, 16, func(cfg *Config, devs []wal.Device) {
+		stalled = fault.NewDevice(&fault.MemDevice{}, fault.Plan{StallSyncAt: 1})
+		devs[dead] = stalled
+		cfg.QuarantineStall = 50 * time.Millisecond
+	})
+	// Release the stalled sync before Close so the flusher can drain.
+	defer stalled.Release()
+
+	tx := e.NewTx(0, 3)
+	err := setKey(tx, tbl, dead, 42)
+	if !errors.Is(err, ErrPartitionUnavailable) {
+		t.Fatalf("stalled-partition commit = %v, want ErrPartitionUnavailable", err)
+	}
+	if e.QuarantinedPartitions() != 1<<dead {
+		t.Fatalf("mask = %#x, want %#x", e.QuarantinedPartitions(), 1<<dead)
+	}
+	// The healthy partition was never frozen for long: it still commits.
+	if err := setKey(tx, tbl, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	stalled.Release()
+	e.Close()
+}
+
+// TestMultiPartitionCommitReplication proves a cross-partition write is
+// replicated on every touched stream — each stream's replay independently
+// yields its partition's slice of the transaction.
+func TestMultiPartitionCommitReplication(t *testing.T) {
+	const parts = 3
+	e, mems, tbl := partEngine(t, parts, 16, nil)
+	tx := e.NewTx(0, 4)
+	if err := tx.Run(func(tx *Tx) error {
+		for k := uint64(0); k < parts; k++ {
+			row, err := tx.Update(tbl, k)
+			if err != nil {
+				return err
+			}
+			setV(tbl, row, int64(70+k))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < parts; p++ {
+		var saw uint64
+		if _, err := wal.ReplayStreamsPartitioned([]io.Reader{bytes.NewReader(mems[p].Bytes())}, func(_ int, cr *wal.CommitRecord) error {
+			// Every stream carries the full record.
+			if len(cr.Entries) != parts {
+				t.Fatalf("stream %d record has %d entries, want %d", p, len(cr.Entries), parts)
+			}
+			for i := range cr.Entries {
+				saw += cr.Entries[i].Key
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("stream %d replay: %v", p, err)
+		}
+		if saw != 0+1+2 {
+			t.Fatalf("stream %d saw keys summing %d", p, saw)
+		}
+	}
+}
+
+// TestSlicedCheckpointRecoverFromStore runs the full sliced lifecycle:
+// checkpoint generations written as per-partition slices, crash, partitioned
+// store recovery (each partition from its own newest valid slice plus its
+// stream's certified tail) — then again with one slice corrupted, proving
+// the corrupt slice degrades only its partition's bounded-recovery head
+// start, never correctness.
+func TestSlicedCheckpointRecoverFromStore(t *testing.T) {
+	const parts = 2
+	const keys = 32
+	store := fault.NewMemStore(fault.StoreChaos{Seed: 7})
+	att, err := InitCheckpointLog(store, parts, wal.ModeValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := openEngine(t, Config{
+		Protocol:          "SILO",
+		Threads:           parts,
+		Partitions:        parts,
+		LogMode:           wal.ModeValue,
+		WALStreams:        parts,
+		LogDevices:        att.Devices,
+		PartitionWAL:      true,
+		GroupCommitWindow: 100 * time.Microsecond,
+		EpochInterval:     time.Millisecond,
+	})
+	tbl := kvTable(t, e, "kv", IndexHash, keys)
+	tx := e.NewTx(0, 5)
+	for k := uint64(0); k < keys; k++ {
+		if err := setKey(tx, tbl, k, int64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck, err := e.NewCheckpointer(store, 2, att.Devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	m := ck.Manifest()
+	if len(m.Checkpoints) != 1 || m.Checkpoints[0].Slices != parts {
+		t.Fatalf("manifest checkpoints = %+v, want one sliced generation", m.Checkpoints)
+	}
+	// Post-checkpoint tail: bump half the keys.
+	for k := uint64(0); k < keys; k += 2 {
+		if err := setKey(tx, tbl, k, int64(1000+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := func(k uint64) int64 {
+		if k%2 == 0 {
+			return int64(1000 + k)
+		}
+		return int64(k)
+	}
+	recoverAndVerify := func(t *testing.T, s *fault.MemStore, wantFallbacks bool) {
+		att2, err := AttachCheckpointLog(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2 := openEngine(t, Config{
+			Protocol:          "SILO",
+			Threads:           parts,
+			Partitions:        parts,
+			LogMode:           wal.ModeValue,
+			WALStreams:        parts,
+			LogDevices:        att2.Devices,
+			PartitionWAL:      true,
+			GroupCommitWindow: 100 * time.Microsecond,
+			EpochInterval:     time.Millisecond,
+		})
+		tbl2 := kvTable(t, e2, "kv", IndexHash, 0)
+		load := func() error {
+			row := tbl2.Schema().NewRow()
+			for k := uint64(0); k < keys; k++ {
+				if err := e2.Load(tbl2, k, row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		rs, err := e2.RecoverFromStore(s, att2, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantFallbacks != (rs.CheckpointFallbacks > 0) {
+			t.Fatalf("CheckpointFallbacks = %d, want >0 == %v", rs.CheckpointFallbacks, wantFallbacks)
+		}
+		tx2 := e2.NewTx(0, 6)
+		for k := uint64(0); k < keys; k++ {
+			row, err := tx2.Run2(tbl2, k)
+			if err != nil {
+				t.Fatalf("key %d: %v", k, err)
+			}
+			if got := tbl2.Schema().GetInt64(row, 0); got != want(k) {
+				t.Fatalf("key %d = %d, want %d", k, got, want(k))
+			}
+		}
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		recoverAndVerify(t, store.Survivor(fault.StoreChaos{Seed: 8}), false)
+	})
+	t.Run("corrupt slice", func(t *testing.T) {
+		s := store.Survivor(fault.StoreChaos{Seed: 9})
+		if !s.FlipCheckpointByte(sliceName(checkpointName(1), 0), 40) {
+			t.Fatal("no slice object to corrupt")
+		}
+		// Partition 0's slice is unloadable; with only one generation the
+		// engine degrades to initial load plus full-log replay — and still
+		// lands on the exact committed state.
+		recoverAndVerify(t, s, true)
+	})
+}
+
+// TestCheckpointDeferredWhileQuarantined proves a sliced checkpoint cycle
+// refuses to run while any partition is quarantined, and resumes after
+// recovery lifts the quarantine.
+func TestCheckpointDeferredWhileQuarantined(t *testing.T) {
+	const parts = 2
+	store := fault.NewMemStore(fault.StoreChaos{Seed: 11})
+	att, err := InitCheckpointLog(store, parts, wal.ModeValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := openEngine(t, Config{
+		Protocol:          "SILO",
+		Threads:           parts,
+		Partitions:        parts,
+		LogMode:           wal.ModeValue,
+		WALStreams:        parts,
+		LogDevices:        att.Devices,
+		PartitionWAL:      true,
+		GroupCommitWindow: 100 * time.Microsecond,
+		EpochInterval:     time.Millisecond,
+	})
+	tbl := kvTable(t, e, "kv", IndexHash, 8)
+	tx := e.NewTx(0, 7)
+	for k := uint64(0); k < 8; k++ {
+		if err := setKey(tx, tbl, k, int64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck, err := e.NewCheckpointer(store, 2, att.Devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.QuarantinePartition(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.CheckpointNow(); !errors.Is(err, ErrCheckpointQuarantined) {
+		t.Fatalf("CheckpointNow under quarantine = %v, want ErrCheckpointQuarantined", err)
+	}
+	// Recover partition 1 from its own stream tail and readmit on a fresh
+	// store segment, then the cycle goes through.
+	rc, err := store.OpenSegment(segmentName(att.Gen, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	newDev, err := store.CreateSegment("seg-repair-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RecoverPartition(1, nil, nil, rc, newDev); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.CheckpointNow(); err != nil {
+		t.Fatalf("CheckpointNow after recovery: %v", err)
+	}
+}
+
+// TestLoadCheckpointSliceValidation proves the slice format is
+// reject-completely-or-load-completely in both directions: LoadCheckpoint
+// refuses a slice, LoadCheckpointSlice refuses a whole image and the wrong
+// partition's slice.
+func TestLoadCheckpointSliceValidation(t *testing.T) {
+	e, _, tbl := partEngine(t, 2, 8, nil)
+	tx := e.NewTx(0, 8)
+	for k := uint64(0); k < 8; k++ {
+		if err := setKey(tx, tbl, k, int64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var whole, slice0 bytes.Buffer
+	if err := e.Checkpoint(&whole); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CheckpointSlice(&slice0, 0, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadCheckpoint(bytes.NewReader(slice0.Bytes())); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("LoadCheckpoint(slice) = %v, want ErrBadCheckpoint", err)
+	}
+	if _, err := e.LoadCheckpointSlice(bytes.NewReader(whole.Bytes()), 0); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("LoadCheckpointSlice(whole) = %v, want ErrBadCheckpoint", err)
+	}
+	if _, err := e.LoadCheckpointSlice(bytes.NewReader(slice0.Bytes()), 1); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("LoadCheckpointSlice(wrong partition) = %v, want ErrBadCheckpoint", err)
+	}
+	// A slice loads only onto a cleared partition (live keys reject it —
+	// that is the parse-fully-before-apply duplicate check above).
+	e.clearPartition(0)
+	if ep, err := e.LoadCheckpointSlice(bytes.NewReader(slice0.Bytes()), 0); err != nil || ep != 3 {
+		t.Fatalf("LoadCheckpointSlice = (%d, %v), want (3, nil)", ep, err)
+	}
+	tx2 := e.NewTx(0, 9)
+	for k := uint64(0); k < 8; k += 2 {
+		row, err := tx2.Run2(tbl, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := getV(tbl, row); got != int64(k) {
+			t.Fatalf("slice-restored key %d = %d, want %d", k, got, k)
+		}
+	}
+}

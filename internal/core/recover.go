@@ -67,6 +67,9 @@ type RecoveryStats struct {
 	// recoverable), making the truncation decision durable: a record this
 	// recovery refused to resurrect stays dead in every later recovery.
 	SealedSegments int
+	// StreamFrontiers holds each stream's own certified frontier when the
+	// recovery ran in partitioned (per-stream-frontier) mode; nil otherwise.
+	StreamFrontiers []uint64
 }
 
 // Recover replays a log stream into the engine. The engine must be in its
@@ -245,6 +248,11 @@ func (e *Engine) RecoverFromStore(store CheckpointStore, att *LogAttachment, loa
 	rs.ManifestFallback = att.fellBack
 	m := att.recover
 
+	if e.cfg.PartitionWAL {
+		err := e.recoverFromStorePartitioned(store, att, load, &rs)
+		return rs, err
+	}
+
 	// Newest loadable generation wins; corruption falls back.
 	cks := append([]wal.ManifestCheckpoint(nil), m.Checkpoints...)
 	sort.Slice(cks, func(i, j int) bool { return cks[i].Gen > cks[j].Gen })
@@ -325,23 +333,32 @@ func (e *Engine) RecoverFromStore(store CheckpointStore, att *LogAttachment, loa
 		e.logs.RaiseEpoch(base)
 	}
 
-	// Make the truncation decision durable: seal the inherited active
-	// segments at the replay frontier so any intact record beyond it — a
-	// commit that was never acknowledged — stays dead in every later
-	// recovery, even once new epochs grow past it. When nothing in a stream
-	// was recoverable (frontier zero) the inherited actives are dropped
-	// outright. The attachment's own fresh segments stay active.
+	err := e.sealInheritedSegments(store, att, func(int) uint64 { return rs.FrontierEpoch }, &rs)
+	return rs, err
+}
+
+// sealInheritedSegments makes a store-based recovery's truncation decision
+// durable: the inherited active segments are sealed at frontierOf(stream) so
+// any intact record beyond that — a commit that was never acknowledged —
+// stays dead in every later recovery, even once new epochs grow past it.
+// When nothing in a stream was recoverable (frontier zero) its inherited
+// actives are dropped outright. The attachment's own fresh segments stay
+// active. Whole-engine recovery passes the merged frontier for every stream;
+// partitioned recovery passes each stream's own certified frontier.
+func (e *Engine) sealInheritedSegments(store CheckpointStore, att *LogAttachment, frontierOf func(stream int) uint64, rs *RecoveryStats) error {
+	m := att.recover
 	sealed := wal.Manifest{Streams: m.Streams, Mode: m.Mode}
 	sealed.Checkpoints = append([]wal.ManifestCheckpoint(nil), m.Checkpoints...)
 	var dropped []wal.ManifestSegment
 	for _, sg := range m.Segments {
 		if sg.ToEpoch == 0 {
 			rs.SealedSegments++
-			if rs.FrontierEpoch == 0 {
+			frontier := frontierOf(sg.Stream)
+			if frontier == 0 {
 				dropped = append(dropped, sg)
 				continue
 			}
-			sg.ToEpoch = rs.FrontierEpoch
+			sg.ToEpoch = frontier
 		}
 		sealed.Segments = append(sealed.Segments, sg)
 	}
@@ -350,15 +367,15 @@ func (e *Engine) RecoverFromStore(store CheckpointStore, att *LogAttachment, loa
 			sealed.Segments = append(sealed.Segments, wal.ManifestSegment{Stream: i, Name: segmentName(att.Gen, i)})
 		}
 		if err := store.SaveManifest(sealed); err != nil {
-			return rs, fmt.Errorf("core: recovery manifest seal: %w", err)
+			return fmt.Errorf("core: recovery manifest seal: %w", err)
 		}
 		for _, sg := range dropped {
 			if err := store.RemoveSegment(sg.Name); err != nil {
-				return rs, fmt.Errorf("core: recovery drop %s: %w", sg.Name, err)
+				return fmt.Errorf("core: recovery drop %s: %w", sg.Name, err)
 			}
 		}
 	}
-	return rs, nil
+	return nil
 }
 
 // reloadRecord refreshes protocol-side state (version chains, committed

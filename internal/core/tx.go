@@ -37,6 +37,10 @@ type Tx struct {
 	// logStream is this worker's parallel-WAL stream (threadID modulo the
 	// stream count); 0 when the engine logs through the single Writer.
 	logStream int
+	// streamScratch is the commit path's touched-partition set under
+	// PartitionWAL (ascending stream ids, deduplicated); pre-sized to the
+	// partition bound so collectStreams allocates nothing.
+	streamScratch []int
 	// noLog suppresses write-ahead logging for this context. Store-based
 	// recovery sets it while re-executing the command-log tail: the sealed
 	// segments remain the authoritative tail until the next checkpoint
@@ -68,6 +72,9 @@ func (e *Engine) NewTx(threadID int, seed uint64) *Tx {
 		if t.logStream < 0 {
 			t.logStream = 0
 		}
+	}
+	if e.cfg.PartitionWAL {
+		t.streamScratch = make([]int, 0, e.cfg.Partitions)
 	}
 	return t
 }
@@ -130,6 +137,9 @@ func (t *Tx) lookup(tbl *Table, key uint64) (storage.RecordID, bool) {
 //next700:hotpath
 func (t *Tx) Read(tbl *Table, key uint64) (storage.Row, error) {
 	t.inner.Counter.Reads++
+	if err := t.partitionGate(tbl, key); err != nil {
+		return nil, err
+	}
 	rid, ok := t.lookup(tbl, key)
 	if !ok {
 		return nil, txn.ErrNotFound
@@ -158,6 +168,9 @@ func (t *Tx) readRID(tbl *Table, rid storage.RecordID) (storage.Row, error) {
 //next700:hotpath
 func (t *Tx) Update(tbl *Table, key uint64) (storage.Row, error) {
 	t.inner.Counter.Writes++
+	if err := t.partitionGate(tbl, key); err != nil {
+		return nil, err
+	}
 	rid, ok := t.lookup(tbl, key)
 	if !ok {
 		return nil, txn.ErrNotFound
@@ -172,6 +185,12 @@ func (t *Tx) Update(tbl *Table, key uint64) (storage.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Protocols record update accesses by RID alone; stamp the primary key
+	// so partition-affinity routing (collectStreams) and key-addressed
+	// partition replay see it in the value log's after-images.
+	if w := t.inner.FindWrite(tbl.tbl, rid); w != nil {
+		w.Key = key
+	}
 	return storage.Row(buf), nil
 }
 
@@ -185,6 +204,9 @@ func (t *Tx) Update(tbl *Table, key uint64) (storage.Row, error) {
 // which protocols turn into a validation/lock dependency as appropriate.
 func (t *Tx) Insert(tbl *Table, key uint64, row storage.Row) error {
 	t.inner.Counter.Inserts++
+	if err := t.partitionGate(tbl, key); err != nil {
+		return err
+	}
 	if len(row) != tbl.sch.RowSize() {
 		return errInsertSize
 	}
@@ -212,6 +234,9 @@ func (t *Tx) Insert(tbl *Table, key uint64, row storage.Row) error {
 // Delete removes key's record at commit.
 func (t *Tx) Delete(tbl *Table, key uint64) error {
 	t.inner.Counter.Deletes++
+	if err := t.partitionGate(tbl, key); err != nil {
+		return err
+	}
 	rid, ok := t.lookup(tbl, key)
 	if !ok {
 		return txn.ErrNotFound
@@ -264,7 +289,13 @@ func (t *Tx) scan(tbl *Table, lo, hi uint64, desc bool, fn func(key uint64, row 
 	} else {
 		r.Scan(lo, hi, collect)
 	}
+	// One quarantine-mask load covers the whole scan; partitions are
+	// computed per key only while a quarantine is in force.
+	mask := t.eng.quarMask.Load()
 	for i := range t.scanKeys {
+		if mask != 0 && mask&(1<<uint(t.eng.partitionOfKey(tbl.tbl, t.scanKeys[i]))) != 0 {
+			return errPartitionGate
+		}
 		row, err := t.readRID(tbl, t.scanRIDs[i])
 		if errors.Is(err, txn.ErrNotFound) {
 			continue // deleted or not yet visible
@@ -453,6 +484,8 @@ func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 			inner.Counter.UserAborts++
 		case errors.Is(err, txn.ErrDeadlineExceeded):
 			inner.Counter.DeadlineAborts++
+		case errors.Is(err, ErrPartitionUnavailable):
+			inner.Counter.PartitionAborts++
 		default:
 			inner.Counter.FatalAborts++
 		}
@@ -502,6 +535,22 @@ func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 		e.proto.Abort(inner)
 		t.retractInserts()
 		return false, e.logErr()
+	}
+
+	// Partition-affinity pre-commit gate: a write set that touches a
+	// quarantined partition can never be made durable, so it aborts here —
+	// before the protocol commit, while rollback is still possible. The ops
+	// gates make this race-narrow; this check makes it sound.
+	pwal := logging && e.cfg.PartitionWAL
+	if pwal {
+		if wmask := t.collectStreams(); wmask != 0 && e.quarMask.Load()&wmask != 0 {
+			if fenced {
+				e.ckptFence.RUnlock()
+			}
+			e.proto.Abort(inner)
+			t.retractInserts()
+			return false, errPartitionGate
+		}
 	}
 
 	if logging {
@@ -555,6 +604,18 @@ func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 		if err != nil {
 			e.ckptFence.RUnlock()
 			return true, err
+		}
+		if pwal {
+			// Partition affinity: the record is replicated onto the stream
+			// of every partition it wrote, under one epoch tag, and the
+			// durability wait certifies it on each of them. A stream that
+			// dies in the window is a partition outage, not a rollback.
+			epoch, aerr := e.logs.AppendMulti(t.streamScratch, t.logBuf)
+			e.ckptFence.RUnlock()
+			if aerr != nil {
+				return true, e.wrapPartitionErr(aerr)
+			}
+			return true, t.waitStreamsDurable(epoch)
 		}
 		epoch, aerr := e.logs.Append(t.logStream, t.logBuf)
 		e.ckptFence.RUnlock()

@@ -145,10 +145,14 @@ type Result struct {
 	// and never touched — or immediately released — engine state.
 	DeadlineAborts uint64
 	ShedAborts     uint64
-	Waits          uint64
-	Tps            float64
-	AbortRate      float64
-	Latency        stats.Summary
+	// PartitionAborts counts terminal aborts on a quarantined partition
+	// (core.ErrPartitionUnavailable) while the engine degraded around a
+	// partition fault.
+	PartitionAborts uint64
+	Waits           uint64
+	Tps             float64
+	AbortRate       float64
+	Latency         stats.Summary
 
 	// Open-loop fields, set when RunOptions.OfferedRate > 0.
 	//
@@ -337,6 +341,7 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 			c.FatalAborts -= base.FatalAborts
 			c.DeadlineAborts -= base.DeadlineAborts
 			c.ShedAborts -= base.ShedAborts
+			c.PartitionAborts -= base.PartitionAborts
 			c.Reads -= base.Reads
 			c.Writes -= base.Writes
 			c.Inserts -= base.Inserts
@@ -377,19 +382,20 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 		}
 	}
 	res := Result{
-		Threads:        threads,
-		Elapsed:        elapsed,
-		Commits:        total.Commits,
-		Aborts:         total.Aborts,
-		UserAborts:     total.UserAborts,
-		FatalAborts:    total.FatalAborts,
-		DeadlineAborts: total.DeadlineAborts,
-		ShedAborts:     total.ShedAborts,
-		Waits:          total.Waits,
-		Tps:            float64(total.Commits) / elapsed.Seconds(),
-		Goodput:        float64(total.Commits) / elapsed.Seconds(),
-		AbortRate:      total.AbortRate(),
-		Latency:        hist.Summarize(),
+		Threads:         threads,
+		Elapsed:         elapsed,
+		Commits:         total.Commits,
+		Aborts:          total.Aborts,
+		UserAborts:      total.UserAborts,
+		FatalAborts:     total.FatalAborts,
+		DeadlineAborts:  total.DeadlineAborts,
+		ShedAborts:      total.ShedAborts,
+		PartitionAborts: total.PartitionAborts,
+		Waits:           total.Waits,
+		Tps:             float64(total.Commits) / elapsed.Seconds(),
+		Goodput:         float64(total.Commits) / elapsed.Seconds(),
+		AbortRate:       total.AbortRate(),
+		Latency:         hist.Summarize(),
 	}
 	if opts.MeasureAllocs && total.Commits > 0 {
 		res.AllocsPerTxn = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total.Commits)

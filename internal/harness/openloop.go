@@ -157,6 +157,7 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 			c.FatalAborts -= base.FatalAborts
 			c.DeadlineAborts -= base.DeadlineAborts
 			c.ShedAborts -= base.ShedAborts
+			c.PartitionAborts -= base.PartitionAborts
 			c.Reads -= base.Reads
 			c.Writes -= base.Writes
 			c.Inserts -= base.Inserts
@@ -304,6 +305,7 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 		FatalAborts:     total.FatalAborts,
 		DeadlineAborts:  total.DeadlineAborts,
 		ShedAborts:      total.ShedAborts,
+		PartitionAborts: total.PartitionAborts,
 		Waits:           total.Waits,
 		Tps:             float64(total.Commits) / elapsed.Seconds(),
 		AbortRate:       total.AbortRate(),

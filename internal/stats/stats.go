@@ -241,12 +241,16 @@ type Counter struct {
 	// ShedAborts counts transactions rejected by admission control before
 	// execution (queue-deadline or concurrency-limit shedding).
 	ShedAborts uint64
-	Reads      uint64
-	Writes      uint64
-	Inserts     uint64
-	Deletes     uint64
-	Scans       uint64
-	Waits       uint64 // lock waits observed
+	// PartitionAborts counts transactions terminally aborted because they
+	// touched a quarantined partition (core.ErrPartitionUnavailable) while
+	// the engine degraded around a partition fault.
+	PartitionAborts uint64
+	Reads           uint64
+	Writes          uint64
+	Inserts         uint64
+	Deletes         uint64
+	Scans           uint64
+	Waits           uint64 // lock waits observed
 }
 
 // Add merges other into c.
@@ -257,6 +261,7 @@ func (c *Counter) Add(other *Counter) {
 	c.FatalAborts += other.FatalAborts
 	c.DeadlineAborts += other.DeadlineAborts
 	c.ShedAborts += other.ShedAborts
+	c.PartitionAborts += other.PartitionAborts
 	c.Reads += other.Reads
 	c.Writes += other.Writes
 	c.Inserts += other.Inserts

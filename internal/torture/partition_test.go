@@ -1,0 +1,88 @@
+package torture
+
+import (
+	"testing"
+
+	"next700/internal/testutil"
+)
+
+// TestPartitionFaultSeeds is the partition-fault oracle sweep: across many
+// seeds, exactly one partition's device sticky-fails mid-run; healthy
+// partitions must commit durably with zero losses, every loss on the failed
+// partition must classify ErrPartitionUnavailable, the degraded engine must
+// show zero Adya anomalies, and live single-partition recovery must land
+// exactly on the acknowledged prefix digest.
+func TestPartitionFaultSeeds(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	const iters = 24
+	fired := 0
+	for seed := uint64(1); seed <= iters; seed++ {
+		res, err := RunPartition(PartitionConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Fired {
+			fired++
+			if res.Lost == 0 {
+				t.Fatalf("seed %d: fault fired but nothing was shed", seed)
+			}
+			if res.ProbeTxns == 0 {
+				t.Fatalf("seed %d: degraded-engine probe committed nothing", seed)
+			}
+		}
+	}
+	// The crash offsets are drawn to land mid-run; a majority of the seeds
+	// must actually exercise the fault path.
+	if fired < iters/2 {
+		t.Fatalf("only %d/%d seeds fired the fault", fired, iters)
+	}
+	t.Logf("fired %d/%d", fired, iters)
+}
+
+// TestPartitionFaultNoFaultControl is the negative control: without a fault
+// every partition completes every transaction.
+func TestPartitionFaultNoFaultControl(t *testing.T) {
+	res, err := RunPartition(PartitionConfig{Seed: 99, NoFault: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, a := range res.Acked {
+		if a != 60 {
+			t.Fatalf("partition %d acked %d/60", p, a)
+		}
+	}
+}
+
+// TestPartitionStoreSeeds sweeps the store lane: sliced checkpoint
+// generations, full-process crash, per-partition slice + own-tail recovery.
+func TestPartitionStoreSeeds(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	for seed := uint64(1); seed <= 8; seed++ {
+		res, err := RunPartitionStore(PartitionStoreConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Recovery.CheckpointFallbacks != 0 {
+			t.Fatalf("seed %d: clean recovery reported %d fallbacks", seed, res.Recovery.CheckpointFallbacks)
+		}
+		if !res.Recovery.CheckpointLoaded {
+			t.Fatalf("seed %d: sliced checkpoint not loaded", seed)
+		}
+	}
+}
+
+// TestPartitionStoreCorruptSlice is the corrupt-slice negative control: a
+// flipped byte in one partition's slice must never load silently — recovery
+// reports a fallback and still reaches the exact committed state.
+func TestPartitionStoreCorruptSlice(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	for seed := uint64(1); seed <= 6; seed++ {
+		res, err := RunPartitionStore(PartitionStoreConfig{Seed: seed, CorruptSlice: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Recovery.CheckpointFallbacks == 0 {
+			t.Fatalf("seed %d: corrupt slice produced no fallback", seed)
+		}
+	}
+}

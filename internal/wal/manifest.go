@@ -26,6 +26,12 @@ type ManifestCheckpoint struct {
 	// which replay overwrites idempotently in value mode). Recovery from
 	// this generation replays only records with epoch > Epoch.
 	Epoch uint64 `json:"epoch"`
+	// Slices, when > 0, marks a partition-sliced generation: the image is
+	// split into that many per-partition objects named Name + "-p<part>",
+	// each with its own CRC and embedded epoch fence, so a corrupt slice
+	// degrades only its partition's recovery path. 0 is a whole-engine
+	// image under Name.
+	Slices int `json:"slices,omitempty"`
 }
 
 // ManifestSegment names one log segment of one stream.

@@ -80,6 +80,9 @@ type StreamReplayStats struct {
 	// Restart recovery feeds it to StreamSet.RaiseEpoch so post-recovery
 	// appends tag strictly above everything already in the log.
 	MaxEpoch uint64
+	// StreamFrontiers holds each stream's own certified frontier when the
+	// replay ran in partitioned (per-stream-frontier) mode; nil otherwise.
+	StreamFrontiers []uint64
 }
 
 // streamRecord is one buffered record awaiting the epoch merge.
@@ -177,6 +180,114 @@ func ReplayStreams(readers []io.Reader, apply func(stream int, cr *CommitRecord)
 	for i := range records {
 		rec := &records[i]
 		if rec.epoch > frontier {
+			st.TruncatedRecords++
+			continue
+		}
+		if err := decode(rec.payload, &cr); err != nil {
+			return st, err
+		}
+		if err := apply(rec.stream, &cr); err != nil {
+			return st, err
+		}
+		st.Records++
+	}
+	return st, nil
+}
+
+// ReplayStreamsPartitioned replays N streams written under per-partition
+// affinity: each stream is authoritative for exactly its own partition, so
+// every stream replays to its OWN certified frontier instead of the global
+// minimum — one torn or short stream truncates only its partition's tail,
+// never the healthy partitions' acknowledged epochs. That is the recovery
+// face of quarantine re-certification: after a quarantined stream's set
+// kept committing, healthy streams hold acked epochs far past the dead
+// stream's claim, and a global-minimum merge would wrongly truncate them.
+//
+// The apply callback must filter entries to the stream's own partition: a
+// multi-partition record is replicated into every touched stream (one copy
+// per partition, all tagged with one epoch), and in the loss window at a
+// dead stream's frontier a record's copies may survive in some streams but
+// not others. Applying only partition-local entries keeps each partition an
+// exact prefix of its own commit order; an unacknowledged cross-partition
+// commit in that window recovers on the surviving partitions only —
+// acknowledged commits are certified on every touched stream and always
+// recover in full.
+//
+// Within a stream, records are applied in (epoch, txnID, seq) order;
+// partitioned replay is value-mode only, so applied-if-newer filtering
+// makes cross-stream order immaterial.
+func ReplayStreamsPartitioned(readers []io.Reader, apply func(stream int, cr *CommitRecord) error) (StreamReplayStats, error) {
+	st := StreamReplayStats{Streams: len(readers)}
+	if len(readers) == 0 {
+		return st, fmt.Errorf("wal: replay needs at least one stream: %w", ErrCorrupt)
+	}
+	st.StreamFrontiers = make([]uint64, len(readers))
+
+	var records []streamRecord
+	minFrontier := ^uint64(0)
+	for i, r := range readers {
+		var high uint64
+		seq := 0
+		s, err := ScanStream(r,
+			func(cr *CommitRecord) error {
+				if cr.Epoch > high {
+					high = cr.Epoch
+				}
+				records = append(records, streamRecord{
+					epoch:   cr.Epoch,
+					txnID:   cr.TxnID,
+					stream:  i,
+					seq:     seq,
+					payload: cr.Encode(nil)[headerSize:],
+				})
+				seq++
+				return nil
+			},
+			func(epoch uint64) error {
+				if epoch > high {
+					high = epoch
+				}
+				return nil
+			})
+		st.Markers += s.Markers
+		st.Bytes += s.Bytes
+		st.TornBytes += s.TornBytes
+		st.CorruptTailRecords += s.CorruptTailRecords
+		if err != nil {
+			return st, fmt.Errorf("wal: stream %d: %w", i, err)
+		}
+		if high > st.MaxEpoch {
+			st.MaxEpoch = high
+		}
+		var complete uint64
+		if high > 0 {
+			complete = high - 1
+		}
+		st.StreamFrontiers[i] = complete
+		if complete < minFrontier {
+			minFrontier = complete
+		}
+	}
+	st.Frontier = minFrontier
+
+	sort.Slice(records, func(a, b int) bool {
+		x, y := &records[a], &records[b]
+		if x.epoch != y.epoch {
+			return x.epoch < y.epoch
+		}
+		if x.txnID != y.txnID {
+			return x.txnID < y.txnID
+		}
+		if x.stream != y.stream {
+			return x.stream < y.stream
+		}
+		return x.seq < y.seq
+	})
+
+	var cr CommitRecord
+	for i := range records {
+		rec := &records[i]
+		if rec.epoch > st.StreamFrontiers[rec.stream] {
 			st.TruncatedRecords++
 			continue
 		}

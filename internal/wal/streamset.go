@@ -2,12 +2,45 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrStreamFailed is the per-stream sticky failure class used by scoped
+// stream sets: exactly one log stream is dead, the rest of the set keeps
+// certifying epochs. Errors of this class also wrap ErrLogFailed (a stream
+// failure is a log failure), and carry the stream index via StreamError.
+var ErrStreamFailed = errors.New("wal: log stream failed")
+
+// ErrStreamQuarantined marks a stream failed by an external decision — a
+// sustained stall escalated by the engine's gray-failure monitor, or an
+// operator action — rather than by a device error surfacing in the flusher.
+var ErrStreamQuarantined = errors.New("wal: log stream quarantined")
+
+// StreamError is the typed sticky error for one failed stream in a scoped
+// StreamSet. It satisfies errors.Is for both ErrStreamFailed and
+// ErrLogFailed, and unwraps to the device cause.
+type StreamError struct {
+	// Stream is the failed stream's index (the partition, under
+	// per-partition affinity).
+	Stream int
+	// Cause is the underlying device error (or stall-escalation sentinel).
+	Cause error
+}
+
+// Error formats the stream index and cause.
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("wal: log stream %d failed: %v", e.Stream, e.Cause)
+}
+
+// Unwrap exposes the class sentinels and the device cause to errors.Is/As.
+func (e *StreamError) Unwrap() []error {
+	return []error{ErrStreamFailed, ErrLogFailed, e.Cause}
+}
 
 // StreamSet is the parallel (SiloR-style) log: N independent streams, each
 // with its own Device, append buffer, and flusher goroutine, coordinated by
@@ -43,6 +76,13 @@ type StreamSet struct {
 
 	window time.Duration
 
+	// scoped selects per-stream failure semantics (NewStreamSetScoped): a
+	// sticky device failure poisons only its own stream, the frontier
+	// freezes until the failed stream is quarantined, and Quarantine
+	// re-certifies the frontier over the surviving streams. Immutable after
+	// construction, so hot paths read it without synchronization.
+	scoped bool
+
 	// failed mirrors err != nil and closing mirrors closed, both without the
 	// mutex, so the append hot path gates on log health with atomic loads.
 	failed  atomic.Bool
@@ -56,6 +96,11 @@ type StreamSet struct {
 
 	streams []*stream
 	order   []int // coordinator scratch: deadline-priority wake order
+
+	// failureC delivers failed stream indexes to the engine's quarantine
+	// guard in scoped mode (buffered one slot per stream; a stream fails at
+	// most once per incarnation). Closed by Close after the flushers drain.
+	failureC chan int
 
 	wake chan struct{}
 	done chan struct{}
@@ -72,15 +117,33 @@ type stream struct {
 
 	set *StreamSet
 	dev Device
+	id  int
 
 	mu    sync.Mutex
 	buf   []byte
 	spare []byte // recycled batch buffer; buf and spare ping-pong
 
 	// claim is the epoch this stream has synced through: every record with
-	// Epoch < claim is on the device. Guarded by the set mutex (it feeds the
-	// frontier aggregation, not the append path).
-	claim uint64
+	// Epoch < claim is on the device. Mutated under the set mutex (it feeds
+	// the frontier aggregation); stored atomically so scoped-mode wait fast
+	// paths and the engine's stall monitor can read it lock-free.
+	claim atomic.Uint64
+
+	// sfailed/serr are the scoped-mode per-stream sticky failure: serr (a
+	// *StreamError) is written before sfailed is set, so any goroutine that
+	// observes sfailed true may read serr without the set mutex.
+	sfailed atomic.Bool
+	serr    error
+
+	// quarantined excludes this stream from the frontier aggregation after
+	// the engine has decided to degrade around its failure. Guarded by the
+	// set mutex.
+	quarantined bool
+
+	// readmit stages a replacement device for a failed stream; the flusher
+	// installs it (and resets the stream's failure state) at its next cycle.
+	// Guarded by the set mutex.
+	readmit Device
 
 	// lastMark is the value of the last durable epoch marker written; only
 	// the stream's flusher touches it.
@@ -103,13 +166,36 @@ type stream struct {
 // NewStreamSet starts a parallel log over the given per-stream devices.
 // window is the epoch advance period — the group-commit batching window;
 // zero means every WaitDurable kicks an immediate epoch advance and flush.
+// Failure semantics are whole-set (legacy thread affinity): one sticky
+// device failure poisons every stream. See NewStreamSetScoped for the
+// per-partition alternative.
 func NewStreamSet(devs []Device, window time.Duration) *StreamSet {
+	return newStreamSet(devs, window, false)
+}
+
+// NewStreamSetScoped starts a parallel log with per-stream failure scope,
+// for per-partition stream affinity: a sticky device failure marks only its
+// own stream failed (appends and waits on that stream return a *StreamError
+// carrying the stream index), the durable frontier freezes at the failed
+// stream's last certified claim, and Quarantine re-certifies the frontier
+// over the surviving streams so healthy partitions keep committing durably.
+// Failed stream indexes are delivered on FailureC for the engine's
+// quarantine guard.
+func NewStreamSetScoped(devs []Device, window time.Duration) *StreamSet {
+	return newStreamSet(devs, window, true)
+}
+
+func newStreamSet(devs []Device, window time.Duration, scoped bool) *StreamSet {
 	s := &StreamSet{
 		epoch:  1,
 		window: window,
+		scoped: scoped,
 		order:  make([]int, len(devs)),
 		wake:   make(chan struct{}, 1),
 		done:   make(chan struct{}),
+	}
+	if scoped {
+		s.failureC = make(chan int, len(devs))
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.streams = make([]*stream, len(devs))
@@ -117,6 +203,7 @@ func NewStreamSet(devs []Device, window time.Duration) *StreamSet {
 		st := &stream{
 			set:   s,
 			dev:   dev,
+			id:    i,
 			flush: make(chan struct{}, 1),
 			done:  make(chan struct{}),
 		}
@@ -126,6 +213,14 @@ func NewStreamSet(devs []Device, window time.Duration) *StreamSet {
 	go s.coordinator()
 	return s
 }
+
+// Scoped reports whether the set runs with per-stream failure semantics.
+func (s *StreamSet) Scoped() bool { return s.scoped }
+
+// FailureC returns the channel on which a scoped set delivers the index of
+// each stream that hits a sticky failure (nil for legacy sets). The channel
+// is closed by Close.
+func (s *StreamSet) FailureC() <-chan int { return s.failureC }
 
 // NumStreams returns the stream count.
 func (s *StreamSet) NumStreams() int { return len(s.streams) }
@@ -182,12 +277,58 @@ func (s *StreamSet) Append(streamID int, rec []byte) (uint64, error) {
 		return 0, ErrClosed
 	}
 	st := s.streams[streamID]
+	if s.scoped && st.sfailed.Load() {
+		// serr is written before sfailed is set; observing sfailed true makes
+		// the read safe without the set mutex.
+		return 0, st.serr
+	}
 	st.mu.Lock()
 	epoch := atomic.LoadUint64(&s.epoch)
 	binary.LittleEndian.PutUint64(rec[epochOffset:], epoch)
 	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(rec[headerSize:]))
 	st.buf = append(st.buf, rec...)
 	st.mu.Unlock()
+	return epoch, nil
+}
+
+// AppendMulti stages one record on several streams — a multi-partition
+// commit under per-partition affinity replicates its full record into every
+// touched partition's stream, which is what keeps single-partition recovery
+// self-contained. streamIDs must be sorted ascending and duplicate-free
+// (the engine's touched-partition scratch is built that way); all target
+// stream mutexes are taken in that order and one epoch is drawn for every
+// copy, so per-stream epoch-tag monotonicity holds and no copy can tag
+// ahead of another.
+//
+//next700:hotpath
+func (s *StreamSet) AppendMulti(streamIDs []int, rec []byte) (uint64, error) {
+	if len(streamIDs) == 1 {
+		return s.Append(streamIDs[0], rec)
+	}
+	if s.failed.Load() {
+		return 0, s.Err()
+	}
+	if s.closing.Load() {
+		return 0, ErrClosed
+	}
+	if s.scoped {
+		for _, id := range streamIDs {
+			if st := s.streams[id]; st.sfailed.Load() {
+				return 0, st.serr
+			}
+		}
+	}
+	for _, id := range streamIDs {
+		s.streams[id].mu.Lock() //next700:allowwait(stream staging mutexes are held only for memcpy-scale critical sections, taken in ascending id order)
+	}
+	epoch := atomic.LoadUint64(&s.epoch)
+	binary.LittleEndian.PutUint64(rec[epochOffset:], epoch)
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(rec[headerSize:]))
+	for _, id := range streamIDs {
+		st := s.streams[id]
+		st.buf = append(st.buf, rec...)
+		st.mu.Unlock()
+	}
 	return epoch, nil
 }
 
@@ -204,19 +345,37 @@ func (s *StreamSet) WaitDurableUntil(streamID int, epoch uint64, deadline int64)
 	return s.waitDurable(streamID, epoch, deadline)
 }
 
+// WaitDurableMulti blocks until epoch is durable for a multi-stream append:
+// the frontier must cover epoch and none of the touched streams may have
+// died before certifying it. streamIDs must be the AppendMulti target list.
+func (s *StreamSet) WaitDurableMulti(streamIDs []int, epoch uint64, deadline int64) error {
+	return s.waitDurableIDs(streamIDs, epoch, deadline)
+}
+
+// deadFor reports whether a record tagged epoch on this stream can never
+// become durable: the stream hit a sticky failure before its claim covered
+// the epoch. Claims freeze at failure (the flusher stops raising them), so
+// the comparison is stable once sfailed is observed. Records the stream
+// certified before dying (epoch < claim) stay durable — durability is never
+// retracted.
+func (st *stream) deadFor(epoch uint64) bool {
+	return st.sfailed.Load() && epoch >= st.claim.Load()
+}
+
 //next700:allowalloc(blocked path only: the deadline timer and clock reads happen while parked, never on a commit that finds its epoch durable)
 func (s *StreamSet) waitDurable(streamID int, epoch uint64, deadline int64) error {
-	if atomic.LoadUint64(&s.durable) >= epoch {
+	st := s.streams[streamID]
+	if atomic.LoadUint64(&s.durable) >= epoch && !(s.scoped && st.deadFor(epoch)) {
 		return nil
 	}
-	st := s.streams[streamID]
 	var timer *time.Timer
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.waiters++
 	defer func() { s.waiters-- }()
 	kicked := false
-	for atomic.LoadUint64(&s.durable) < epoch && s.err == nil && !s.closed {
+	for atomic.LoadUint64(&s.durable) < epoch && s.err == nil && !s.closed &&
+		!(s.scoped && st.deadFor(epoch)) {
 		if deadline != 0 {
 			st.noteDeadline(deadline)
 			remaining := deadline - time.Now().UnixNano()
@@ -252,9 +411,81 @@ func (s *StreamSet) waitDurable(streamID int, epoch uint64, deadline int64) erro
 	if timer != nil {
 		timer.Stop()
 	}
+	if s.scoped && st.deadFor(epoch) {
+		// The caller's own stream died before certifying this epoch: even if
+		// the re-certified frontier has moved past it, the record is on the
+		// dead device and is not durable.
+		return st.serr
+	}
 	if atomic.LoadUint64(&s.durable) >= epoch {
 		// The epoch closed on every stream; a later failure does not retract
 		// its durability.
+		return nil
+	}
+	if s.err != nil {
+		return s.err
+	}
+	return errClosedBeforeDurable
+}
+
+// waitDurableIDs is waitDurable over a touched-stream list: the epoch must
+// close on the frontier and every listed stream must have certified it.
+//
+//next700:allowalloc(blocked path only: the deadline timer and clock reads happen while parked, never on a commit that finds its epoch durable)
+func (s *StreamSet) waitDurableIDs(streamIDs []int, epoch uint64, deadline int64) error {
+	deadStream := func() *stream {
+		if !s.scoped {
+			return nil
+		}
+		for _, id := range streamIDs {
+			if st := s.streams[id]; st.deadFor(epoch) {
+				return st
+			}
+		}
+		return nil
+	}
+	if atomic.LoadUint64(&s.durable) >= epoch && deadStream() == nil {
+		return nil
+	}
+	var timer *time.Timer
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waiters++
+	defer func() { s.waiters-- }()
+	kicked := false
+	for atomic.LoadUint64(&s.durable) < epoch && s.err == nil && !s.closed && deadStream() == nil {
+		if deadline != 0 {
+			for _, id := range streamIDs {
+				s.streams[id].noteDeadline(deadline)
+			}
+			remaining := deadline - time.Now().UnixNano()
+			if remaining <= 0 {
+				if timer != nil {
+					timer.Stop()
+				}
+				return ErrWaitDeadline
+			}
+			if timer == nil {
+				timer = time.AfterFunc(time.Duration(remaining), func() {
+					s.mu.Lock()
+					s.cond.Broadcast()
+					s.mu.Unlock()
+				})
+			}
+		}
+		if s.window == 0 && !kicked {
+			s.kick()
+			kicked = true
+		}
+		s.cond.Wait() //next700:allowwait(timer broadcast re-wakes; deadline re-checked at loop head; deadline==0 is the caller's opt-out)
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+	if st := deadStream(); st != nil {
+		return st.serr
+	}
+	if atomic.LoadUint64(&s.durable) >= epoch {
 		return nil
 	}
 	if s.err != nil {
@@ -365,13 +596,22 @@ func (s *StreamSet) idle() bool {
 		return false
 	}
 	for _, st := range s.streams {
-		if st.claim != epoch {
+		// Quarantined streams are excluded from the frontier and never catch
+		// up; they must not keep the rest of the set churning empty epochs.
+		if st.quarantined {
+			continue
+		}
+		if st.claim.Load() != epoch {
 			s.mu.Unlock()
 			return false
 		}
 	}
+	quarantined := s.quarantinedMaskLocked()
 	s.mu.Unlock()
-	for _, st := range s.streams {
+	for i, st := range s.streams {
+		if quarantined&(1<<uint(i)) != 0 {
+			continue
+		}
 		st.mu.Lock()
 		staged := len(st.buf)
 		st.mu.Unlock()
@@ -380,6 +620,18 @@ func (s *StreamSet) idle() bool {
 		}
 	}
 	return true
+}
+
+// quarantinedMaskLocked returns a bitmask of quarantined streams (requires
+// s.mu; stream counts are capped at 64 in scoped mode by the engine).
+func (s *StreamSet) quarantinedMaskLocked() uint64 {
+	var m uint64
+	for i, st := range s.streams {
+		if st.quarantined && i < 64 {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
 }
 
 // deadlineKey orders streams for flusher wakeup: earliest waiter deadline
@@ -405,9 +657,51 @@ func (st *stream) flusher() {
 	}
 }
 
+// recomputeFrontierLocked re-derives the durable frontier as min over the
+// non-quarantined streams' claims, minus one. Monotone: the frontier never
+// regresses, so certified durability is never retracted. Requires s.mu.
+func (s *StreamSet) recomputeFrontierLocked() {
+	min := ^uint64(0)
+	any := false
+	for _, st := range s.streams {
+		if st.quarantined {
+			continue
+		}
+		c := st.claim.Load()
+		if !any || c < min {
+			min, any = c, true
+		}
+	}
+	if any && min > 0 && min-1 > atomic.LoadUint64(&s.durable) {
+		atomic.StoreUint64(&s.durable, min-1)
+	}
+}
+
+// failStreamLocked records a sticky per-stream failure (scoped mode): the
+// typed error is published before the failure flag so lock-free readers see
+// a complete StreamError, the failure index is delivered to the engine's
+// guard, and parked waiters are re-woken by the caller's broadcast. The
+// frontier is NOT re-certified here — it freezes at the dead stream's claim
+// until Quarantine excludes the stream, which keeps "durable" meaning
+// "synced on every non-quarantined stream" at all times. Requires s.mu.
+//
+//next700:allowalloc(stream-failure path: the sticky error is built once per stream incarnation)
+func (s *StreamSet) failStreamLocked(st *stream, cause error) {
+	if st.serr != nil {
+		return
+	}
+	st.serr = &StreamError{Stream: st.id, Cause: cause}
+	st.sfailed.Store(true)
+	select {
+	case s.failureC <- st.id:
+	default:
+	}
+}
+
 // flushOnce writes the staged batch plus an epoch marker and syncs. On
 // success it raises the stream's claim and recomputes the global frontier;
-// on persistent failure it poisons the whole set.
+// on persistent failure it poisons the whole set (legacy mode) or just this
+// stream (scoped mode).
 func (st *stream) flushOnce() {
 	s := st.set
 	atomic.StoreInt64(&st.minDeadline, 0)
@@ -423,6 +717,23 @@ func (st *stream) flushOnce() {
 		s.mu.Unlock()
 		return
 	}
+	if s.scoped && st.sfailed.Load() {
+		// This stream is dead (device failure or stall escalation). Staged
+		// bytes cannot be made durable here — drop them loudly — but first
+		// install a staged readmission: a repaired partition resumes on a
+		// fresh device with its claim re-seated at the current epoch.
+		s.mu.Lock()
+		if st.readmit != nil {
+			st.installReadmitLocked()
+		} else {
+			st.mu.Lock()
+			st.buf = st.buf[:0]
+			st.mu.Unlock()
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
 	st.mu.Lock()
 	// target is read under the stream mutex after the batch snapshot: every
 	// record appended later is tagged >= target, so "synced through target"
@@ -434,7 +745,7 @@ func (st *stream) flushOnce() {
 		// target means the claim already covers the rotation epoch, so the
 		// swap can install without writing anything.
 		s.mu.Lock()
-		if st.next != nil && st.claim >= st.rotateTarget {
+		if st.next != nil && st.claim.Load() >= st.rotateTarget {
 			st.dev = st.next
 			st.next = nil
 			s.cond.Broadcast()
@@ -470,23 +781,24 @@ func (st *stream) flushOnce() {
 
 	s.mu.Lock()
 	if err != nil {
-		if s.err == nil {
+		if s.scoped {
+			s.failStreamLocked(st, err)
+		} else if s.err == nil {
 			//next700:allowalloc(device-failure path: the sticky error is built once, after which the set is dead)
 			s.err = fmt.Errorf("%w: %w", ErrLogFailed, err)
 			s.failed.Store(true)
 		}
+	} else if s.scoped && st.sfailed.Load() {
+		// Externally failed (stall escalation) while this flush was in
+		// flight: the bytes are on the device, but the claim stays frozen —
+		// the engine has already decided to degrade around this stream, and
+		// recovery re-reads the device image anyway.
 	} else {
-		st.claim = target
-		min := st.claim
-		for _, other := range s.streams {
-			if other.claim < min {
-				min = other.claim
-			}
+		if target > st.claim.Load() {
+			st.claim.Store(target)
 		}
-		if min > 0 && min-1 > atomic.LoadUint64(&s.durable) {
-			atomic.StoreUint64(&s.durable, min-1)
-		}
-		if st.next != nil && st.claim >= st.rotateTarget {
+		s.recomputeFrontierLocked()
+		if st.next != nil && st.claim.Load() >= st.rotateTarget {
 			// The rotation epoch's marker is synced on the old device: every
 			// record tagged <= boundary is sealed there, so writes can move
 			// to the fresh device.
@@ -496,6 +808,32 @@ func (st *stream) flushOnce() {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+}
+
+// installReadmitLocked swaps a repaired stream onto its staged replacement
+// device and clears the failure state. Runs on the stream's own flusher
+// goroutine (the only goroutine that touches dev), with the set mutex held.
+// Ordering matters: stale staged bytes are dropped and the claim re-seated
+// at the current epoch before sfailed is cleared, so a worker that observes
+// the stream healthy again can only append records the fresh device will
+// actually certify. Seating the claim at the current epoch keeps the
+// frontier monotone — the readmitted stream rejoins the aggregation at or
+// above every healthy claim, never dragging the frontier backwards below
+// epochs already certified by Quarantine's re-certification.
+func (st *stream) installReadmitLocked() {
+	st.mu.Lock()
+	st.buf = st.buf[:0]
+	st.mu.Unlock()
+	st.dev = st.readmit
+	st.readmit = nil
+	st.next = nil
+	st.rotateTarget = 0
+	st.lastMark = 0
+	st.serr = nil
+	st.quarantined = false
+	st.claim.Store(atomic.LoadUint64(&st.set.epoch))
+	st.set.recomputeFrontierLocked()
+	st.sfailed.Store(false)
 }
 
 // Rotate seals the current log segments and swaps every stream onto a fresh
@@ -552,6 +890,16 @@ func (s *StreamSet) Rotate(newDevs []Device) (uint64, error) {
 		if s.closed {
 			return 0, ErrClosed
 		}
+		if s.scoped {
+			// A stream that died mid-rotation can never install its swap;
+			// surface its typed error so the checkpoint cycle fails cleanly
+			// and the engine's quarantine guard takes over.
+			for _, st := range s.streams {
+				if st.next != nil && st.sfailed.Load() {
+					return 0, st.serr
+				}
+			}
+		}
 		pending := false
 		for _, st := range s.streams {
 			if st.next != nil {
@@ -577,10 +925,139 @@ func (s *StreamSet) Rotate(newDevs []Device) (uint64, error) {
 	}
 }
 
+// errNotScoped guards the scoped-only API against misuse on legacy sets.
+var errNotScoped = errors.New("wal: stream-scoped operation on a whole-set-failure StreamSet")
+
+// FailStream marks a stream failed by external decision — the engine's
+// gray-failure monitor escalating a sustained stall, or an operator pulling
+// a device. The stream's waiters are woken with a *StreamError wrapping
+// cause (ErrStreamQuarantined when cause is nil); the frontier freezes at
+// the stream's claim until Quarantine. Idempotent; scoped sets only.
+func (s *StreamSet) FailStream(i int, cause error) error {
+	if !s.scoped {
+		return errNotScoped
+	}
+	if cause == nil {
+		cause = ErrStreamQuarantined
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.failStreamLocked(s.streams[i], cause)
+	s.cond.Broadcast()
+	return nil
+}
+
+// Quarantine excludes a failed stream from the durable-frontier aggregation
+// and re-certifies the frontier over the survivors, waking commit waiters
+// on healthy streams that were frozen behind the dead stream's claim. The
+// stream must already be failed: quarantining is the engine's durable
+// decision to degrade, taken strictly after the failure — the frontier
+// freeze in between is what makes "durable" never ambiguous. Scoped only.
+func (s *StreamSet) Quarantine(i int) error {
+	if !s.scoped {
+		return errNotScoped
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streams[i]
+	if !st.sfailed.Load() {
+		return fmt.Errorf("wal: quarantine of healthy stream %d: %w", i, ErrStreamQuarantined)
+	}
+	st.quarantined = true
+	s.recomputeFrontierLocked()
+	s.cond.Broadcast()
+	return nil
+}
+
+// Readmit stages a repaired stream's return on a fresh device. The swap is
+// installed by the stream's own flusher (the only goroutine that touches
+// dev); Readmit kicks it and waits for the install, so on return the stream
+// is healthy: appends route to dev and the claim is re-seated at the
+// current epoch (the frontier never regresses). The caller must have
+// recovered the partition's state first — the old device's durable image is
+// the authoritative tail until a later checkpoint covers it — and must
+// guarantee no commit from before the failure is still between its append
+// and its durability wait (the engine drains its attempt gate before
+// readmitting). A stalled (unreleased) old device blocks Readmit the same
+// way it blocks Close: the flusher must return from the stalled sync first.
+func (s *StreamSet) Readmit(i int, dev Device) error {
+	if !s.scoped {
+		return errNotScoped
+	}
+	st := s.streams[i]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if !st.sfailed.Load() {
+		s.mu.Unlock()
+		return fmt.Errorf("wal: readmit of healthy stream %d: %w", i, ErrStreamQuarantined)
+	}
+	st.readmit = dev
+	s.mu.Unlock()
+	select {
+	case st.flush <- struct{}{}:
+	default:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for st.readmit != nil && !s.closed {
+		// Re-kick before parking: the flusher may have consumed the signal
+		// for a drop-staged cycle that raced the staging above.
+		select {
+		case st.flush <- struct{}{}:
+		default:
+		}
+		s.cond.Wait() //next700:allowwait(flusher broadcast after every cycle re-wakes; close breaks the loop)
+	}
+	if st.readmit != nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+// StreamFailed reports per-stream sticky failure (always false for legacy
+// sets, which fail whole — see Failed).
+func (s *StreamSet) StreamFailed(i int) bool { return s.streams[i].sfailed.Load() }
+
+// StreamErr returns the stream's sticky *StreamError, or nil.
+func (s *StreamSet) StreamErr(i int) error {
+	if !s.streams[i].sfailed.Load() {
+		return nil
+	}
+	return s.streams[i].serr
+}
+
+// StreamClaim returns the epoch the stream has synced through (lock-free;
+// the engine's stall monitor samples it for progress detection).
+func (s *StreamSet) StreamClaim(i int) uint64 { return s.streams[i].claim.Load() }
+
+// StreamQuarantined reports whether the stream is excluded from the
+// frontier aggregation.
+func (s *StreamSet) StreamQuarantined(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams[i].quarantined
+}
+
+// StreamPending reports whether the stream has staged bytes awaiting flush
+// (the stall monitor pairs it with a stagnant claim to detect gray failure).
+func (s *StreamSet) StreamPending(i int) bool {
+	st := s.streams[i]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.buf) > 0
+}
+
 // Close advances one final epoch, drains every stream, and stops the
 // background goroutines. When a device has failed, records staged after the
 // failure cannot be made durable; Close reports the sticky error rather
-// than dropping them silently.
+// than dropping them silently. In scoped mode that is the first failed,
+// un-readmitted stream's typed error.
 func (s *StreamSet) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -594,6 +1071,19 @@ func (s *StreamSet) Close() error {
 	<-s.done //next700:allowwait(shutdown join: closing wake guarantees the coordinator drains the streams and exits)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.failureC != nil {
+		// The flushers have drained and exited and FailStream checks closed,
+		// so no further sends are possible: the guard's channel can close.
+		close(s.failureC)
+	}
 	s.cond.Broadcast()
-	return s.err
+	if s.err != nil {
+		return s.err
+	}
+	for _, st := range s.streams {
+		if st.sfailed.Load() {
+			return st.serr
+		}
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"errors"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -146,8 +147,9 @@ func TestStreamSetTornStreamTruncates(t *testing.T) {
 	}
 }
 
-// TestStreamSetFailurePoisons: a persistently failing device poisons the
-// whole set — appends and waits on every stream report ErrLogFailed.
+// TestStreamSetFailurePoisons pins the legacy (thread-affinity) failure
+// contract: a persistently failing device poisons the whole set — appends
+// and waits on every stream report ErrLogFailed.
 func TestStreamSetFailurePoisons(t *testing.T) {
 	defer testutil.CheckGoroutines(t)()
 	bad := &syncFailDevice{err: errors.New("disk gone")}
@@ -168,6 +170,238 @@ func TestStreamSetFailurePoisons(t *testing.T) {
 	}
 	if !s.Failed() {
 		t.Fatal("Failed() false after device failure")
+	}
+}
+
+// TestStreamSetScopedFailure pins the per-stream (partition-affinity)
+// contract: a sticky failure on one stream surfaces as a *StreamError
+// carrying the stream index and wrapping both ErrStreamFailed and
+// ErrLogFailed, the set as a whole stays healthy, and after Quarantine the
+// frontier re-certifies so the surviving stream's commits keep acking.
+func TestStreamSetScopedFailure(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	bad := &syncFailDevice{err: errors.New("disk gone")}
+	devs := []Device{&memDevice{}, bad}
+	s := NewStreamSetScoped(devs, 0)
+
+	ep, err := s.Append(1, setRecord(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := s.WaitDurable(1, ep)
+	if !errors.Is(werr, ErrStreamFailed) || !errors.Is(werr, ErrLogFailed) {
+		t.Fatalf("wait on failed stream: err=%v, want ErrStreamFailed+ErrLogFailed", werr)
+	}
+	var serr *StreamError
+	if !errors.As(werr, &serr) || serr.Stream != 1 {
+		t.Fatalf("err=%v, want *StreamError for stream 1", werr)
+	}
+	// The failure index is delivered to the guard channel.
+	select {
+	case idx := <-s.FailureC():
+		if idx != 1 {
+			t.Fatalf("failureC delivered %d, want 1", idx)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no failure notification")
+	}
+	// Scoped: the set is NOT whole-set failed, and the healthy stream still
+	// accepts appends.
+	if s.Failed() {
+		t.Fatal("scoped failure set whole-set Failed()")
+	}
+	if !s.StreamFailed(1) || s.StreamFailed(0) {
+		t.Fatal("per-stream failure flags wrong")
+	}
+	ep0, err := s.Append(0, setRecord(2))
+	if err != nil {
+		t.Fatalf("append on healthy stream after scoped failure: %v", err)
+	}
+	// The frontier is frozen behind the dead stream's claim: the healthy
+	// append cannot certify yet. Quarantine re-certifies and the wait acks.
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- s.WaitDurable(0, ep0) }()
+	if err := s.Quarantine(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("healthy-stream wait after quarantine: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy-stream wait did not re-certify after quarantine")
+	}
+	// Appends on the dead stream keep failing with the typed error.
+	if _, err := s.Append(1, setRecord(3)); !errors.Is(err, ErrStreamFailed) {
+		t.Fatalf("append on dead stream: err=%v, want ErrStreamFailed", err)
+	}
+	// Close reports the stream's sticky error: staged bytes died with it.
+	if err := s.Close(); !errors.Is(err, ErrStreamFailed) {
+		t.Fatalf("close: err=%v, want ErrStreamFailed", err)
+	}
+}
+
+// TestStreamSetReadmit drives the full quarantine lifecycle: fail, drain
+// waiters, quarantine, readmit on a fresh device, and verify the stream
+// commits durably again with the frontier still monotone.
+func TestStreamSetReadmit(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	bad := &syncFailDevice{err: errors.New("disk gone")}
+	fresh := &memDevice{}
+	devs := []Device{&memDevice{}, bad}
+	s := NewStreamSetScoped(devs, 0)
+
+	if _, err := s.Append(1, setRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := s.Append(1, setRecord(2))
+	if err := s.WaitDurable(1, ep); !errors.Is(err, ErrStreamFailed) {
+		t.Fatalf("wait: %v", err)
+	}
+	if err := s.Quarantine(1); err != nil {
+		t.Fatal(err)
+	}
+	before := s.DurableEpoch()
+	if err := s.Readmit(1, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if s.StreamFailed(1) || s.StreamQuarantined(1) {
+		t.Fatal("stream still failed/quarantined after readmit")
+	}
+	if got := s.DurableEpoch(); got < before {
+		t.Fatalf("frontier regressed across readmit: %d -> %d", before, got)
+	}
+	// The readmitted stream certifies new commits on the fresh device.
+	ep2, err := s.Append(1, setRecord(3))
+	if err != nil {
+		t.Fatalf("append after readmit: %v", err)
+	}
+	if err := s.WaitDurable(1, ep2); err != nil {
+		t.Fatalf("wait after readmit: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.bytes()) == 0 {
+		t.Fatal("fresh device empty after readmitted commit")
+	}
+}
+
+// TestStreamSetAppendMulti: a multi-stream append replicates the record
+// into every touched stream under one epoch, and replay sees one copy per
+// stream with identical epoch tags.
+func TestStreamSetAppendMulti(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	mems := []*memDevice{{}, {}, {}}
+	devs := []Device{mems[0], mems[1], mems[2]}
+	s := NewStreamSetScoped(devs, 0)
+
+	ep, err := s.AppendMulti([]int{0, 2}, setRecord(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitDurableMulti([]int{0, 2}, ep, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	images := [][]byte{mems[0].bytes(), mems[1].bytes(), mems[2].bytes()}
+	var seen []int
+	var epochs []uint64
+	if _, err := ReplayStreamBytes(images, func(stream int, cr *CommitRecord) error {
+		if cr.TxnID == 7 {
+			seen = append(seen, stream)
+			epochs = append(epochs, cr.Epoch)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 2 {
+		t.Fatalf("copies on streams %v, want [0 2]", seen)
+	}
+	if epochs[0] != epochs[1] {
+		t.Fatalf("copies tagged different epochs: %v", epochs)
+	}
+}
+
+// TestReplayStreamsPartitioned: per-stream frontiers — a torn stream
+// truncates only its own tail, never the healthy streams' later epochs.
+func TestReplayStreamsPartitioned(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	const streams = 3
+	devs := make([]Device, streams)
+	mems := make([]*memDevice, streams)
+	for i := range devs {
+		mems[i] = &memDevice{}
+		devs[i] = mems[i]
+	}
+	s := NewStreamSetScoped(devs, 0)
+	epochs := make(map[uint64]uint64)
+	owner := make(map[uint64]int)
+	for i := 0; i < 30; i++ {
+		w := i % streams
+		id := uint64(i)
+		ep, err := s.Append(w, setRecord(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WaitDurable(w, ep); err != nil {
+			t.Fatal(err)
+		}
+		epochs[id] = ep
+		owner[id] = w
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	images := make([][]byte, streams)
+	for i, m := range mems {
+		images[i] = m.bytes()
+	}
+	// Tear stream 1 in half: only stream 1's tail may truncate.
+	images[1] = images[1][:len(images[1])/2]
+
+	readers := make([]io.Reader, streams)
+	for i := range images {
+		readers[i] = bytes.NewReader(images[i])
+	}
+	applied := make(map[uint64]bool)
+	st, err := ReplayStreamsPartitioned(readers, func(_ int, cr *CommitRecord) error {
+		applied[cr.TxnID] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.StreamFrontiers) != streams {
+		t.Fatalf("StreamFrontiers = %v", st.StreamFrontiers)
+	}
+	for id, ep := range epochs {
+		w := owner[id]
+		if ep <= st.StreamFrontiers[w] && !applied[id] {
+			t.Fatalf("txn %d (stream %d epoch %d) within own frontier %d but not applied",
+				id, w, ep, st.StreamFrontiers[w])
+		}
+	}
+	// Healthy streams replay everything they acked — the torn stream must
+	// not truncate them.
+	for id, w := range owner {
+		if w != 1 && !applied[id] {
+			t.Fatalf("healthy-stream txn %d truncated by another stream's tear", id)
+		}
+	}
+	// And the tear must actually have cost stream 1 something.
+	lost := 0
+	for id, w := range owner {
+		if w == 1 && !applied[id] {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("tearing half of stream 1 dropped nothing; test is vacuous")
 	}
 }
 
