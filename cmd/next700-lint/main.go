@@ -1,18 +1,35 @@
 // next700-lint statically enforces the engine's component contracts: the
 // zero-allocation hot path, the bounded-wait (deadline) contract, typed
-// abort classes, a cycle-free lock order, and atomic-field alignment.
+// abort classes, a cycle-free lock order, atomic-field alignment, bounded
+// critical sections (lockscope), deadline propagation to blocking sites
+// (deadlineflow), terminal-abort retry hygiene (terminalabort), and
+// suppression freshness (staleannotation).
 //
 // Usage:
 //
 //	go run ./cmd/next700-lint ./...
 //	go run ./cmd/next700-lint -analyzers hotpath,lockorder ./internal/cc/...
+//	go run ./cmd/next700-lint -json ./...
 //	go run ./cmd/next700-lint -list
 //
-// Exit status is 1 when any diagnostic is reported, 2 on usage or load
-// errors, mirroring the go/analysis multichecker convention.
+// Exit status mirrors the go/analysis multichecker convention:
+//
+//	0  clean — no non-suppressed findings
+//	1  one or more findings reported (suppressed findings alone do not
+//	   cause a nonzero exit; they appear only in -json output)
+//	2  usage or load error (unknown analyzer, unresolvable pattern,
+//	   type-check failure)
+//
+// With -json, machine-readable diagnostics are printed to stdout as a
+// single JSON object {"findings": [...], "suppressed": [...]}; each entry
+// carries file, line, col, analyzer, message, and suppressed. The
+// staleannotation analyzer judges suppressions against the analyzers that
+// ran over the loaded packages, so its verdicts (and the suppressed list)
+// are only meaningful on whole-module invocations (./...).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,16 +38,27 @@ import (
 	"next700/internal/analysis"
 )
 
+// jsonDiag is the machine-readable form of one diagnostic.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	var (
-		names = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		list  = flag.Bool("list", false, "list analyzers and exit")
-		dir   = flag.String("C", ".", "directory to resolve patterns in (the module root)")
+		names   = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		dir     = flag.String("C", ".", "directory to resolve patterns in (the module root)")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON diagnostics (findings + suppressed) on stdout")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: next700-lint [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
 		fmt.Fprintf(os.Stderr, "\nFlags:\n")
 		flag.PrintDefaults()
@@ -39,7 +67,7 @@ func main() {
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -62,12 +90,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "next700-lint:", err)
 		os.Exit(2)
 	}
-	diags, err := prog.Run(suite...)
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	diags, runErr := prog.Run(suite...)
+
+	if *jsonOut {
+		toJSON := func(ds []analysis.Diagnostic, suppressed bool) []jsonDiag {
+			out := make([]jsonDiag, 0, len(ds))
+			for _, d := range ds {
+				p := prog.Fset.Position(d.Pos)
+				out = append(out, jsonDiag{
+					File:       p.Filename,
+					Line:       p.Line,
+					Col:        p.Column,
+					Analyzer:   d.Analyzer,
+					Message:    d.Message,
+					Suppressed: suppressed,
+				})
+			}
+			return out
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Findings   []jsonDiag `json:"findings"`
+			Suppressed []jsonDiag `json:"suppressed"`
+		}{toJSON(diags, false), toJSON(prog.Suppressed, true)}); err != nil {
+			fmt.Fprintln(os.Stderr, "next700-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "next700-lint:", err)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "next700-lint:", runErr)
 		os.Exit(2)
 	}
 	if len(diags) > 0 {

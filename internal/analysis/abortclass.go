@@ -25,9 +25,10 @@ import (
 // //next700:allowabort(reason) on the function or line, for config-time
 // validation errors that no abort path ever sees.
 var AbortClassAnalyzer = &Analyzer{
-	Name: "abortclass",
-	Doc:  "errors minted on engine abort paths must be typed classes or wrap one",
-	Run:  runAbortClass,
+	Name:         "abortclass",
+	Doc:          "errors minted on engine abort paths must be typed classes or wrap one",
+	SuppressVerb: "allowabort",
+	Run:          runAbortClass,
 }
 
 var abortClassScope = []string{
@@ -36,12 +37,10 @@ var abortClassScope = []string{
 
 func runAbortClass(pass *Pass) error {
 	prog := pass.Prog
-	ann := prog.Annotations()
+	// Suppression (line- and declaration-level allowabort) is applied
+	// centrally by Pass.Reportf.
 	for _, node := range prog.Graph().Nodes {
 		if !inScope(prog, node.Pkg, abortClassScope) {
-			continue
-		}
-		if node.Obj != nil && ann.FuncHas(node.Obj, "allowabort") {
 			continue
 		}
 		body := node.Body()
@@ -59,9 +58,6 @@ func runAbortClass(pass *Pass) error {
 			}
 			fn := calleeFunc(info, call)
 			if fn == nil {
-				return true
-			}
-			if ann.LineHas(prog.Fset, call.Pos(), "allowabort") {
 				return true
 			}
 			switch fn.Origin().FullName() {

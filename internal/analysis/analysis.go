@@ -35,6 +35,13 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the contract enforced.
 	Doc string
+	// SuppressVerb is the //next700: directive verb that silences this
+	// analyzer's findings ("" for analyzers with no escape hatch). The
+	// framework applies it centrally in Reportf — line-level directives
+	// suppress findings on their line, declaration-level directives
+	// suppress findings anywhere in the annotated function — and records
+	// every exercised directive for the staleannotation pass.
+	SuppressVerb string
 	// Run executes the check, reporting findings through the Pass.
 	Run func(*Pass) error
 }
@@ -55,13 +62,28 @@ type Pass struct {
 	diags    *[]Diagnostic
 }
 
-// Reportf records a finding at pos.
+// Reportf records a finding at pos. If the analyzer declares a SuppressVerb
+// and pos sits on an annotated line or inside an annotated declaration, the
+// finding is recorded as suppressed instead, and the directive is marked
+// used (the staleannotation pass reports directives that never fire).
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
-	*p.diags = append(*p.diags, Diagnostic{
+	d := Diagnostic{
 		Pos:      pos,
 		Analyzer: p.analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if v := p.analyzer.SuppressVerb; v != "" {
+		ann := p.Prog.Annotations()
+		suppressed := ann.SuppressLine(p.Prog.Fset, pos, v)
+		if decl := p.Prog.declAt(pos); decl != nil && ann.SuppressDecl(decl, v) {
+			suppressed = true
+		}
+		if suppressed {
+			p.Prog.Suppressed = append(p.Prog.Suppressed, d)
+			return
+		}
+	}
+	*p.diags = append(*p.diags, d)
 }
 
 // Package is one type-checked package of the analyzed module.
@@ -86,10 +108,48 @@ type Program struct {
 	// and abort-class identities are expressed relative to it).
 	ModulePath string
 	Packages   []*Package
+	// Suppressed accumulates findings silenced by //next700: directives
+	// across Run calls, for machine-readable (-json) reporting.
+	Suppressed []Diagnostic
 
 	ann   *Annotations
 	graph *CallGraph
+	decls []declSpan
+	ran   map[string]bool
 }
+
+// declSpan locates one function declaration for pos→decl resolution.
+type declSpan struct {
+	lo, hi token.Pos
+	decl   *ast.FuncDecl
+}
+
+// declAt returns the function declaration whose source span contains pos
+// (function literals resolve to their enclosing declaration), or nil.
+func (p *Program) declAt(pos token.Pos) *ast.FuncDecl {
+	if p.decls == nil {
+		for _, pkg := range p.Packages {
+			for _, file := range pkg.Files {
+				for _, d := range file.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						p.decls = append(p.decls, declSpan{fd.Pos(), fd.End(), fd})
+					}
+				}
+			}
+		}
+		sort.Slice(p.decls, func(i, j int) bool { return p.decls[i].lo < p.decls[j].lo })
+	}
+	i := sort.Search(len(p.decls), func(i int) bool { return p.decls[i].hi >= pos })
+	if i < len(p.decls) && p.decls[i].lo <= pos && pos < p.decls[i].hi {
+		return p.decls[i].decl
+	}
+	return nil
+}
+
+// Ran reports whether the named analyzer already executed in a Run call on
+// this program. The staleannotation pass audits only directives whose owning
+// analyzer ran — a suppression cannot be called stale when nothing looked.
+func (p *Program) Ran(name string) bool { return p.ran[name] }
 
 // Package returns the loaded package with the given import path, or nil.
 func (p *Program) Package(path string) *Package {
@@ -108,6 +168,9 @@ func (p *Program) Package(path string) *Package {
 // polluted by another's annotation diagnostics).
 func (p *Program) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	if p.ran == nil {
+		p.ran = make(map[string]bool)
+	}
 	for _, a := range analyzers {
 		pass := &Pass{Prog: p, analyzer: a, diags: &diags}
 		for _, prob := range p.Annotations().Problems {
@@ -118,6 +181,7 @@ func (p *Program) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
 		if err := a.Run(pass); err != nil {
 			return diags, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
+		p.ran[a.Name] = true
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
@@ -128,7 +192,9 @@ func (p *Program) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// All returns the full analyzer suite in presentation order.
+// All returns the full analyzer suite in presentation order. The
+// staleannotation pass is deliberately last: it audits the suppression
+// directives the preceding analyzers consulted, so it must run after them.
 func All() []*Analyzer {
 	return []*Analyzer{
 		HotPathAnalyzer,
@@ -136,6 +202,10 @@ func All() []*Analyzer {
 		AbortClassAnalyzer,
 		LockOrderAnalyzer,
 		AtomicAlignAnalyzer,
+		LockScopeAnalyzer,
+		DeadlineFlowAnalyzer,
+		TerminalAbortAnalyzer,
+		StaleAnnotationAnalyzer,
 	}
 }
 

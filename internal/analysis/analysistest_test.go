@@ -37,11 +37,24 @@ type expectation struct {
 
 func runCorpus(t *testing.T, analyzerName string) {
 	t.Helper()
-	a := ByName(analyzerName)
-	if a == nil {
-		t.Fatalf("no analyzer %q", analyzerName)
+	runCorpusSuite(t, analyzerName, analyzerName)
+}
+
+// runCorpusSuite runs several analyzers over one corpus. Most corpora need
+// only their own analyzer; staleannotation additionally needs an owner
+// analyzer in the run, since a directive is judged only when its owner
+// actually looked.
+func runCorpusSuite(t *testing.T, corpusName string, analyzerNames ...string) {
+	t.Helper()
+	var suite []*Analyzer
+	for _, name := range analyzerNames {
+		a := ByName(name)
+		if a == nil {
+			t.Fatalf("no analyzer %q", name)
+		}
+		suite = append(suite, a)
 	}
-	dir, err := filepath.Abs(filepath.Join("testdata", analyzerName, "next700"))
+	dir, err := filepath.Abs(filepath.Join("testdata", corpusName, "next700"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,9 +62,9 @@ func runCorpus(t *testing.T, analyzerName string) {
 	if err != nil {
 		t.Fatalf("loading corpus: %v", err)
 	}
-	diags, err := prog.Run(a)
+	diags, err := prog.Run(suite...)
 	if err != nil {
-		t.Fatalf("running %s: %v", analyzerName, err)
+		t.Fatalf("running %s: %v", corpusName, err)
 	}
 	wants := collectWants(t, dir)
 
@@ -136,11 +149,44 @@ func backquoted(s string) []string {
 	}
 }
 
-func TestHotPathCorpus(t *testing.T)     { runCorpus(t, "hotpath") }
-func TestBoundedWaitCorpus(t *testing.T) { runCorpus(t, "boundedwait") }
-func TestAbortClassCorpus(t *testing.T)  { runCorpus(t, "abortclass") }
-func TestLockOrderCorpus(t *testing.T)   { runCorpus(t, "lockorder") }
-func TestAtomicAlignCorpus(t *testing.T) { runCorpus(t, "atomicalign") }
+func TestHotPathCorpus(t *testing.T)       { runCorpus(t, "hotpath") }
+func TestBoundedWaitCorpus(t *testing.T)   { runCorpus(t, "boundedwait") }
+func TestAbortClassCorpus(t *testing.T)    { runCorpus(t, "abortclass") }
+func TestLockOrderCorpus(t *testing.T)     { runCorpus(t, "lockorder") }
+func TestAtomicAlignCorpus(t *testing.T)   { runCorpus(t, "atomicalign") }
+func TestLockScopeCorpus(t *testing.T)     { runCorpus(t, "lockscope") }
+func TestDeadlineFlowCorpus(t *testing.T)  { runCorpus(t, "deadlineflow") }
+func TestTerminalAbortCorpus(t *testing.T) { runCorpus(t, "terminalabort") }
+
+// Staleness verdicts require the audited verb's owner in the same run.
+func TestStaleAnnotationCorpus(t *testing.T) {
+	runCorpusSuite(t, "staleannotation", "boundedwait", "staleannotation")
+}
+
+// TestEveryAnalyzerHasCorpus pins the suite to the corpus tree in both
+// directions: a new analyzer registered in All() cannot ship without a
+// testdata corpus, and a renamed or removed analyzer cannot orphan one.
+// Together with TestRepoLintClean and the lint driver — both of which
+// enumerate via All() — no hard-coded analyzer list exists that a new
+// analyzer could silently be missing from.
+func TestEveryAnalyzerHasCorpus(t *testing.T) {
+	inSuite := map[string]bool{}
+	for _, a := range All() {
+		inSuite[a.Name] = true
+		if _, err := os.Stat(filepath.Join("testdata", a.Name, "next700", "go.mod")); err != nil {
+			t.Errorf("analyzer %s has no corpus module: %v", a.Name, err)
+		}
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && !inSuite[e.Name()] {
+			t.Errorf("corpus dir testdata/%s names no analyzer in All()", e.Name())
+		}
+	}
+}
 
 // TestRepoLintClean runs the full suite over the real module and requires a
 // clean bill — the same gate CI's lint lane applies. Reintroducing, say,

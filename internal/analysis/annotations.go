@@ -28,34 +28,65 @@ import (
 //	                      lockorder analyzer skips its self-edges.
 //	cachepad(N)         — this type is cache-line padded to N bytes;
 //	                      atomicalign checks the claim instead of guessing.
+//	locked(class: why)  — audited operation under the named lock class;
+//	                      suppresses lockscope for the function or line.
+//	allowunbounded(why) — audited unbounded blocking variant on a hot path;
+//	                      suppresses deadlineflow.
+//	allowretry(why)     — audited retry decision without a transient
+//	                      classification guard; suppresses terminalabort.
 //
-// Reasons are mandatory for the allow* verbs: an escape hatch without an
-// audit trail is how contracts rot.
+// Reasons are mandatory for every suppression verb: an escape hatch without
+// an audit trail is how contracts rot. The staleannotation pass closes the
+// other half of that loop: a suppression that no longer suppresses anything
+// is reported and must be deleted.
 const annotationPrefix = "//next700:"
 
 // Directive verbs and the analyzer that owns each (annotation-grammar
 // problems are reported under the owner).
 var verbOwner = map[string]string{
-	"hotpath":    "hotpath",
-	"allowalloc": "hotpath",
-	"allowwait":  "boundedwait",
-	"allowabort": "abortclass",
-	"lockorder":  "lockorder",
-	"cachepad":   "atomicalign",
+	"hotpath":        "hotpath",
+	"allowalloc":     "hotpath",
+	"allowwait":      "boundedwait",
+	"allowabort":     "abortclass",
+	"lockorder":      "lockorder",
+	"cachepad":       "atomicalign",
+	"locked":         "lockscope",
+	"allowunbounded": "deadlineflow",
+	"allowretry":     "terminalabort",
 }
 
 // verbsNeedingArgs lists verbs whose parenthesized argument is required.
 var verbsNeedingArgs = map[string]bool{
-	"allowalloc": true,
-	"allowwait":  true,
-	"allowabort": true,
-	"lockorder":  true,
-	"cachepad":   true,
+	"allowalloc":     true,
+	"allowwait":      true,
+	"allowabort":     true,
+	"lockorder":      true,
+	"cachepad":       true,
+	"locked":         true,
+	"allowunbounded": true,
+	"allowretry":     true,
+}
+
+// suppressionVerbs are the verbs whose only effect is to silence findings.
+// The staleannotation pass audits exactly these: each must have silenced (or
+// scoped out) at least one would-be finding of its owning analyzer during
+// the run, or it is rot.
+var suppressionVerbs = map[string]bool{
+	"allowalloc":     true,
+	"allowwait":      true,
+	"allowabort":     true,
+	"lockorder":      true,
+	"locked":         true,
+	"allowunbounded": true,
+	"allowretry":     true,
 }
 
 var directiveRE = regexp.MustCompile(`^//next700:([a-z]+)(?:\((.*)\))?\s*$`)
 
-// Directive is one parsed //next700: annotation.
+// Directive is one parsed //next700: annotation. Directives are interned per
+// physical comment: the declaration index, the line index, and the flat list
+// all share one *Directive, so usage marks observed through any of them are
+// visible to the staleannotation pass.
 type Directive struct {
 	Verb string
 	// Arg is the parenthesized argument (reason text, padding size, ...).
@@ -65,22 +96,28 @@ type Directive struct {
 
 // Annotations indexes every //next700: directive in the program three ways:
 // by annotated function, by annotated type, and by source line (for
-// statement-level escapes).
+// statement-level escapes). It also tracks which suppression directives were
+// actually exercised, for the staleannotation pass.
 type Annotations struct {
 	// Funcs maps a function's types.Func (Origin) to its doc directives.
-	Funcs map[*types.Func][]Directive
+	Funcs map[*types.Func][]*Directive
 	// FuncDecls maps the declaring ast.FuncDecl to the same directives
 	// (used when resolving bodies back to annotations without re-deriving
 	// the object).
-	FuncDecls map[*ast.FuncDecl][]Directive
+	FuncDecls map[*ast.FuncDecl][]*Directive
 	// Types maps a named type's object to its doc directives.
-	Types map[types.Object][]Directive
+	Types map[types.Object][]*Directive
 	// Lines maps "file:line" to directives that apply to that source line.
 	// A directive on its own line applies to the following line as well.
-	Lines map[string][]Directive
+	Lines map[string][]*Directive
+	// All is every parsed directive in the program, one entry per physical
+	// comment, in file order.
+	All []*Directive
 	// Problems are grammar violations (unknown verb, missing reason),
 	// attributed to the owning analyzer.
 	Problems []Diagnostic
+
+	used map[*Directive]bool
 }
 
 // Annotations parses (once) and returns the program's annotation index.
@@ -89,10 +126,11 @@ func (p *Program) Annotations() *Annotations {
 		return p.ann
 	}
 	ann := &Annotations{
-		Funcs:     make(map[*types.Func][]Directive),
-		FuncDecls: make(map[*ast.FuncDecl][]Directive),
-		Types:     make(map[types.Object][]Directive),
-		Lines:     make(map[string][]Directive),
+		Funcs:     make(map[*types.Func][]*Directive),
+		FuncDecls: make(map[*ast.FuncDecl][]*Directive),
+		Types:     make(map[types.Object][]*Directive),
+		Lines:     make(map[string][]*Directive),
+		used:      make(map[*Directive]bool),
 	}
 	for _, pkg := range p.Packages {
 		for _, file := range pkg.Files {
@@ -104,11 +142,44 @@ func (p *Program) Annotations() *Annotations {
 }
 
 func (a *Annotations) indexFile(fset *token.FileSet, pkg *Package, file *ast.File) {
+	// Parse each physical comment exactly once so every index shares the
+	// same *Directive (usage marks must be visible across indexes).
+	byComment := make(map[*ast.Comment]*Directive)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			dir, ok := a.parseOne(c)
+			if !ok {
+				continue
+			}
+			byComment[c] = dir
+			a.All = append(a.All, dir)
+			// Line-level index: a trailing comment annotates its own line; a
+			// standalone comment annotates the statement below it.
+			pos := fset.Position(c.Pos())
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				key := lineKey(pos.Filename, line)
+				a.Lines[key] = append(a.Lines[key], dir)
+			}
+		}
+	}
+
 	// Declaration-level directives live in doc comments.
+	group := func(doc *ast.CommentGroup) []*Directive {
+		if doc == nil {
+			return nil
+		}
+		var dirs []*Directive
+		for _, c := range doc.List {
+			if d := byComment[c]; d != nil {
+				dirs = append(dirs, d)
+			}
+		}
+		return dirs
+	}
 	for _, decl := range file.Decls {
 		switch d := decl.(type) {
 		case *ast.FuncDecl:
-			dirs := a.parseGroup(d.Doc)
+			dirs := group(d.Doc)
 			if len(dirs) == 0 {
 				continue
 			}
@@ -128,7 +199,7 @@ func (a *Annotations) indexFile(fset *token.FileSet, pkg *Package, file *ast.Fil
 				if doc == nil && len(d.Specs) == 1 {
 					doc = d.Doc
 				}
-				dirs := a.parseGroup(doc)
+				dirs := group(doc)
 				if len(dirs) == 0 {
 					continue
 				}
@@ -138,40 +209,11 @@ func (a *Annotations) indexFile(fset *token.FileSet, pkg *Package, file *ast.Fil
 			}
 		}
 	}
-	// Line-level directives: every comment anywhere in the file, indexed by
-	// its own line and the next (a trailing comment annotates its line; a
-	// standalone comment annotates the statement below it).
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			dir, ok := a.parseOne(c)
-			if !ok {
-				continue
-			}
-			pos := fset.Position(c.Pos())
-			for _, line := range []int{pos.Line, pos.Line + 1} {
-				key := lineKey(pos.Filename, line)
-				a.Lines[key] = append(a.Lines[key], dir)
-			}
-		}
-	}
 }
 
-func (a *Annotations) parseGroup(doc *ast.CommentGroup) []Directive {
-	if doc == nil {
-		return nil
-	}
-	var dirs []Directive
-	for _, c := range doc.List {
-		if dir, ok := a.parseOne(c); ok {
-			dirs = append(dirs, dir)
-		}
-	}
-	return dirs
-}
-
-func (a *Annotations) parseOne(c *ast.Comment) (Directive, bool) {
+func (a *Annotations) parseOne(c *ast.Comment) (*Directive, bool) {
 	if !strings.HasPrefix(c.Text, annotationPrefix) {
-		return Directive{}, false
+		return nil, false
 	}
 	m := directiveRE.FindStringSubmatch(c.Text)
 	if m == nil {
@@ -180,7 +222,7 @@ func (a *Annotations) parseOne(c *ast.Comment) (Directive, bool) {
 			Analyzer: "hotpath",
 			Message:  "malformed next700 directive: want //next700:verb or //next700:verb(args)",
 		})
-		return Directive{}, false
+		return nil, false
 	}
 	verb, arg := m[1], strings.TrimSpace(m[2])
 	owner, known := verbOwner[verb]
@@ -190,7 +232,7 @@ func (a *Annotations) parseOne(c *ast.Comment) (Directive, bool) {
 			Analyzer: "hotpath",
 			Message:  "unknown next700 directive verb " + strconv.Quote(verb),
 		})
-		return Directive{}, false
+		return nil, false
 	}
 	if verbsNeedingArgs[verb] && arg == "" {
 		a.Problems = append(a.Problems, Diagnostic{
@@ -198,16 +240,31 @@ func (a *Annotations) parseOne(c *ast.Comment) (Directive, bool) {
 			Analyzer: owner,
 			Message:  "next700:" + verb + " requires a reason argument: //next700:" + verb + "(why this is safe)",
 		})
-		return Directive{}, false
+		return nil, false
 	}
-	return Directive{Verb: verb, Arg: arg, Pos: c.Pos()}, true
+	if verb == "locked" && !strings.ContainsAny(arg, ",:") {
+		a.Problems = append(a.Problems, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: owner,
+			Message:  "next700:locked requires both the lock class and a reason: //next700:locked(Type.field: why this is safe)",
+		})
+		return nil, false
+	}
+	return &Directive{Verb: verb, Arg: arg, Pos: c.Pos()}, true
 }
 
 func lineKey(filename string, line int) string {
 	return filename + ":" + strconv.Itoa(line)
 }
 
+// markUsed records that the directive suppressed (or scoped out) a finding.
+func (a *Annotations) markUsed(d *Directive) { a.used[d] = true }
+
+// Used reports whether the directive was exercised during analysis.
+func (a *Annotations) Used(d *Directive) bool { return a.used[d] }
+
 // FuncHas reports whether fn (by Origin) carries a directive with verb.
+// It does not mark usage; use SuppressFunc for suppression decisions.
 func (a *Annotations) FuncHas(fn *types.Func, verb string) bool {
 	if fn == nil {
 		return false
@@ -220,6 +277,23 @@ func (a *Annotations) FuncHas(fn *types.Func, verb string) bool {
 	return false
 }
 
+// SuppressFunc is FuncHas plus usage marking: a true result records that the
+// directive changed the analyzer's behavior (skipped or exempted a scope),
+// which is what the staleannotation pass audits.
+func (a *Annotations) SuppressFunc(fn *types.Func, verb string) bool {
+	if fn == nil {
+		return false
+	}
+	hit := false
+	for _, d := range a.Funcs[fn.Origin()] {
+		if d.Verb == verb {
+			a.markUsed(d)
+			hit = true
+		}
+	}
+	return hit
+}
+
 // DeclHas reports whether the declaration carries a directive with verb.
 func (a *Annotations) DeclHas(decl *ast.FuncDecl, verb string) bool {
 	for _, d := range a.FuncDecls[decl] {
@@ -230,8 +304,20 @@ func (a *Annotations) DeclHas(decl *ast.FuncDecl, verb string) bool {
 	return false
 }
 
+// SuppressDecl is DeclHas plus usage marking.
+func (a *Annotations) SuppressDecl(decl *ast.FuncDecl, verb string) bool {
+	hit := false
+	for _, d := range a.FuncDecls[decl] {
+		if d.Verb == verb {
+			a.markUsed(d)
+			hit = true
+		}
+	}
+	return hit
+}
+
 // LineHas reports whether the source line of pos carries a directive with
-// verb (same line or the line above).
+// verb (same line or the line above). It does not mark usage.
 func (a *Annotations) LineHas(fset *token.FileSet, pos token.Pos, verb string) bool {
 	p := fset.Position(pos)
 	for _, d := range a.Lines[lineKey(p.Filename, p.Line)] {
@@ -242,13 +328,27 @@ func (a *Annotations) LineHas(fset *token.FileSet, pos token.Pos, verb string) b
 	return false
 }
 
+// SuppressLine is LineHas plus usage marking: a true result records that the
+// directive suppressed a finding at pos.
+func (a *Annotations) SuppressLine(fset *token.FileSet, pos token.Pos, verb string) bool {
+	p := fset.Position(pos)
+	hit := false
+	for _, d := range a.Lines[lineKey(p.Filename, p.Line)] {
+		if d.Verb == verb {
+			a.markUsed(d)
+			hit = true
+		}
+	}
+	return hit
+}
+
 // TypeDirective returns the first directive with verb on the named type's
 // object, if any.
-func (a *Annotations) TypeDirective(obj types.Object, verb string) (Directive, bool) {
+func (a *Annotations) TypeDirective(obj types.Object, verb string) (*Directive, bool) {
 	for _, d := range a.Types[obj] {
 		if d.Verb == verb {
 			return d, true
 		}
 	}
-	return Directive{}, false
+	return nil, false
 }

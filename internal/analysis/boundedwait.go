@@ -23,9 +23,10 @@ import (
 // Escape hatch: //next700:allowwait(reason) on the function or line, for
 // audited shutdown joins and test-only paths.
 var BoundedWaitAnalyzer = &Analyzer{
-	Name: "boundedwait",
-	Doc:  "blocking waits in internal/{cc,wal,core} must be deadline-aware",
-	Run:  runBoundedWait,
+	Name:         "boundedwait",
+	Doc:          "blocking waits in internal/{cc,wal,core} must be deadline-aware",
+	SuppressVerb: "allowwait",
+	Run:          runBoundedWait,
 }
 
 // boundedWaitScope lists the package-path suffixes (relative to the module
@@ -45,12 +46,8 @@ func inScope(prog *Program, pkg *Package, scope []string) bool {
 
 func runBoundedWait(pass *Pass) error {
 	prog := pass.Prog
-	ann := prog.Annotations()
 	for _, node := range prog.Graph().Nodes {
 		if !inScope(prog, node.Pkg, boundedWaitScope) {
-			continue
-		}
-		if node.Obj != nil && ann.FuncHas(node.Obj, "allowwait") {
 			continue
 		}
 		checkWaits(pass, node)
@@ -64,12 +61,10 @@ func checkWaits(pass *Pass, node *FuncNode) {
 		return
 	}
 	prog := pass.Prog
-	ann := prog.Annotations()
 	info := node.Pkg.Info
+	// Suppression (line- and declaration-level allowwait) is applied
+	// centrally by Pass.Reportf, which also feeds the staleannotation pass.
 	report := func(pos token.Pos, format string, args ...interface{}) {
-		if ann.LineHas(prog.Fset, pos, "allowwait") {
-			return
-		}
 		pass.Reportf(pos, format, args...)
 	}
 

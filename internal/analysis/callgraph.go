@@ -206,9 +206,14 @@ func (p *Program) Graph() *CallGraph {
 }
 
 // calleeFunc resolves the called function object for static and method
-// calls; nil for calls through function-typed values and type conversions.
+// calls, including generic instantiations (f[T](...)); nil for calls
+// through function-typed values and type conversions.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	return funcOfExpr(info, call.Fun)
+}
+
+func funcOfExpr(info *types.Info, e ast.Expr) *types.Func {
+	switch fun := ast.Unparen(e).(type) {
 	case *ast.Ident:
 		if fn, ok := info.Uses[fun].(*types.Func); ok {
 			return fn
@@ -217,6 +222,12 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
 			return fn
 		}
+	case *ast.IndexExpr:
+		// Generic instantiation; an ordinary index into a func-valued
+		// container resolves to a *types.Var and stays nil.
+		return funcOfExpr(info, fun.X)
+	case *ast.IndexListExpr:
+		return funcOfExpr(info, fun.X)
 	}
 	return nil
 }

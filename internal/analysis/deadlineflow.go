@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeadlineFlowAnalyzer enforces the deadline-propagation contract with
+// branch sensitivity. Two rules:
+//
+//  1. On hot paths (functions reachable from a //next700:hotpath root),
+//     calls to a blocking method that has a deadline-bounded sibling —
+//     method M where the same receiver also defines M+"Until" — must either
+//     be the Until variant or sit on a branch where the deadline was proven
+//     zero (the explicit no-deadline opt-out, e.g. `if dl != 0 { ...Until
+//     } else { ... }`). The pairing convention makes the rule self-extending:
+//     introducing FooUntil next to Foo puts every hot Foo call under it.
+//
+//  2. A function that receives a deadline parameter (named dl/deadline/
+//     *Deadline) must not drop it before the blocking site: an unbounded-
+//     variant call is flagged, and a bounded (Until) call must mention the
+//     parameter — or a value derived from it — in its arguments. Derivation
+//     is tracked by assignment taint.
+//
+// The deadline-zero proof is a must-analysis over branch assumptions:
+// `dl != 0` false, `dl == 0` true, `dl > 0` false, and `dl <= 0` true all
+// establish "no deadline in force", and the fact dies if any mentioned
+// variable is reassigned.
+//
+// Escape hatch: //next700:allowunbounded(reason) on the line or function,
+// for audited unbounded waits (shutdown joins, test harness plumbing).
+var DeadlineFlowAnalyzer = &Analyzer{
+	Name:         "deadlineflow",
+	Doc:          "blocking calls on hot paths must use deadline-bounded variants; deadline params must reach the blocking site",
+	SuppressVerb: "allowunbounded",
+	Run:          runDeadlineFlow,
+}
+
+func runDeadlineFlow(pass *Pass) error {
+	prog := pass.Prog
+	ann := prog.Annotations()
+	graph := prog.Graph()
+
+	// Hot-reachable set: BFS from every //next700:hotpath root, same
+	// traversal hotpath uses (function-literal callees included; no
+	// allowalloc pruning — an allocation waiver is not a deadline waiver).
+	hot := make(map[*FuncNode]bool)
+	var queue []*FuncNode
+	for fn := range ann.Funcs {
+		if ann.FuncHas(fn, "hotpath") && graph.ByObj[fn] != nil {
+			queue = append(queue, graph.ByObj[fn])
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if hot[n] {
+			continue
+		}
+		hot[n] = true
+		for _, e := range n.Callees {
+			if e.Callee != nil && !hot[e.Callee] {
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+
+	for _, node := range graph.Nodes {
+		dlParam := deadlineParam(node)
+		if !hot[node] && dlParam == nil {
+			continue
+		}
+		checkDeadlineFlow(pass, node, hot[node], dlParam)
+	}
+	return nil
+}
+
+// deadlineParam returns the parameter carrying the caller's deadline, if
+// node declares one: a parameter whose name is "dl" or contains "deadline"
+// (case-insensitive) with an integer or time.Time type.
+func deadlineParam(node *FuncNode) *types.Var {
+	obj := node.Obj
+	if obj == nil {
+		return nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		name := strings.ToLower(p.Name())
+		if name != "dl" && !strings.Contains(name, "deadline") {
+			continue
+		}
+		switch t := p.Type().Underlying().(type) {
+		case *types.Basic:
+			if t.Info()&types.IsInteger != 0 {
+				return p
+			}
+		case *types.Struct:
+			if named, ok := p.Type().(*types.Named); ok && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Time" {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+func checkDeadlineFlow(pass *Pass, node *FuncNode, onHotPath bool, dlParam *types.Var) {
+	body := node.Body()
+	if body == nil {
+		return
+	}
+	prog := pass.Prog
+	info := node.Pkg.Info
+	cfg := BuildCFG(body)
+
+	cf := newCondFacts(prog.Fset, info)
+	spec := &FlowSpec{
+		May:      false, // must: a guard counts only if it dominates the call
+		Assume:   cf.assume,
+		Transfer: cf.killAssigned,
+	}
+	res := SolveForward(cfg, spec)
+
+	// Assignment taint for rule 2: values derived from the deadline
+	// parameter, computed flow-insensitively to a fixpoint.
+	tainted := map[types.Object]bool{}
+	if dlParam != nil {
+		tainted[dlParam] = true
+		for changed := true; changed; {
+			changed = false
+			ast.Inspect(body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				rhsTainted := false
+				for _, r := range as.Rhs {
+					for obj := range mentionedObjects(info, r) {
+						if tainted[obj] {
+							rhsTainted = true
+						}
+					}
+				}
+				if !rhsTainted {
+					return true
+				}
+				for _, l := range as.Lhs {
+					if obj := rootObject(info, l); obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	res.Simulate(func(f Facts, b *Block, n ast.Node) {
+		noDeadline := false
+		for _, a := range cf.inForce(f) {
+			if impliesNoDeadline(prog.Fset, a) {
+				noDeadline = true
+				break
+			}
+		}
+		inspectPoint(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			name := fn.Name()
+			if strings.HasSuffix(name, "Until") {
+				// Bounded variant: with a deadline parameter in scope, the
+				// arguments must carry it (or a derived value).
+				if dlParam == nil || noDeadline {
+					return true
+				}
+				for _, arg := range call.Args {
+					for obj := range mentionedObjects(info, arg) {
+						if tainted[obj] {
+							return true
+						}
+					}
+				}
+				pass.Reportf(call.Pos(), "deadline parameter %q is not threaded into %s; pass the deadline (or a value derived from it) or annotate //next700:allowunbounded(reason)", dlParam.Name(), name)
+				return true
+			}
+			if !hasUntilSibling(fn) {
+				return true
+			}
+			if noDeadline {
+				return true // explicit deadline==0 opt-out branch
+			}
+			if dlParam != nil {
+				pass.Reportf(call.Pos(), "deadline parameter %q dropped before blocking call %s; call %sUntil with it, guard with a deadline==0 check, or annotate //next700:allowunbounded(reason)", dlParam.Name(), name, name)
+			} else if onHotPath {
+				pass.Reportf(call.Pos(), "unbounded %s reachable from a //next700:hotpath root; call %sUntil with the transaction deadline, guard with a deadline==0 check, or annotate //next700:allowunbounded(reason)", name, name)
+			}
+			return true
+		})
+	})
+}
+
+// hasUntilSibling reports whether fn's receiver type (or, for package-level
+// functions, its package scope) also defines fn.Name()+"Until" — marking fn
+// as the unbounded member of a bounded/unbounded pair.
+func hasUntilSibling(fn *types.Func) bool {
+	name := fn.Name()
+	if strings.HasSuffix(name, "Until") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name+"Until")
+		_, isFunc := obj.(*types.Func)
+		return isFunc
+	}
+	if fn.Pkg() != nil {
+		_, isFunc := fn.Pkg().Scope().Lookup(name + "Until").(*types.Func)
+		return isFunc
+	}
+	return false
+}
+
+// impliesNoDeadline reports whether the assumption proves a deadline-ish
+// value is zero/absent: `dl != 0` false, `dl == 0` true, `dl > 0` false,
+// `dl <= 0` true (and the operand-swapped spellings).
+func impliesNoDeadline(fset *token.FileSet, a *condFact) bool {
+	bin, ok := ast.Unparen(a.cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var d ast.Expr
+	var op token.Token
+	switch {
+	case isZeroLit(bin.Y) && isDeadlineExpr(fset, bin.X):
+		d, op = bin.X, bin.Op
+	case isZeroLit(bin.X) && isDeadlineExpr(fset, bin.Y):
+		// Normalize to deadline-on-the-left by flipping the comparison.
+		d = bin.Y
+		switch bin.Op {
+		case token.LSS:
+			op = token.GTR // 0 < dl  ⇒  dl > 0
+		case token.GTR:
+			op = token.LSS
+		case token.LEQ:
+			op = token.GEQ
+		case token.GEQ:
+			op = token.LEQ
+		default:
+			op = bin.Op
+		}
+	default:
+		return false
+	}
+	_ = d
+	switch op {
+	case token.NEQ:
+		return !a.value
+	case token.EQL:
+		return a.value
+	case token.GTR:
+		return !a.value
+	case token.LEQ:
+		return a.value
+	}
+	return false
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// isDeadlineExpr reports whether the rendered expression names a deadline:
+// "dl", "*.dl", or anything containing "deadline" (case-insensitive).
+func isDeadlineExpr(fset *token.FileSet, e ast.Expr) bool {
+	s := strings.ToLower(exprString(fset, e))
+	return s == "dl" || strings.HasSuffix(s, ".dl") || strings.Contains(s, "deadline")
+}

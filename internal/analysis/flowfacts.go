@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// condFacts encodes branch assumptions as dataflow facts. Each Assumption
+// (a condition expression plus the truth value the taken edge implies) is
+// interned under a stable string key "assume:<t|f>:<rendered expr>"; a side
+// table keeps the original expression, its polarity, and the set of objects
+// it mentions so facts can be killed when any mentioned variable is
+// reassigned. One condFacts instance serves one function's solve.
+type condFacts struct {
+	fset  *token.FileSet
+	info  *types.Info
+	table map[string]*condFact
+}
+
+type condFact struct {
+	cond     ast.Expr
+	value    bool
+	mentions map[types.Object]bool
+}
+
+func newCondFacts(fset *token.FileSet, info *types.Info) *condFacts {
+	return &condFacts{fset: fset, info: info, table: make(map[string]*condFact)}
+}
+
+// assume registers the assumption and adds its fact. Used as FlowSpec.Assume.
+func (c *condFacts) assume(f Facts, a Assumption) {
+	key := fmt.Sprintf("assume:%t:%s", a.Value, exprString(c.fset, a.Cond))
+	if _, ok := c.table[key]; !ok {
+		c.table[key] = &condFact{cond: a.Cond, value: a.Value, mentions: mentionedObjects(c.info, a.Cond)}
+	}
+	f[key] = true
+}
+
+// killAssigned drops every assumption fact that mentions a variable this
+// node assigns. Mutation through pointers or callee side effects is not
+// modeled; the analyzers using condFacts only trust assumptions about
+// locally scrutinized values (err, deadline params) where that is sound
+// enough in practice.
+func (c *condFacts) killAssigned(f Facts, n ast.Node) {
+	var targets []ast.Expr
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		targets = x.Lhs
+	case *ast.IncDecStmt:
+		targets = []ast.Expr{x.X}
+	case *ast.RangeStmt:
+		if x.Key != nil {
+			targets = append(targets, x.Key)
+		}
+		if x.Value != nil {
+			targets = append(targets, x.Value)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						targets = append(targets, name)
+					}
+				}
+			}
+		}
+	default:
+		return
+	}
+	var killed map[types.Object]bool
+	for _, t := range targets {
+		if obj := rootObject(c.info, t); obj != nil {
+			if killed == nil {
+				killed = make(map[types.Object]bool)
+			}
+			killed[obj] = true
+		}
+	}
+	if killed == nil {
+		return
+	}
+	for key := range f {
+		cf, ok := c.table[key]
+		if !ok {
+			continue
+		}
+		for obj := range killed {
+			if cf.mentions[obj] {
+				delete(f, key)
+				break
+			}
+		}
+	}
+}
+
+// inForce returns the registered assumption facts present in f, in
+// deterministic (source position) order.
+func (c *condFacts) inForce(f Facts) []*condFact {
+	var out []*condFact
+	for key := range f {
+		if cf, ok := c.table[key]; ok {
+			out = append(out, cf)
+		}
+	}
+	// Sort by condition position, then polarity, for deterministic messages.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.cond.Pos() < b.cond.Pos() || (a.cond.Pos() == b.cond.Pos() && !a.value && b.value) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}
+
+// mentionedObjects collects every object referenced by identifiers inside e.
+func mentionedObjects(info *types.Info, e ast.Expr) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves an assignment target to the object of its base
+// identifier: x → x, x.f → x, x[i] → x, *p → p.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

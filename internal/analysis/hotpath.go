@@ -28,9 +28,10 @@ import (
 // Out-of-module callees not on the banned list are assumed allocation-free;
 // the runtime alloc gate (bench/alloc_test.go) closes that soundness gap.
 var HotPathAnalyzer = &Analyzer{
-	Name: "hotpath",
-	Doc:  "functions annotated //next700:hotpath must not allocate, transitively",
-	Run:  runHotPath,
+	Name:         "hotpath",
+	Doc:          "functions annotated //next700:hotpath must not allocate, transitively",
+	SuppressVerb: "allowalloc",
+	Run:          runHotPath,
 }
 
 // bannedCalls maps full function names to the reason they are banned on hot
@@ -78,9 +79,10 @@ func runHotPath(pass *Pass) error {
 			continue
 		}
 		visited[w.node] = true
-		if w.node.Obj != nil && ann.FuncHas(w.node.Obj, "allowalloc") {
+		if w.node.Obj != nil && ann.SuppressFunc(w.node.Obj, "allowalloc") {
 			// Whole function audited: neither its body nor its callees are
-			// held to the contract.
+			// held to the contract. SuppressFunc marks the directive used —
+			// it exempted a subtree actually reachable from a hot root.
 			continue
 		}
 		checkHotBody(pass, w.node, w.root)
@@ -88,7 +90,7 @@ func runHotPath(pass *Pass) error {
 			if e.Callee == nil || visited[e.Callee] {
 				continue
 			}
-			if ann.LineHas(prog.Fset, e.Pos, "allowalloc") {
+			if ann.SuppressLine(prog.Fset, e.Pos, "allowalloc") {
 				// The call site is audited; don't descend.
 				continue
 			}
@@ -104,17 +106,14 @@ func checkHotBody(pass *Pass, node *FuncNode, root *FuncNode) {
 	if body == nil {
 		return
 	}
-	prog := pass.Prog
-	ann := prog.Annotations()
 	info := node.Pkg.Info
 	via := ""
 	if node != root {
 		via = " (on hot path from " + root.Name() + ")"
 	}
+	// Suppression (line- and declaration-level allowalloc) is applied
+	// centrally by Pass.Reportf.
 	report := func(pos token.Pos, what string) {
-		if ann.LineHas(prog.Fset, pos, "allowalloc") {
-			return
-		}
 		pass.Reportf(pos, "hot path allocates: %s%s", what, via)
 	}
 

@@ -91,7 +91,7 @@ func runLockOrder(pass *Pass) error {
 	var edges []lockEdge
 	for _, n := range nodes {
 		ordered := n.Decl != nil && ann.DeclHas(n.Decl, "lockorder")
-		edges = append(edges, scanLockEdges(prog, n, acquires, ordered)...)
+		edges = append(edges, scanLockEdges(prog, ann, n, acquires, ordered)...)
 	}
 
 	// Cycle detection over the class graph: report every edge that sits on
@@ -296,8 +296,10 @@ func lockCall(info *types.Info, call *ast.CallExpr) (kind, class string) {
 }
 
 // scanLockEdges walks n's body in source order maintaining the held-set and
-// emits edges for nested acquisitions and for calls made under a lock.
-func scanLockEdges(prog *Program, n *FuncNode, acquires map[*FuncNode]map[string]bool, ordered bool) []lockEdge {
+// emits edges for nested acquisitions and for calls made under a lock. When
+// ordered, same-class self-edges are skipped and the function's
+// lockorder(ordered) directive is marked used for the staleannotation pass.
+func scanLockEdges(prog *Program, ann *Annotations, n *FuncNode, acquires map[*FuncNode]map[string]bool, ordered bool) []lockEdge {
 	body := n.Body()
 	if body == nil {
 		return nil
@@ -339,6 +341,7 @@ func scanLockEdges(prog *Program, n *FuncNode, acquires map[*FuncNode]map[string
 			case "Lock", "RLock":
 				for _, h := range heldClasses() {
 					if h == class && ordered {
+						ann.SuppressDecl(n.Decl, "lockorder")
 						continue
 					}
 					edges = append(edges, lockEdge{from: h, to: class, pos: x.Pos()})
@@ -370,6 +373,7 @@ func scanLockEdges(prog *Program, n *FuncNode, acquires map[*FuncNode]map[string
 					for c := range acquires[callee] {
 						for _, h := range heldClasses() {
 							if h == c && ordered {
+								ann.SuppressDecl(n.Decl, "lockorder")
 								continue
 							}
 							edges = append(edges, lockEdge{from: h, to: c, pos: x.Pos(), viaCall: calleeName})

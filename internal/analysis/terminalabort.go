@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TerminalAbortAnalyzer guards the retry loops: a transaction abort carrying
+// a *terminal* class — deadline exceeded, admission shed, partition
+// unavailable, user abort, livelock budget exhausted — must surface to the
+// caller, never feed back into a retry. Concretely, for every `continue` in
+// a retry loop the analyzer inspects the branch assumptions (must-facts: the
+// conditions that hold on every path to the continue) that mention an
+// error-typed value:
+//
+//   - if any assumption establishes errors.Is(err, <terminal class>), the
+//     continue retries a terminal abort — reported always;
+//   - otherwise the continue must be post-dominated by a positive transient
+//     classification: fault.IsTransient(err) true, errors.Is against a
+//     non-terminal class true, or err proven nil. A continue whose guard
+//     merely mentions an error without classifying it (the classic
+//     `if err != nil { continue }` retry-everything bug) is reported.
+//
+// Continues with no error-derived guard at all (loop bookkeeping, scan
+// filters on non-error values) are out of scope. Assumptions die when a
+// mentioned variable is reassigned, so a classification of the previous
+// attempt's error never vouches for the next.
+//
+// Escape hatch: //next700:allowretry(reason) on the line or function, for
+// audited loops (e.g. a chaos harness that deliberately replays terminal
+// aborts).
+var TerminalAbortAnalyzer = &Analyzer{
+	Name:         "terminalabort",
+	Doc:          "terminal abort classes must not flow into retry loops; retry decisions need a transient classification",
+	SuppressVerb: "allowretry",
+	Run:          runTerminalAbort,
+}
+
+var terminalAbortScope = []string{
+	"internal/core", "internal/harness", "internal/admission", "internal/torture",
+}
+
+// terminalClasses are the abort-class sentinels that must never be retried:
+// the deadline family (retrying cannot un-expire a deadline), admission
+// shedding (retrying defeats the shed), partition unavailability (the retry
+// storms a quarantined partition), user aborts (retrying overrides caller
+// intent), and livelock (the retry budget is already exhausted).
+var terminalClasses = map[string]bool{
+	"ErrDeadlineExceeded":     true,
+	"ErrWaitDeadline":         true,
+	"ErrShed":                 true,
+	"ErrPartitionUnavailable": true,
+	"ErrUserAbort":            true,
+	"ErrLivelock":             true,
+}
+
+func runTerminalAbort(pass *Pass) error {
+	prog := pass.Prog
+	for _, node := range prog.Graph().Nodes {
+		if !inScope(prog, node.Pkg, terminalAbortScope) {
+			continue
+		}
+		checkTerminalAbort(pass, node)
+	}
+	return nil
+}
+
+func checkTerminalAbort(pass *Pass, node *FuncNode) {
+	body := node.Body()
+	if body == nil {
+		return
+	}
+	prog := pass.Prog
+	info := node.Pkg.Info
+	cfg := BuildCFG(body)
+
+	cf := newCondFacts(prog.Fset, info)
+	spec := &FlowSpec{
+		May:      false, // must: the guard has to hold on every path in
+		Assume:   cf.assume,
+		Transfer: cf.killAssigned,
+	}
+	res := SolveForward(cfg, spec)
+
+	res.Simulate(func(f Facts, b *Block, n ast.Node) {
+		br, ok := n.(*ast.BranchStmt)
+		if !ok {
+			return
+		}
+		involved, classified := false, false
+		var terminal string
+		for _, a := range cf.inForce(f) {
+			if !mentionsError(info, a.cond) {
+				continue
+			}
+			involved = true
+			switch k, class := classifyGuard(info, a); k {
+			case guardTerminal:
+				if terminal == "" {
+					terminal = class
+				}
+			case guardTransient:
+				classified = true
+			}
+		}
+		if terminal != "" {
+			pass.Reportf(br.Pos(), "terminal abort class %s flows into a retry: this continue re-runs work the %s classification already condemned; surface the error to the caller or annotate //next700:allowretry(reason)", terminal, terminal)
+			return
+		}
+		if involved && !classified {
+			pass.Reportf(br.Pos(), "retry decision without a transient classification: guard this continue with fault.IsTransient(err) or errors.Is against a transient class, or annotate //next700:allowretry(reason)")
+		}
+	})
+}
+
+type guardKind int
+
+const (
+	guardNeutral guardKind = iota
+	guardTransient
+	guardTerminal
+)
+
+// classifyGuard interprets one error-mentioning assumption:
+//
+//	IsTransient(err)==true                → transient (positive classification)
+//	errors.Is(err, NonTerminal)==true     → transient-equivalent (a specific
+//	                                        non-terminal class was matched)
+//	errors.Is(err, Terminal)==true        → terminal flow
+//	err==nil true / err!=nil false        → err proven nil (benign)
+//
+// Everything else (err != nil, negated classifications, ...) is neutral: it
+// involves the error without classifying it.
+func classifyGuard(info *types.Info, a *condFact) (guardKind, string) {
+	switch x := ast.Unparen(a.cond).(type) {
+	case *ast.CallExpr:
+		fn := calleeFunc(info, x)
+		if fn == nil {
+			return guardNeutral, ""
+		}
+		if strings.Contains(fn.Name(), "Transient") {
+			if a.value {
+				return guardTransient, ""
+			}
+			return guardNeutral, ""
+		}
+		if fn.Origin().FullName() == "errors.Is" && len(x.Args) == 2 {
+			sentinel := sentinelName(info, x.Args[1])
+			if sentinel == "" {
+				return guardNeutral, ""
+			}
+			if a.value {
+				if terminalClasses[sentinel] {
+					return guardTerminal, sentinel
+				}
+				return guardTransient, ""
+			}
+			return guardNeutral, ""
+		}
+	case *ast.BinaryExpr:
+		// err == nil (true) or err != nil (false): the error is proven nil.
+		nilOn := func(e ast.Expr) bool {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			return ok && id.Name == "nil" && info.Types[e].IsNil()
+		}
+		if nilOn(x.X) || nilOn(x.Y) {
+			switch {
+			case x.Op.String() == "==" && a.value, x.Op.String() == "!=" && !a.value:
+				return guardTransient, "" // proven nil: nothing terminal retried
+			}
+		}
+	}
+	return guardNeutral, ""
+}
+
+// sentinelName resolves an errors.Is target expression to the declared
+// sentinel variable name ("ErrShed"), or "".
+func sentinelName(info *types.Info, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(x); obj != nil {
+			return obj.Name()
+		}
+	case *ast.SelectorExpr:
+		if obj := info.ObjectOf(x.Sel); obj != nil {
+			return obj.Name()
+		}
+	}
+	return ""
+}
+
+// mentionsError reports whether any sub-expression of e has an error type.
+func mentionsError(info *types.Info, e ast.Expr) bool {
+	errType := types.Universe.Lookup("error").Type()
+	iface := errType.Underlying().(*types.Interface)
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ex, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[ex]
+		if !ok || tv.Type == nil || tv.IsType() {
+			return true
+		}
+		if types.Implements(tv.Type, iface) || types.Identical(tv.Type, errType) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,73 @@
+// Package eng exercises the deadlineflow analyzer: unbounded calls on hot
+// paths when an Until sibling exists, dropped and misrouted deadline
+// parameters, the deadline==0 opt-out proof, assignment-taint derivation,
+// and both levels of the allowunbounded escape hatch.
+package eng
+
+type gate struct{ ch chan struct{} }
+
+// Wait blocks until the gate opens.
+func (g *gate) Wait() { <-g.ch }
+
+// WaitUntil blocks until the gate opens or the deadline dl (ns) passes.
+func (g *gate) WaitUntil(dl int64) bool {
+	select {
+	case <-g.ch:
+		return true
+	default:
+		_ = dl
+		return false
+	}
+}
+
+// Open has no OpenUntil sibling: it is not part of a bounded/unbounded pair.
+func (g *gate) Open() { close(g.ch) }
+
+var g8 gate
+
+//next700:hotpath
+func Commit() {
+	g8.Wait() // want `unbounded Wait reachable from a //next700:hotpath root`
+}
+
+func Apply(dl int64) {
+	g8.Wait() // want `deadline parameter "dl" dropped before blocking call Wait`
+}
+
+func Flush(dl int64) {
+	g8.WaitUntil(0) // want `deadline parameter "dl" is not threaded into WaitUntil`
+}
+
+func Drain(dl int64) {
+	if dl != 0 {
+		g8.WaitUntil(dl) // clean: the deadline is threaded through
+	} else {
+		g8.Wait() // clean: the deadline was proven zero on this branch
+	}
+}
+
+func Budgeted(dl int64) {
+	slack := dl / 2
+	_ = g8.WaitUntil(slack) // clean: threaded via a value derived from dl
+}
+
+// Shutdown is a whole-function escape hatch.
+//
+//next700:allowunbounded(corpus: audited shutdown join)
+func Shutdown(dl int64) {
+	g8.Wait() // clean: function-level allowunbounded
+}
+
+//next700:hotpath
+func Replay() {
+	g8.Wait() //next700:allowunbounded(corpus: audited replay tail)
+}
+
+//next700:hotpath
+func Probe() {
+	g8.Open() // clean: Open has no OpenUntil sibling
+}
+
+func Background() {
+	g8.Wait() // clean: not hot-reachable and no deadline parameter
+}

@@ -1,0 +1,98 @@
+// Package cc exercises the lockscope analyzer inside its scope
+// (internal/cc): allocation, blocking ops, callbacks, and sleeps under a
+// held mutex; the defer-unlock-in-loop back-edge case; the select and
+// Cond.Wait exemptions; and both levels of the locked escape hatch.
+package cc
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	buf  []byte
+}
+
+func (p *pool) allocUnderLock() {
+	p.mu.Lock()
+	p.buf = make([]byte, 64) // want `allocation \(make\) while pool\.mu held`
+	p.mu.Unlock()
+}
+
+func (p *pool) sendUnderLock() {
+	p.mu.Lock()
+	p.ch <- 1 // want `blocking channel send while pool\.mu held`
+	p.mu.Unlock()
+}
+
+func (p *pool) sleepUnderLock() {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while pool\.mu held`
+	p.mu.Unlock()
+}
+
+func (p *pool) closureUnderLock() {
+	p.mu.Lock()
+	f := func() {} // want `closure allocation while pool\.mu held`
+	f()            // clean: a named local closure is engine code, not a callback
+	p.mu.Unlock()
+}
+
+func (p *pool) callbackUnderLock(cb func()) {
+	p.mu.Lock()
+	cb() // want `indirect call through a function value \(caller-supplied callback\) while pool\.mu held`
+	p.mu.Unlock()
+}
+
+// deferInLoop is the canonical back-edge bug: the deferred unlocks all run
+// at return, so after the first iteration the mutex stays held for the rest
+// of the function — including the allocation after the loop.
+func (p *pool) deferInLoop(n int) {
+	for i := 0; i < n; i++ {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	p.buf = make([]byte, 8) // want `allocation \(make\) while pool\.mu held`
+}
+
+func (p *pool) allocAfterRelease() {
+	p.mu.Lock()
+	p.buf = p.buf[:0]
+	p.mu.Unlock()
+	p.buf = make([]byte, 32) // clean: the critical section is over
+}
+
+func (p *pool) selectUnderLock(stop chan struct{}) {
+	p.mu.Lock()
+	// clean: select communications are a scheduling choice, not a blocking
+	// commitment to one channel.
+	select {
+	case p.ch <- 1:
+	case <-stop:
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) condWait() {
+	p.mu.Lock()
+	p.cond.Wait() // clean: Cond.Wait releases its associated mutex while parked
+	p.mu.Unlock()
+}
+
+// auditedAlloc is a whole-function escape hatch.
+//
+//next700:locked(pool.mu: corpus-audited cold path snapshot)
+func (p *pool) auditedAlloc() {
+	p.mu.Lock()
+	p.buf = make([]byte, 16) // clean: function-level locked waiver
+	p.mu.Unlock()
+}
+
+func (p *pool) lineAudited() {
+	p.mu.Lock()
+	p.buf = make([]byte, 16) //next700:locked(pool.mu: corpus-audited line)
+	p.mu.Unlock()
+}

@@ -1,0 +1,46 @@
+// Package cc exercises the staleannotation analyzer. The corpus test runs
+// boundedwait (an owner) and then staleannotation: a suppression whose
+// owner ran and reported nothing is stale; one that absorbed a finding is
+// live; a verb whose owner is not in the run cannot be judged.
+package cc
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// liveWait: boundedwait would flag the bare receive; the annotation absorbs
+// that finding, so it is live and staleannotation stays quiet.
+func (b *box) liveWait() int {
+	return <-b.ch //next700:allowwait(corpus: audited shutdown join)
+}
+
+// staleWait: nothing on the annotated line blocks; the wait this once
+// excused has been fixed away and the suppression is rot.
+func (b *box) staleWait() int {
+	x := 1 //next700:allowwait(corpus: the wait this excused is gone)
+	// want:-1 `stale suppression //next700:allowwait`
+	return x
+}
+
+// staleFunc is a function-level waiver over a body with nothing to waive.
+//
+//next700:allowwait(corpus: the body no longer blocks)
+func (b *box) staleFunc() {}
+
+// want:-3 `stale suppression //next700:allowwait`
+
+// unjudged: lockscope is not part of this corpus run, so its verb cannot be
+// called stale even though nothing here holds a lock.
+func (b *box) unjudged() int {
+	return 2 //next700:locked(box.mu: owner analyzer not in this run)
+}
+
+// markerNotAudited: hotpath is a claim, not a suppression — never judged.
+//
+//next700:hotpath
+func markerNotAudited() {}
+
+var keepVet = 0

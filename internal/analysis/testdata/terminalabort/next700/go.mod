@@ -1,0 +1,3 @@
+module next700
+
+go 1.22

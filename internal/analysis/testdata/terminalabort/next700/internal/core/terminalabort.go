@@ -1,0 +1,101 @@
+// Package core exercises the terminalabort analyzer inside its scope
+// (internal/core): terminal classes feeding a continue, the
+// retry-everything bug, positive transient classifications, the proven-nil
+// guard, non-error continues, and both levels of the allowretry hatch.
+package core
+
+import "errors"
+
+var (
+	// ErrShed matches the terminal class set by sentinel name.
+	ErrShed = errors.New("shed")
+	// ErrConflict is a transient class: retrying it is the point.
+	ErrConflict = errors.New("conflict")
+)
+
+// IsTransient is the corpus stand-in for fault.IsTransient.
+func IsTransient(err error) bool { return errors.Is(err, ErrConflict) }
+
+func retryTerminal(work func() error) {
+	for {
+		err := work()
+		if errors.Is(err, ErrShed) {
+			continue // want `terminal abort class ErrShed flows into a retry`
+		}
+		return
+	}
+}
+
+func retryUnclassified(work func() error) {
+	for {
+		err := work()
+		if err != nil {
+			continue // want `retry decision without a transient classification`
+		}
+		return
+	}
+}
+
+func retryTransient(work func() error) {
+	for {
+		err := work()
+		if IsTransient(err) {
+			continue // clean: positive transient classification
+		}
+		return
+	}
+}
+
+func retryNonTerminalClass(work func() error) {
+	for {
+		err := work()
+		if errors.Is(err, ErrConflict) {
+			continue // clean: a specific non-terminal class was matched
+		}
+		return
+	}
+}
+
+func retryProvenNil(work func() error, n int) {
+	for i := 0; i < n; i++ {
+		err := work()
+		if err == nil {
+			continue // clean: the error is proven nil; nothing terminal retried
+		}
+		return
+	}
+}
+
+func scanFilter(items []int) int {
+	n := 0
+	for _, it := range items {
+		if it < 0 {
+			continue // clean: no error-derived guard; out of scope
+		}
+		n++
+	}
+	return n
+}
+
+// retryAudited is a whole-function escape hatch.
+//
+//next700:allowretry(corpus: chaos harness deliberately replays terminal aborts)
+func retryAudited(work func() error) {
+	for {
+		err := work()
+		if errors.Is(err, ErrShed) {
+			continue // clean: function-level allowretry
+		}
+		return
+	}
+}
+
+func retryLineAudited(work func() error) {
+	for {
+		err := work()
+		if errors.Is(err, ErrShed) {
+			continue //next700:allowretry(corpus: audited replay)
+		}
+		return
+	}
+}

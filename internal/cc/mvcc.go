@@ -104,10 +104,13 @@ func (p *mvcc) Begin(tx *txn.Txn) {
 // version, visible to every transaction.
 func (p *mvcc) LoadRecord(tbl *storage.Table, rid storage.RecordID, key uint64, data []byte) {
 	m := p.meta.get(tbl, rid)
-	m.mu.Lock()
+	// Build the version outside the critical section; the lock only covers
+	// the head-pointer install.
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	m.head = &mvVersion{begin: 0, data: cp}
+	v := &mvVersion{begin: 0, data: cp}
+	m.mu.Lock()
+	m.head = v
 	m.mu.Unlock()
 }
 

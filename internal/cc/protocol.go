@@ -226,6 +226,7 @@ type metaTable[T any] struct {
 	chunks atomic.Pointer[[]*[metaChunkSize]T]
 }
 
+//next700:allowalloc(first-touch slow path: a table's metadata directory is built once, on the first record access)
 func newMetaTable[T any]() *metaTable[T] {
 	mt := &metaTable[T]{}
 	empty := make([]*[metaChunkSize]T, 0, 16)
@@ -249,6 +250,7 @@ func (mt *metaTable[T]) grow(idx int) {
 	defer mt.mu.Unlock()
 	chunks := *mt.chunks.Load()
 	for idx >= len(chunks) {
+		//next700:locked(metaTable.mu: chunk growth is a once-per-chunk slow path; allocating outside the lock would race a concurrent grow)
 		grown := append(chunks, new([metaChunkSize]T)) //next700:allowalloc(per-record metadata chunk growth, amortized over the table lifetime)
 		mt.chunks.Store(&grown)
 		chunks = grown

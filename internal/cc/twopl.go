@@ -70,6 +70,7 @@ func (st *lockState) wait() {
 // record are possible and harmless — they re-check and wait again. The
 // timer allocation happens only on the blocked (slow) path; deadline-free
 // waits take the allocation-free wait() above.
+//
 //next700:allowalloc(the audited timed-wait timer: allocation happens only on the blocked path, documented above)
 func (st *lockState) waitDeadline(deadline int64) bool {
 	remaining := deadline - time.Now().UnixNano()
@@ -139,7 +140,9 @@ func newWaitsFor() *waitsFor {
 // addWouldCycle installs edges me->holders and reports whether doing so
 // closes a cycle through me. If it does, the edges are removed again and
 // true is returned (the caller must die rather than wait).
+//
 //next700:allowalloc(deadlock-detection bookkeeping runs only on the conflict path, never on uncontended acquires)
+//next700:locked(waitsFor.mu: deadlock-detection bookkeeping runs only on the conflict path, never on uncontended acquires)
 func (w *waitsFor) addWouldCycle(me uint64, holders []uint64) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()

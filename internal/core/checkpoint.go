@@ -243,7 +243,7 @@ func (e *Engine) collectOnline(t *Table) ([]ckptEntry, error) {
 			time.Sleep(time.Duration(attempt+1) * 10 * time.Microsecond)
 		}
 		if err != nil {
-			continue // not visible: the log tail owns this row's fate
+			continue //next700:allowretry(skip, not retry: the row is left to the log tail; the loop advances to the next entry)
 		}
 		en.row = row
 		out = append(out, en)
@@ -513,6 +513,8 @@ func (e *Engine) parseCheckpoint(data []byte) ([]ckptTableLoad, ckptMeta, error)
 }
 
 // snapshotTables returns the table handles in id order.
+//
+//next700:locked(Engine.mu: checkpoint-path snapshot of the table registry; small, and never on the txn path)
 func (e *Engine) snapshotTables() []*Table {
 	e.mu.RLock()
 	defer e.mu.RUnlock()

@@ -332,6 +332,7 @@ func (c *Checkpointer) cycle() error {
 	}
 
 	// Create and publish (M1) the new generation's segments.
+	//next700:locked(Engine.quiesce: the checkpoint cycle allocates its generation segment table inside the quiesce window; once per checkpoint, never on the txn path)
 	newDevs := make([]wal.Device, e.logs.NumStreams())
 	m1 := c.manifest
 	m1.Checkpoints = append([]wal.ManifestCheckpoint(nil), c.manifest.Checkpoints...)
@@ -381,6 +382,7 @@ func (c *Checkpointer) cycle() error {
 	m2 := m1
 	m2.Checkpoints = append([]wal.ManifestCheckpoint(nil), m1.Checkpoints...)
 	m2.Segments = append([]wal.ManifestSegment(nil), m1.Segments...)
+	//next700:locked(Engine.ckptFence: sealing bookkeeping runs once per checkpoint inside the fence; never on the txn path)
 	newSeg := make(map[string]bool, len(newDevs))
 	for i := range newDevs {
 		newSeg[segmentName(gen, i)] = true
@@ -466,6 +468,8 @@ func (c *Checkpointer) cycle() error {
 // A failed cycle is recorded and the loop keeps going — a sticky log
 // failure makes every subsequent cycle fail fast without touching the
 // store. Stop (or a second Start) must be called before engine Close.
+//
+//next700:locked(Checkpointer.loopMu: lifecycle start runs once per engine; launching the loop goroutine under the lifecycle mutex is the point)
 func (c *Checkpointer) Start(interval time.Duration) {
 	c.loopMu.Lock()
 	defer c.loopMu.Unlock()

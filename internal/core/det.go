@@ -242,6 +242,7 @@ func (x *DetExecutor) runFragment(p int, q []det.Op, i int) (int, error) {
 	var err error
 	for ; i < len(q) && q[i].Txn == txnIdx; i++ {
 		if err == nil {
+			//next700:locked(Engine.quiesce: the gate read side deliberately brackets queued-transaction execution so command-logged checkpoints quiesce between fragments)
 			err = x.exec(t, q[i], mb)
 		}
 	}
@@ -311,6 +312,7 @@ func (x *DetExecutor) commitFragment(t *Tx, p int, id uint64) error {
 			row := a.Table.Row(a.RID)
 			for j := range th.secondaries {
 				s := &th.secondaries[j]
+				//next700:locked(Engine.ckptFence: abort-path index undo invokes the table engine-registered key extractor; bounded, lock-free)
 				s.idx.Delete(s.extract(th.sch, row, a.Key))
 			}
 		}

@@ -18,6 +18,8 @@ import (
 //
 // The engine must be quiescent; StateDigest reads rows without concurrency
 // control.
+//
+//next700:locked(Engine.mu: verification-only digest; the engine is quiescent by contract when this runs)
 func (e *Engine) StateDigest() [sha256.Size]byte {
 	e.mu.RLock()
 	names := make([]string, 0, len(e.tables))

@@ -496,7 +496,7 @@ func (e *Engine) recoverFromStorePartitioned(store CheckpointStore, att *LogAtta
 			rc, err := store.OpenCheckpoint(sliceName(ck.Name, p))
 			if err != nil {
 				rs.CheckpointFallbacks++
-				continue
+				continue //next700:allowretry(fallback scan: a failed slice open is counted and the next candidate is tried; nothing is re-run)
 			}
 			data, rerr := io.ReadAll(rc)
 			rc.Close()
@@ -551,7 +551,7 @@ func (e *Engine) recoverFromStorePartitioned(store CheckpointStore, att *LogAtta
 			}
 			rc, err := store.OpenSegment(sg.Name)
 			if err != nil {
-				continue
+				continue //next700:allowretry(degraded replay: a missing segment contributes an empty stream; the scan advances)
 			}
 			data, err := io.ReadAll(rc)
 			rc.Close()

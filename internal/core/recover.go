@@ -261,7 +261,7 @@ func (e *Engine) RecoverFromStore(store CheckpointStore, att *LogAttachment, loa
 		rc, err := store.OpenCheckpoint(ck.Name)
 		if err != nil {
 			rs.CheckpointFallbacks++
-			continue
+			continue //next700:allowretry(fallback scan: an unreadable checkpoint falls back to the next-newest generation by design)
 		}
 		err = e.LoadCheckpoint(rc)
 		rc.Close()
@@ -303,7 +303,7 @@ func (e *Engine) RecoverFromStore(store CheckpointStore, att *LogAttachment, loa
 			}
 			rc, err := store.OpenSegment(sg.Name)
 			if err != nil {
-				continue
+				continue //next700:allowretry(degraded replay: a missing segment contributes an empty stream; the scan advances)
 			}
 			data, err := io.ReadAll(rc)
 			rc.Close()

@@ -445,6 +445,7 @@ func (t *Tx) run(body func(tx *Tx) error, procID int32, params []byte) error {
 		e.quiesce.RLock()
 		e.proto.Begin(inner)
 
+		//next700:locked(Engine.quiesce: the gate read side deliberately brackets the user transaction body; writers only contend during checkpoint quiesce)
 		err := body(t)
 		fromCommit := false
 		if err == nil {
@@ -585,6 +586,7 @@ func (t *Tx) commit(procID int32, params []byte) (committed bool, err error) {
 			row := a.Table.Row(a.RID)
 			for j := range th.secondaries {
 				s := &th.secondaries[j]
+				//next700:locked(Engine.ckptFence: abort-path index undo invokes the table engine-registered key extractor; bounded, lock-free)
 				s.idx.Delete(s.extract(th.sch, row, a.Key))
 			}
 		}

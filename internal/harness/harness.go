@@ -325,7 +325,7 @@ func drive(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, error
 						// outcome (already accounted by the engine), not a
 						// run failure.
 						n++
-						continue
+						continue //next700:allowretry(measured outcome: the worker advances to the next transaction; the deadline-aborted one is not re-run)
 					}
 					outs[id].err = err
 					break

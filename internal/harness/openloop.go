@@ -123,7 +123,7 @@ func driveOpen(e *core.Engine, wl workload.Workload, opts RunOptions) (Result, e
 				if ctrl != nil {
 					if err := ctrl.Acquire(dl); err != nil {
 						ctr.ShedAborts++
-						continue
+						continue //next700:allowretry(shed arrivals are counted outcomes; the loop moves to the next arrival, not a retry)
 					}
 				}
 				out.queue.Record(time.Now().UnixNano() - a)

@@ -386,6 +386,7 @@ func (s *StreamSet) waitDurable(streamID int, epoch uint64, deadline int64) erro
 				return ErrWaitDeadline
 			}
 			if timer == nil {
+				//next700:locked(StreamSet.mu: deadline timer armed at most once per parked waiter; commits that find their epoch durable never reach this)
 				timer = time.AfterFunc(time.Duration(remaining), func() {
 					s.mu.Lock()
 					s.cond.Broadcast()
@@ -466,6 +467,7 @@ func (s *StreamSet) waitDurableIDs(streamIDs []int, epoch uint64, deadline int64
 				return ErrWaitDeadline
 			}
 			if timer == nil {
+				//next700:locked(StreamSet.mu: deadline timer armed at most once per parked waiter; commits that find their epoch durable never reach this)
 				timer = time.AfterFunc(time.Duration(remaining), func() {
 					s.mu.Lock()
 					s.cond.Broadcast()
@@ -539,7 +541,7 @@ func (s *StreamSet) coordinator() {
 					close(st.flush)
 				}
 				for _, st := range s.streams {
-					<-st.done //next700:allowwait(shutdown join: closing flush guarantees the stream flusher drains and exits)
+					<-st.done
 				}
 				return
 			}
@@ -684,8 +686,6 @@ func (s *StreamSet) recomputeFrontierLocked() {
 // frontier is NOT re-certified here — it freezes at the dead stream's claim
 // until Quarantine excludes the stream, which keeps "durable" meaning
 // "synced on every non-quarantined stream" at all times. Requires s.mu.
-//
-//next700:allowalloc(stream-failure path: the sticky error is built once per stream incarnation)
 func (s *StreamSet) failStreamLocked(st *stream, cause error) {
 	if st.serr != nil {
 		return
@@ -784,7 +784,6 @@ func (st *stream) flushOnce() {
 		if s.scoped {
 			s.failStreamLocked(st, err)
 		} else if s.err == nil {
-			//next700:allowalloc(device-failure path: the sticky error is built once, after which the set is dead)
 			s.err = fmt.Errorf("%w: %w", ErrLogFailed, err)
 			s.failed.Store(true)
 		}

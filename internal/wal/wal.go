@@ -338,6 +338,7 @@ func (w *Writer) waitDurable(lsn uint64, deadline int64) error {
 				return ErrWaitDeadline
 			}
 			if timer == nil {
+				//next700:locked(Writer.mu: deadline timer armed at most once per parked waiter; commits that find their LSN durable never reach this)
 				timer = time.AfterFunc(time.Duration(remaining), func() {
 					w.mu.Lock()
 					w.cond.Broadcast()
@@ -443,7 +444,6 @@ func (w *Writer) flush() {
 
 	w.mu.Lock()
 	if err != nil {
-		//next700:allowalloc(device-failure path: the sticky error is built once, after which the writer is dead)
 		//next700:allowalloc(device-failure path: the sticky error is built once, after which the writer is dead)
 		w.err = fmt.Errorf("%w: %w", ErrLogFailed, err)
 		w.failed.Store(true)
